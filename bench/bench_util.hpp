@@ -1,0 +1,66 @@
+// Shared helpers for the reproduction benches: flag parsing, scenario
+// iteration, and consistent table output. Every bench prints the rows/series
+// of one paper table or figure (see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "g2g/core/experiment.hpp"
+#include "g2g/core/report.hpp"
+
+namespace g2g::bench {
+
+struct Options {
+  bool quick = false;  ///< thin the sweeps for fast smoke runs
+  bool csv = false;    ///< machine-readable output
+  std::size_t runs = 2;
+  std::uint64_t seed = 1;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--runs" && i + 1 < argc) {
+      opt.runs = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = std::stoull(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--quick] [--csv] [--runs N] [--seed S]\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline std::vector<core::Scenario> both_scenarios(std::uint64_t seed) {
+  return {core::infocom05_scenario(seed), core::cambridge06_scenario(seed)};
+}
+
+inline void emit(const core::Table& table, const Options& opt) {
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+/// Deviant-count sweep matching the paper's x axes (0..~nodes, step 5).
+inline std::vector<std::size_t> dropper_counts(std::size_t nodes, bool quick,
+                                               bool include_zero = true) {
+  std::vector<std::size_t> out;
+  if (include_zero) out.push_back(0);
+  const std::size_t step = quick ? 15 : 5;
+  for (std::size_t n = 5; n <= nodes; n += step) out.push_back(n);
+  return out;
+}
+
+}  // namespace g2g::bench

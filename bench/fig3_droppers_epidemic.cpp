@@ -1,0 +1,40 @@
+// Figure 3 — "Effect of message droppers on Epidemic Forwarding".
+// Delivery rate of vanilla Epidemic Forwarding as the number of droppers
+// grows, for plain selfishness and selfishness-with-outsiders, on both
+// trace stand-ins. Paper shape: delivery collapses toward the direct
+// source-destination meeting probability as everyone drops.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "g2g/core/parallel.hpp"
+
+using namespace g2g;
+using namespace g2g::core;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  std::cout << "== Fig. 3: effect of message droppers on Epidemic Forwarding ==\n\n";
+
+  for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
+    Table table({"scenario", "droppers", "delivery% (plain)", "delivery% (w/ outsiders)"});
+    for (const std::size_t n :
+         bench::dropper_counts(scen.trace_config.nodes, opt.quick)) {
+      ExperimentConfig cfg;
+      cfg.protocol = Protocol::Epidemic;
+      cfg.scenario = scen;
+      cfg.deviation = proto::Behavior::Dropper;
+      cfg.deviant_count = n;
+      cfg.seed = opt.seed;
+
+      cfg.with_outsiders = false;
+      const AggregateResult plain = run_repeated_parallel(cfg, opt.runs);
+      cfg.with_outsiders = true;
+      const AggregateResult outsiders = run_repeated_parallel(cfg, opt.runs);
+
+      table.add_row({scen.name, std::to_string(n), fmt_pct(plain.success_rate.mean()),
+                     fmt_pct(outsiders.success_rate.mean())});
+    }
+    bench::emit(table, opt);
+  }
+  return 0;
+}

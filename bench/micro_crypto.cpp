@@ -1,0 +1,102 @@
+// Micro-benchmarks of the cryptographic substrate (google-benchmark):
+// hashing, MACs, the storage-proof heavy HMAC, both signature suites, and
+// the sealed-box message encryption.
+#include <benchmark/benchmark.h>
+
+#include "g2g/crypto/hmac.hpp"
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/crypto/sealed_box.hpp"
+#include "g2g/crypto/sha256.hpp"
+#include "g2g/crypto/suite.hpp"
+
+namespace {
+
+using namespace g2g;
+using namespace g2g::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = to_bytes("session key material");
+  const Bytes data(1024, 0x5a);
+  for (auto _ : state) benchmark::DoNotOptimize(hmac_sha256(key, data));
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_HeavyHmac(benchmark::State& state) {
+  const Bytes msg(512, 0x11);
+  const Bytes seed = to_bytes("challenge-seed");
+  const auto iterations = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(heavy_hmac(msg, seed, iterations));
+}
+BENCHMARK(BM_HeavyHmac)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());
+  Rng rng(1);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  for (auto _ : state) benchmark::DoNotOptimize(suite->sign(kp.secret_key, msg));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());
+  Rng rng(2);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_FastSuiteSign(benchmark::State& state) {
+  const SuitePtr suite = make_fast_suite();
+  Rng rng(3);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  for (auto _ : state) benchmark::DoNotOptimize(suite->sign(kp.secret_key, msg));
+}
+BENCHMARK(BM_FastSuiteSign);
+
+void BM_FastSuiteVerify(benchmark::State& state) {
+  const SuitePtr suite = make_fast_suite();
+  Rng rng(4);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_FastSuiteVerify);
+
+void BM_SealedBoxRoundTrip(benchmark::State& state) {
+  const SuitePtr suite = make_fast_suite();
+  Rng rng(5);
+  const KeyPair recipient = suite->keygen(rng);
+  const Bytes body(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    const SealedBox box = seal(*suite, rng, recipient.public_key, body);
+    benchmark::DoNotOptimize(seal_open(*suite, recipient.secret_key, box));
+  }
+}
+BENCHMARK(BM_SealedBoxRoundTrip)->Arg(64)->Arg(1024);
+
+void BM_DhSharedSecret(benchmark::State& state) {
+  const SchnorrGroup& group = SchnorrGroup::default_group();
+  Rng rng(6);
+  const SchnorrKeyPair a = schnorr_keygen(group, rng);
+  const SchnorrKeyPair b = schnorr_keygen(group, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dh_shared_secret(group, a.secret, b.public_key));
+  }
+}
+BENCHMARK(BM_DhSharedSecret);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Micro-benchmarks of the protocol layer: sealed-message creation/opening,
+// PoR/PoM signing and verification, and a single full contact (relay phase)
+// under each signature suite.
+#include <benchmark/benchmark.h>
+
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/proto/message.hpp"
+#include "g2g/proto/wire.hpp"
+
+namespace {
+
+using namespace g2g;
+using namespace g2g::proto;
+
+struct Fixture {
+  explicit Fixture(crypto::SuitePtr suite_in)
+      : suite(std::move(suite_in)), rng(9), authority(suite, rng) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      identities.emplace_back(suite, NodeId(i), authority, rng);
+      roster.add(identities.back().certificate());
+    }
+  }
+  crypto::SuitePtr suite;
+  Rng rng;
+  crypto::Authority authority;
+  std::vector<crypto::NodeIdentity> identities;
+  Roster roster;
+};
+
+Fixture& fast_fixture() {
+  static Fixture f(crypto::make_fast_suite());
+  return f;
+}
+
+Fixture& schnorr_fixture() {
+  static Fixture f(crypto::make_schnorr_suite(crypto::SchnorrGroup::small_group()));
+  return f;
+}
+
+void BM_MakeMessage(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  const Bytes body(64, 0x42);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_message(f.identities[0], f.roster.get(NodeId(1)),
+                                          MessageId(++id), body, f.rng));
+  }
+}
+BENCHMARK(BM_MakeMessage);
+
+void BM_OpenMessage(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  const SealedMessage m =
+      make_message(f.identities[0], f.roster.get(NodeId(1)), MessageId(1), Bytes(64, 1), f.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(open_message(f.identities[1], m, f.roster));
+  }
+}
+BENCHMARK(BM_OpenMessage);
+
+ProofOfRelay make_por(Fixture& f) {
+  ProofOfRelay por;
+  por.h.fill(0x31);
+  por.giver = NodeId(0);
+  por.taker = NodeId(1);
+  por.at = TimePoint::from_seconds(10.0);
+  por.delegation = true;
+  por.declared_dst = NodeId(2);
+  por.msg_quality = 1.0;
+  por.taker_quality = 2.0;
+  por.taker_signature = f.identities[1].sign(por.signed_payload());
+  return por;
+}
+
+void BM_PorSignFast(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  ProofOfRelay por = make_por(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.identities[1].sign(por.signed_payload()));
+  }
+}
+BENCHMARK(BM_PorSignFast);
+
+void BM_PorSignSchnorr(benchmark::State& state) {
+  Fixture& f = schnorr_fixture();
+  ProofOfRelay por = make_por(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.identities[1].sign(por.signed_payload()));
+  }
+}
+BENCHMARK(BM_PorSignSchnorr);
+
+void BM_PomVerifyChainCheat(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  ProofOfRelay in = make_por(f);
+  ProofOfRelay out = make_por(f);
+  out.giver = NodeId(1);
+  out.taker = NodeId(2);
+  out.msg_quality = 0.0;  // the cheat
+  out.taker_signature = f.identities[2].sign(out.signed_payload());
+  pom.evidence_accepted = in;
+  pom.evidence_forwarded = out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_pom(*f.suite, f.roster, pom));
+  }
+}
+BENCHMARK(BM_PomVerifyChainCheat);
+
+void BM_PorEncodeDecode(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  const ProofOfRelay por = make_por(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProofOfRelay::decode(por.encode()));
+  }
+}
+BENCHMARK(BM_PorEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

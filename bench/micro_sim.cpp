@@ -1,0 +1,86 @@
+// Micro-benchmarks of the simulation substrate: event queue throughput,
+// synthetic trace generation, community detection, and a full small
+// experiment per protocol family.
+#include <benchmark/benchmark.h>
+
+#include "g2g/community/kclique.hpp"
+#include "g2g/core/experiment.hpp"
+#include "g2g/sim/simulator.hpp"
+#include "g2g/trace/synthetic.hpp"
+
+namespace {
+
+using namespace g2g;
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    Rng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      simulator.at(TimePoint(static_cast<std::int64_t>(rng.below(1000000))),
+                   [&fired] { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(10000)->Arg(100000);
+
+void BM_SyntheticTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto t = trace::generate_trace(trace::infocom05());
+    benchmark::DoNotOptimize(t.trace.size());
+  }
+}
+BENCHMARK(BM_SyntheticTrace);
+
+void BM_KCliqueCommunities(benchmark::State& state) {
+  const auto synthetic = trace::generate_trace(trace::infocom05());
+  const community::ContactGraph graph(
+      synthetic.trace, community::ContactGraphConfig::for_span(Duration::days(3)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(community::k_clique_communities(graph, 4).group_count());
+  }
+}
+BENCHMARK(BM_KCliqueCommunities);
+
+core::ExperimentConfig small_experiment(core::Protocol p) {
+  core::ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.scenario = core::infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 20;
+  cfg.sim_window = Duration::hours(1.5);
+  cfg.traffic_window = Duration::hours(1);
+  cfg.mean_interarrival = Duration::seconds(20.0);
+  return cfg;
+}
+
+void BM_ExperimentEpidemic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_experiment(small_experiment(core::Protocol::Epidemic)));
+  }
+}
+BENCHMARK(BM_ExperimentEpidemic)->Unit(benchmark::kMillisecond);
+
+void BM_ExperimentG2GEpidemic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_experiment(small_experiment(core::Protocol::G2GEpidemic)));
+  }
+}
+BENCHMARK(BM_ExperimentG2GEpidemic)->Unit(benchmark::kMillisecond);
+
+void BM_ExperimentG2GDelegation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_experiment(small_experiment(core::Protocol::G2GDelegationLastContact)));
+  }
+}
+BENCHMARK(BM_ExperimentG2GDelegation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

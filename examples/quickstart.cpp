@@ -1,0 +1,45 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// Builds a synthetic social contact trace, runs Give2Get Epidemic Forwarding
+// over it with the paper's workload, and prints delivery/cost/delay — all
+// through the high-level core API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "g2g/core/experiment.hpp"
+
+int main() {
+  using namespace g2g;
+  using namespace g2g::core;
+
+  // 1. Pick a scenario: the Infocom'05 stand-in (41 conference attendees,
+  //    3 days of contacts, 4 social groups).
+  ExperimentConfig config;
+  config.scenario = infocom05_scenario();
+  config.protocol = Protocol::G2GEpidemic;
+  config.seed = 2026;
+
+  // 2. Run the paper's workload: one message every 4 seconds for 2 hours,
+  //    simulated over a 3-hour window, uniform random sources/destinations.
+  const ExperimentResult result = run_experiment(config);
+
+  // 3. Inspect the outcome.
+  std::printf("Give2Get Epidemic Forwarding on %s\n", config.scenario.name.c_str());
+  std::printf("  messages generated : %zu\n", result.generated);
+  std::printf("  delivered          : %zu (%.1f%%)\n", result.delivered,
+              result.success_rate * 100.0);
+  std::printf("  avg delay          : %.1f minutes\n",
+              result.delay_seconds.mean() / 60.0);
+  std::printf("  avg cost           : %.1f replicas/message\n", result.avg_replicas);
+  std::printf("  communities found  : %zu (k-clique percolation)\n",
+              result.community_count);
+
+  // 4. Per-node accounting is available too.
+  const metrics::NodeCosts& costs = result.collector.costs(NodeId(0));
+  std::printf("  node 0 sent %.1f kB over %llu sessions, %llu signatures\n",
+              static_cast<double>(costs.bytes_sent) / 1024.0,
+              static_cast<unsigned long long>(costs.sessions),
+              static_cast<unsigned long long>(costs.signatures));
+  return 0;
+}

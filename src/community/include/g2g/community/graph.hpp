@@ -1,0 +1,55 @@
+// Weighted contact graph derived from a trace.
+//
+// Nodes are devices; an edge connects a pair whose accumulated contact
+// history over the trace exceeds a familiarity threshold. This graph is the
+// input to k-clique percolation (kclique.hpp), mirroring the paper's use of
+// the Palla et al. algorithm on each data trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "g2g/trace/contact.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::community {
+
+struct ContactGraphConfig {
+  /// A pair becomes an edge if it met at least this many times...
+  std::size_t min_contacts = 3;
+  /// ...or accumulated at least this much total contact time.
+  Duration min_total_duration = Duration::minutes(10);
+
+  /// Thresholds proportional to the trace length, so an 11-day trace demands
+  /// the same *familiarity rate* as a 3-day one: `contacts_per_day` meetings
+  /// or `minutes_per_day` minutes of co-location per day of trace.
+  [[nodiscard]] static ContactGraphConfig for_span(Duration span,
+                                                   double contacts_per_day = 20.0,
+                                                   double minutes_per_day = 80.0);
+};
+
+/// Undirected simple graph with dense adjacency over node ids [0, n).
+class ContactGraph {
+ public:
+  explicit ContactGraph(std::size_t node_count);
+  /// Build from a finalized trace by thresholding pair contact history.
+  ContactGraph(const trace::ContactTrace& trace, const ContactGraphConfig& config);
+
+  void add_edge(NodeId a, NodeId b);
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] std::size_t node_count() const { return n_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId a) const;
+  [[nodiscard]] std::size_t degree(NodeId a) const;
+
+ private:
+  std::size_t n_;
+  std::size_t edges_ = 0;
+  std::vector<bool> adj_;  // n*n dense matrix
+
+  [[nodiscard]] std::size_t index(NodeId a, NodeId b) const {
+    return static_cast<std::size_t>(a.value()) * n_ + b.value();
+  }
+};
+
+}  // namespace g2g::community

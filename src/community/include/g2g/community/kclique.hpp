@@ -1,0 +1,45 @@
+// k-clique percolation community detection (Palla et al., Nature 2005).
+//
+// Two k-cliques are adjacent if they share k-1 nodes; a community is a
+// connected component of k-clique adjacency. We implement the standard
+// maximal-clique formulation: enumerate maximal cliques (Bron–Kerbosch with
+// pivoting), keep those of size >= k, and union two of them whenever their
+// overlap is >= k-1. Communities may overlap, exactly as in the paper's
+// "selfish with outsiders" experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "g2g/community/graph.hpp"
+#include "g2g/util/ids.hpp"
+
+namespace g2g::community {
+
+/// All maximal cliques of the graph (each sorted ascending).
+[[nodiscard]] std::vector<std::vector<NodeId>> maximal_cliques(const ContactGraph& graph);
+
+/// Overlapping communities: which nodes share a social group.
+class CommunityMap {
+ public:
+  CommunityMap() = default;
+  /// Build from explicit (possibly overlapping) node groups.
+  CommunityMap(std::size_t node_count, std::vector<std::vector<NodeId>> groups);
+
+  [[nodiscard]] const std::vector<std::vector<NodeId>>& groups() const { return groups_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  /// True iff a and b belong to at least one common community.
+  [[nodiscard]] bool same_community(NodeId a, NodeId b) const;
+  /// Communities containing n (empty for isolated nodes).
+  [[nodiscard]] std::vector<std::size_t> groups_of(NodeId n) const;
+
+ private:
+  std::size_t node_count_ = 0;
+  std::vector<std::vector<NodeId>> groups_;
+  std::vector<std::vector<bool>> membership_;  // [group][node]
+};
+
+/// Run k-clique percolation on the graph. Requires k >= 2.
+[[nodiscard]] CommunityMap k_clique_communities(const ContactGraph& graph, std::size_t k = 3);
+
+}  // namespace g2g::community

@@ -1,0 +1,186 @@
+#include "g2g/community/kclique.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace g2g::community {
+
+namespace {
+
+/// Bron–Kerbosch with pivoting over dense adjacency.
+class CliqueEnumerator {
+ public:
+  explicit CliqueEnumerator(const ContactGraph& graph) : g_(graph) {}
+
+  std::vector<std::vector<NodeId>> run() {
+    std::vector<NodeId> r;
+    std::vector<NodeId> p;
+    std::vector<NodeId> x;
+    for (std::size_t i = 0; i < g_.node_count(); ++i) {
+      p.emplace_back(static_cast<std::uint32_t>(i));
+    }
+    expand(r, p, x);
+    return std::move(out_);
+  }
+
+ private:
+  void expand(std::vector<NodeId>& r, std::vector<NodeId> p, std::vector<NodeId> x) {
+    if (p.empty() && x.empty()) {
+      if (!r.empty()) {
+        auto clique = r;
+        std::sort(clique.begin(), clique.end());
+        out_.push_back(std::move(clique));
+      }
+      return;
+    }
+    // Pivot: vertex of P ∪ X with most neighbors in P minimizes branching.
+    NodeId pivot = NodeId::invalid();
+    std::size_t best = 0;
+    bool first = true;
+    for (const auto& set : {p, x}) {
+      for (const NodeId u : set) {
+        const std::size_t cnt = count_neighbors_in(u, p);
+        if (first || cnt > best) {
+          pivot = u;
+          best = cnt;
+          first = false;
+        }
+      }
+    }
+    std::vector<NodeId> candidates;
+    for (const NodeId v : p) {
+      if (!g_.has_edge(pivot, v)) candidates.push_back(v);
+    }
+    for (const NodeId v : candidates) {
+      r.push_back(v);
+      expand(r, intersect_neighbors(v, p), intersect_neighbors(v, x));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  [[nodiscard]] std::size_t count_neighbors_in(NodeId u, const std::vector<NodeId>& set) const {
+    std::size_t cnt = 0;
+    for (const NodeId v : set) {
+      if (g_.has_edge(u, v)) ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] std::vector<NodeId> intersect_neighbors(NodeId u,
+                                                        const std::vector<NodeId>& set) const {
+    std::vector<NodeId> out;
+    for (const NodeId v : set) {
+      if (g_.has_edge(u, v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  const ContactGraph& g_;
+  std::vector<std::vector<NodeId>> out_;
+};
+
+/// Plain union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::size_t sorted_overlap(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t cnt = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++cnt;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> maximal_cliques(const ContactGraph& graph) {
+  return CliqueEnumerator(graph).run();
+}
+
+CommunityMap::CommunityMap(std::size_t node_count, std::vector<std::vector<NodeId>> groups)
+    : node_count_(node_count), groups_(std::move(groups)) {
+  membership_.assign(groups_.size(), std::vector<bool>(node_count_, false));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const NodeId n : groups_[g]) {
+      if (n.value() >= node_count_) throw std::out_of_range("community node out of range");
+      membership_[g][n.value()] = true;
+    }
+  }
+}
+
+bool CommunityMap::same_community(NodeId a, NodeId b) const {
+  if (a.value() >= node_count_ || b.value() >= node_count_) return false;
+  for (const auto& members : membership_) {
+    if (members[a.value()] && members[b.value()]) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> CommunityMap::groups_of(NodeId n) const {
+  std::vector<std::size_t> out;
+  if (n.value() >= node_count_) return out;
+  for (std::size_t g = 0; g < membership_.size(); ++g) {
+    if (membership_[g][n.value()]) out.push_back(g);
+  }
+  return out;
+}
+
+CommunityMap k_clique_communities(const ContactGraph& graph, std::size_t k) {
+  if (k < 2) throw std::invalid_argument("k must be >= 2");
+  std::vector<std::vector<NodeId>> cliques;
+  for (auto& c : maximal_cliques(graph)) {
+    if (c.size() >= k) cliques.push_back(std::move(c));
+  }
+  UnionFind uf(cliques.size());
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    for (std::size_t j = i + 1; j < cliques.size(); ++j) {
+      if (sorted_overlap(cliques[i], cliques[j]) >= k - 1) uf.unite(i, j);
+    }
+  }
+  std::vector<std::vector<NodeId>> groups;
+  std::vector<std::size_t> root_to_group(cliques.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < cliques.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    if (root_to_group[root] == static_cast<std::size_t>(-1)) {
+      root_to_group[root] = groups.size();
+      groups.emplace_back();
+    }
+    auto& members = groups[root_to_group[root]];
+    members.insert(members.end(), cliques[i].begin(), cliques[i].end());
+  }
+  for (auto& g : groups) {
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+  }
+  return CommunityMap(graph.node_count(), std::move(groups));
+}
+
+}  // namespace g2g::community

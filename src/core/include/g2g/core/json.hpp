@@ -1,0 +1,24 @@
+// JSON export of experiment results, for external plotting/analysis.
+//
+// Deliberately dependency-free: a tiny writer that covers exactly what the
+// result structures need (objects, arrays, strings, numbers, booleans).
+// Output is deterministic (fixed key order, fixed float formatting).
+#pragma once
+
+#include <string>
+
+#include "g2g/core/experiment.hpp"
+
+namespace g2g::core {
+
+/// Serialize a full experiment result: headline metrics, per-message
+/// records, per-node costs, detection events, and the deviant set.
+[[nodiscard]] std::string to_json(const ExperimentResult& result);
+
+/// Serialize an aggregate (the mean/min/max rollup used by the benches).
+[[nodiscard]] std::string to_json(const AggregateResult& aggregate);
+
+/// Escape a string for embedding in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace g2g::core

@@ -1,0 +1,28 @@
+// Parallel sweep execution.
+//
+// Individual experiments are strictly single-threaded and deterministic;
+// a sweep over configurations (a figure's x axis, a seed ensemble) is
+// embarrassingly parallel. run_parallel farms the configs over a thread
+// pool and returns results in input order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "g2g/core/experiment.hpp"
+
+namespace g2g::core {
+
+/// Run every config, using up to `threads` worker threads (0 = hardware
+/// concurrency). Results are positionally aligned with `configs`. Exceptions
+/// from any run are rethrown on the calling thread after all workers join.
+[[nodiscard]] std::vector<ExperimentResult> run_parallel(
+    const std::vector<ExperimentConfig>& configs, std::size_t threads = 0);
+
+/// Convenience: run `base` under seeds seed, seed+1, ..., seed+runs-1 in
+/// parallel and aggregate exactly like run_repeated.
+[[nodiscard]] AggregateResult run_repeated_parallel(const ExperimentConfig& base,
+                                                    std::size_t runs,
+                                                    std::size_t threads = 0);
+
+}  // namespace g2g::core

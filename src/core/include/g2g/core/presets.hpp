@@ -1,0 +1,31 @@
+// Scenario presets reproducing the paper's experimental settings (Section V):
+// trace stand-ins plus the per-scenario protocol timeouts.
+//
+//   * Infocom 05:  Epidemic TTL/Delta1 = 30 min, Delegation Delta1 = 45 min
+//   * Cambridge 06: Epidemic TTL/Delta1 = 35 min, Delegation Delta1 = 75 min
+//   * Delta2 = 2 * Delta1 everywhere; quality timeframe = 34 min.
+#pragma once
+
+#include <string>
+
+#include "g2g/trace/synthetic.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::core {
+
+struct Scenario {
+  std::string name;
+  trace::SyntheticConfig trace_config;
+  Duration epidemic_delta1 = Duration::minutes(30);
+  Duration delegation_delta1 = Duration::minutes(45);
+  Duration quality_frame = Duration::minutes(34);
+  /// k of the k-clique community detection run on the trace.
+  std::size_t kclique_k = 3;
+  /// Where inside the multi-day trace the 3-hour experiment window starts.
+  TimePoint window_start = TimePoint::from_seconds(26.0 * 3600.0);
+};
+
+[[nodiscard]] Scenario infocom05_scenario(std::uint64_t trace_seed = 1);
+[[nodiscard]] Scenario cambridge06_scenario(std::uint64_t trace_seed = 1);
+
+}  // namespace g2g::core

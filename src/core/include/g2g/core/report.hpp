@@ -1,0 +1,32 @@
+// Plain-text table and CSV reporting used by the bench harness to print the
+// rows/series of each paper table and figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace g2g::core {
+
+/// Fixed-width text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_minutes(double minutes, int precision = 1);
+
+}  // namespace g2g::core

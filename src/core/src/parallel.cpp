@@ -1,0 +1,68 @@
+#include "g2g/core/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace g2g::core {
+
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                           std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, configs.size()));
+
+  std::vector<ExperimentResult> results(configs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size() || failed.load()) return;
+      try {
+        results[i] = run_experiment(configs[i]);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+AggregateResult run_repeated_parallel(const ExperimentConfig& base, std::size_t runs,
+                                      std::size_t threads) {
+  std::vector<ExperimentConfig> configs(std::max<std::size_t>(1, runs), base);
+  for (std::size_t i = 0; i < configs.size(); ++i) configs[i].seed = base.seed + i;
+  const auto results = run_parallel(configs, threads);
+
+  AggregateResult agg;
+  for (const auto& r : results) {
+    agg.success_rate.add(r.success_rate);
+    if (!r.delay_seconds.empty()) agg.avg_delay_s.add(r.delay_seconds.mean());
+    agg.avg_replicas.add(r.avg_replicas);
+    if (r.deviant_count > 0) {
+      agg.detection_rate.add(r.detection_rate);
+      if (!r.detection_minutes_after_delta1.empty()) {
+        agg.detection_minutes.add(r.detection_minutes_after_delta1.mean());
+      }
+    }
+    agg.false_positives += r.false_positives;
+  }
+  return agg;
+}
+
+}  // namespace g2g::core

@@ -1,0 +1,29 @@
+#include "g2g/core/presets.hpp"
+
+namespace g2g::core {
+
+Scenario infocom05_scenario(std::uint64_t trace_seed) {
+  Scenario s;
+  s.name = "infocom05";
+  s.trace_config = trace::infocom05(trace_seed);
+  s.epidemic_delta1 = Duration::minutes(30);
+  s.delegation_delta1 = Duration::minutes(45);
+  s.kclique_k = 4;
+  // Day 2 of the conference, mid-morning: dense contact period.
+  s.window_start = TimePoint::from_seconds(26.0 * 3600.0);
+  return s;
+}
+
+Scenario cambridge06_scenario(std::uint64_t trace_seed) {
+  Scenario s;
+  s.name = "cambridge06";
+  s.trace_config = trace::cambridge06(trace_seed);
+  s.epidemic_delta1 = Duration::minutes(35);
+  s.delegation_delta1 = Duration::minutes(75);
+  s.kclique_k = 3;
+  // Day 3, working hours (the trace has a diurnal cycle).
+  s.window_start = TimePoint::from_seconds((2.0 * 24.0 + 10.0) * 3600.0);
+  return s;
+}
+
+}  // namespace g2g::core

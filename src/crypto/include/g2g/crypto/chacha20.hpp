@@ -1,0 +1,31 @@
+// ChaCha20 stream cipher (RFC 8439 core).
+//
+// Used for (a) the symmetric session encryption negotiated at contact start
+// and (b) the E_k(m) step of the relay phase, where the message is handed
+// over encrypted under a random key k that the giver reveals only after
+// receiving the proof of relay.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "g2g/util/bytes.hpp"
+
+namespace g2g::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// XOR-encrypt/decrypt `data` (the operation is an involution).
+[[nodiscard]] Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                 BytesView data, std::uint32_t initial_counter = 0);
+
+/// Derive a key/nonce pair from arbitrary key material (e.g. a DH shared
+/// secret or a randomly drawn 64-bit relay key).
+[[nodiscard]] ChaChaKey derive_chacha_key(BytesView material);
+[[nodiscard]] ChaChaNonce derive_chacha_nonce(BytesView material);
+
+}  // namespace g2g::crypto

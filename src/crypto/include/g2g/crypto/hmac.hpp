@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104) and the paper's "heavy HMAC".
+//
+// The test phase of G2G Epidemic Forwarding challenges a relay that claims to
+// still store message m with a random seed s; the relay must answer with a
+// keyed MAC "designed ... to be heavy to compute" so that silently storing a
+// message is never cheaper than relaying it. HeavyHmac implements that as an
+// iterated HMAC chain whose iteration count is the energy-cost knob.
+#pragma once
+
+#include <cstdint>
+
+#include "g2g/crypto/sha256.hpp"
+#include "g2g/util/bytes.hpp"
+
+namespace g2g::crypto {
+
+/// One-shot HMAC-SHA256 over `data` with key `key`.
+[[nodiscard]] Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Iterated HMAC used as the storage-proof challenge.
+///
+/// heavy_hmac(m, s, n) = H_n where H_0 = HMAC(s, m) and
+/// H_i = HMAC(s, H_{i-1} || m-digest). Each iteration re-keys from the seed so
+/// the chain cannot be precomputed before the seed is revealed.
+[[nodiscard]] Digest heavy_hmac(BytesView message, BytesView seed, std::uint32_t iterations);
+
+/// Constant-time digest comparison.
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace g2g::crypto

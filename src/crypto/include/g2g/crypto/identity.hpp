@@ -1,0 +1,72 @@
+// Node identities and authority-signed certificates.
+//
+// The paper's trust model: every node holds a key pair whose public key is
+// signed by an authority trusted by all nodes; the authority is never used
+// online. Certificates are exchanged at contact start to authenticate both
+// endpoints before the session key is derived.
+#pragma once
+
+#include <optional>
+
+#include "g2g/crypto/suite.hpp"
+#include "g2g/util/bytes.hpp"
+#include "g2g/util/ids.hpp"
+
+namespace g2g::crypto {
+
+struct SealedBox;  // sealed_box.hpp
+
+/// Binding (node id, public key) signed by the authority.
+struct Certificate {
+  NodeId node;
+  Bytes public_key;
+  Bytes authority_signature;
+
+  /// Canonical bytes covered by the authority signature.
+  [[nodiscard]] Bytes signed_payload() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Certificate decode(BytesView b);
+};
+
+/// Offline certification authority. Only used at network setup.
+class Authority {
+ public:
+  Authority(SuitePtr suite, Rng& rng);
+
+  [[nodiscard]] Certificate issue(NodeId node, BytesView public_key) const;
+  [[nodiscard]] const Bytes& public_key() const { return keys_.public_key; }
+
+ private:
+  SuitePtr suite_;
+  KeyPair keys_;
+};
+
+/// Verify a certificate against the authority public key.
+[[nodiscard]] bool check_certificate(const Suite& suite, BytesView authority_public_key,
+                                     const Certificate& cert);
+
+/// A node's long-term cryptographic identity: key pair + certificate.
+class NodeIdentity {
+ public:
+  NodeIdentity(SuitePtr suite, NodeId node, const Authority& authority, Rng& rng);
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] const Certificate& certificate() const { return cert_; }
+  [[nodiscard]] const Bytes& public_key() const { return keys_.public_key; }
+  [[nodiscard]] const Suite& suite() const { return *suite_; }
+
+  [[nodiscard]] Bytes sign(BytesView message) const;
+  [[nodiscard]] bool verify_from(const Certificate& peer, BytesView message,
+                                 BytesView signature) const;
+  [[nodiscard]] Bytes shared_secret_with(BytesView peer_public_key) const;
+  /// Decrypt a sealed box addressed to this identity (see sealed_box.hpp).
+  [[nodiscard]] Bytes open_box(const SealedBox& box) const;
+
+ private:
+  SuitePtr suite_;
+  NodeId node_;
+  KeyPair keys_;
+  Certificate cert_;
+};
+
+}  // namespace g2g::crypto

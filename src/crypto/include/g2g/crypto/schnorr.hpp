@@ -1,0 +1,64 @@
+// Schnorr signatures over a prime-order subgroup of Z_p*.
+//
+// The paper assumes every node can sign messages with a certified public key
+// (it suggests elliptic-curve signatures). We substitute a classic
+// finite-field Schnorr scheme: identical protocol role (existentially
+// unforgeable signatures for proofs of relay / misbehaviour, certificates),
+// different group. Parameters are generated deterministically and are
+// simulation-grade, NOT production-secure (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "g2g/crypto/sha256.hpp"
+#include "g2g/crypto/uint256.hpp"
+#include "g2g/util/bytes.hpp"
+#include "g2g/util/rng.hpp"
+
+namespace g2g::crypto {
+
+/// Group parameters: p prime, q prime dividing p-1, g of order q.
+struct SchnorrGroup {
+  U256 p;
+  U256 q;
+  U256 g;
+
+  /// Deterministically generate a fresh group: q a `q_bits` prime, p = q*m + 1
+  /// a `p_bits` prime, g = h^((p-1)/q) != 1.
+  [[nodiscard]] static SchnorrGroup generate(std::size_t p_bits, std::size_t q_bits,
+                                             std::uint64_t seed);
+
+  /// Lazily-generated default group (p: 256 bits, q: 160 bits, fixed seed).
+  [[nodiscard]] static const SchnorrGroup& default_group();
+  /// Smaller group (p: 128 bits, q: 96 bits) for cheap test sweeps.
+  [[nodiscard]] static const SchnorrGroup& small_group();
+
+  /// Sanity checks: p, q prime; q | p-1; g^q = 1; g != 1.
+  [[nodiscard]] bool valid(Rng& rng) const;
+};
+
+struct SchnorrKeyPair {
+  U256 secret;      ///< x in [1, q)
+  U256 public_key;  ///< y = g^x mod p
+};
+
+struct SchnorrSignature {
+  U256 e;  ///< challenge  e = H(r || m) mod q
+  U256 s;  ///< response   s = (k - x*e) mod q
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static SchnorrSignature decode(BytesView b);
+};
+
+[[nodiscard]] SchnorrKeyPair schnorr_keygen(const SchnorrGroup& group, Rng& rng);
+[[nodiscard]] SchnorrSignature schnorr_sign(const SchnorrGroup& group, const U256& secret,
+                                            BytesView message, Rng& rng);
+[[nodiscard]] bool schnorr_verify(const SchnorrGroup& group, const U256& public_key,
+                                  BytesView message, const SchnorrSignature& sig);
+
+/// Static Diffie–Hellman over the same group: both parties compute
+/// g^(x_a * x_b); the result feeds the session-key KDF (chacha20.hpp).
+[[nodiscard]] U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret,
+                                    const U256& peer_public);
+
+}  // namespace g2g::crypto

@@ -1,0 +1,66 @@
+// Pluggable signature/key-agreement suite.
+//
+// Two implementations:
+//  * SchnorrSuite — the real public-key path (schnorr.hpp). Used by default in
+//    examples, unit tests and the crypto micro-benches.
+//  * FastSuite — a symmetric emulation for large simulation sweeps: a
+//    "signature" is HMAC(K_pub, msg) where K_pub = HMAC(suite_seed, pub) is a
+//    per-key MAC key derivable only through the suite (which plays the role of
+//    the unforgeability assumption). Protocol code cannot forge signatures it
+//    did not legitimately produce, which is exactly the property the paper's
+//    mechanisms rely on, at a tiny fraction of the CPU cost.
+//
+// Protocol code is written against this interface only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "g2g/crypto/chacha20.hpp"
+#include "g2g/util/bytes.hpp"
+#include "g2g/util/rng.hpp"
+
+namespace g2g::crypto {
+
+struct KeyPair {
+  Bytes secret_key;
+  Bytes public_key;
+};
+
+/// Abstract signature + key-agreement suite (stateless, shareable).
+class Suite {
+ public:
+  virtual ~Suite() = default;
+
+  [[nodiscard]] virtual KeyPair keygen(Rng& rng) const = 0;
+  [[nodiscard]] virtual Bytes sign(BytesView secret_key, BytesView message) const = 0;
+  [[nodiscard]] virtual bool verify(BytesView public_key, BytesView message,
+                                    BytesView signature) const = 0;
+  /// Key agreement: both endpoints derive the same secret from
+  /// (my secret, peer public). Feeds the session-key KDF.
+  [[nodiscard]] virtual Bytes shared_secret(BytesView my_secret_key,
+                                            BytesView peer_public_key) const = 0;
+  [[nodiscard]] virtual std::size_t signature_size() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using SuitePtr = std::shared_ptr<const Suite>;
+
+struct SchnorrGroup;  // schnorr.hpp
+
+/// Real Schnorr/DH suite over the given group (default_group() if omitted).
+[[nodiscard]] SuitePtr make_schnorr_suite();
+[[nodiscard]] SuitePtr make_schnorr_suite(const SchnorrGroup& group);
+/// Symmetric emulation suite; `seed` is the suite-wide MAC-key seed.
+[[nodiscard]] SuitePtr make_fast_suite(std::uint64_t seed = 0x4732674d41435353ULL);
+
+/// Authenticated symmetric channel keys derived from a shared secret.
+struct SessionKeys {
+  ChaChaKey enc_key;
+  ChaChaNonce nonce;
+};
+
+[[nodiscard]] SessionKeys derive_session_keys(BytesView shared_secret, BytesView transcript);
+
+}  // namespace g2g::crypto

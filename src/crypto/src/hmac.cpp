@@ -1,0 +1,61 @@
+#include "g2g/crypto/hmac.hpp"
+
+#include <array>
+
+namespace g2g::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;
+
+std::array<std::uint8_t, kBlockSize> normalize_key(BytesView key) {
+  std::array<std::uint8_t, kBlockSize> out{};
+  if (key.size() > kBlockSize) {
+    const Digest d = sha256(key);
+    std::copy(d.begin(), d.end(), out.begin());
+  } else {
+    std::copy(key.begin(), key.end(), out.begin());
+  }
+  return out;
+}
+}  // namespace
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  const auto k = normalize_key(key);
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(digest_view(inner_digest));
+  return outer.finish();
+}
+
+Digest heavy_hmac(BytesView message, BytesView seed, std::uint32_t iterations) {
+  // Hash the message once so each iteration touches a fixed-size state; the
+  // cost knob is the iteration count, independent of message length.
+  const Digest m_digest = sha256(message);
+  Digest h = hmac_sha256(seed, message);
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    Writer w(64);
+    w.raw(digest_view(h));
+    w.raw(digest_view(m_digest));
+    h = hmac_sha256(seed, w.bytes());
+  }
+  return h;
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace g2g::crypto

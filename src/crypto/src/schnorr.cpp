@@ -1,0 +1,134 @@
+#include "g2g/crypto/schnorr.hpp"
+
+#include <stdexcept>
+
+namespace g2g::crypto {
+
+namespace {
+
+/// Draw a random odd candidate with exactly `bits` bits.
+U256 random_odd_with_bits(Rng& rng, std::size_t bits) {
+  U256 out;
+  const std::size_t limbs = (bits + 63) / 64;
+  for (std::size_t i = 0; i < limbs; ++i) out.limb[i] = rng.next();
+  const std::size_t top = bits - 1;
+  // Clear everything at/above `bits`, then force the top and bottom bits.
+  for (std::size_t i = bits; i < 256; ++i) out.limb[i / 64] &= ~(1ULL << (i % 64));
+  out.limb[top / 64] |= 1ULL << (top % 64);
+  out.limb[0] |= 1;
+  return out;
+}
+
+U256 challenge(const SchnorrGroup& group, const U256& r, BytesView message) {
+  Writer w(96);
+  w.raw(r.to_bytes_be());
+  w.raw(message);
+  const Digest d = sha256(w.bytes());
+  return mod(U256::from_bytes_be(digest_view(d)), group.q);
+}
+
+}  // namespace
+
+SchnorrGroup SchnorrGroup::generate(std::size_t p_bits, std::size_t q_bits, std::uint64_t seed) {
+  if (p_bits > 256 || q_bits + 2 > p_bits) throw std::invalid_argument("bad group sizes");
+  Rng rng(seed);
+
+  // 1. Find a q_bits prime q.
+  U256 q = random_odd_with_bits(rng, q_bits);
+  while (!is_probable_prime(q, rng)) {
+    bool carry = false;
+    q = add(q, U256(2), carry);
+  }
+
+  // 2. Find m (cofactor, even) such that p = q*m + 1 is prime with p_bits bits.
+  const std::size_t m_bits = p_bits - q_bits;
+  for (;;) {
+    U256 m = random_odd_with_bits(rng, m_bits);
+    m.limb[0] &= ~1ULL;  // make even so p is odd
+    if (m.is_zero()) continue;
+    const U512 pm = mul_full(q, m);
+    for (int i = 4; i < 8; ++i) {
+      if (pm.limb[i] != 0) throw std::logic_error("p overflowed 256 bits");
+    }
+    U256 p;
+    for (int i = 0; i < 4; ++i) p.limb[i] = pm.limb[i];
+    bool carry = false;
+    p = add(p, U256(1), carry);
+    if (p.bit_length() != p_bits) continue;
+    if (!is_probable_prime(p, rng)) continue;
+
+    // 3. Find a generator of the order-q subgroup: g = h^m mod p != 1.
+    for (;;) {
+      const U256 h = add_mod(random_below(rng, sub_mod(p, U256(3), p)), U256(2), p);
+      const U256 g = pow_mod(h, m, p);
+      if (g != U256(1) && !g.is_zero()) {
+        return SchnorrGroup{p, q, g};
+      }
+    }
+  }
+}
+
+const SchnorrGroup& SchnorrGroup::default_group() {
+  static const SchnorrGroup group = generate(256, 160, 0x67326721ULL);
+  return group;
+}
+
+const SchnorrGroup& SchnorrGroup::small_group() {
+  static const SchnorrGroup group = generate(128, 96, 0x67326722ULL);
+  return group;
+}
+
+bool SchnorrGroup::valid(Rng& rng) const {
+  if (!is_probable_prime(p, rng) || !is_probable_prime(q, rng)) return false;
+  bool borrow = false;
+  const U256 p_minus_1 = sub(p, U256(1), borrow);
+  // q | p-1  <=>  (p-1) mod q == 0
+  if (!mod(p_minus_1, q).is_zero()) return false;
+  if (g == U256(1) || g.is_zero()) return false;
+  return pow_mod(g, q, p) == U256(1);
+}
+
+Bytes SchnorrSignature::encode() const {
+  Writer w(64);
+  w.raw(e.to_bytes_be());
+  w.raw(s.to_bytes_be());
+  return std::move(w).take();
+}
+
+SchnorrSignature SchnorrSignature::decode(BytesView b) {
+  if (b.size() != 64) throw DecodeError("bad Schnorr signature length");
+  return SchnorrSignature{U256::from_bytes_be(b.subspan(0, 32)),
+                          U256::from_bytes_be(b.subspan(32, 32))};
+}
+
+SchnorrKeyPair schnorr_keygen(const SchnorrGroup& group, Rng& rng) {
+  bool borrow = false;
+  const U256 x = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
+  return SchnorrKeyPair{x, pow_mod(group.g, x, group.p)};
+}
+
+SchnorrSignature schnorr_sign(const SchnorrGroup& group, const U256& secret, BytesView message,
+                              Rng& rng) {
+  bool borrow = false;
+  const U256 k = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
+  const U256 r = pow_mod(group.g, k, group.p);
+  const U256 e = challenge(group, r, message);
+  const U256 s = sub_mod(k, mul_mod(secret, e, group.q), group.q);
+  return SchnorrSignature{e, s};
+}
+
+bool schnorr_verify(const SchnorrGroup& group, const U256& public_key, BytesView message,
+                    const SchnorrSignature& sig) {
+  if (sig.e >= group.q || sig.s >= group.q) return false;
+  // r' = g^s * y^e mod p;   valid iff H(r' || m) == e
+  const U256 gs = pow_mod(group.g, sig.s, group.p);
+  const U256 ye = pow_mod(public_key, sig.e, group.p);
+  const U256 r = mul_mod(gs, ye, group.p);
+  return challenge(group, r, message) == sig.e;
+}
+
+U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret, const U256& peer_public) {
+  return pow_mod(peer_public, my_secret, group.p);
+}
+
+}  // namespace g2g::crypto

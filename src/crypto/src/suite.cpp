@@ -1,0 +1,133 @@
+#include "g2g/crypto/suite.hpp"
+
+#include <algorithm>
+
+#include "g2g/crypto/hmac.hpp"
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/crypto/sha256.hpp"
+
+namespace g2g::crypto {
+
+namespace {
+
+class SchnorrSuite final : public Suite {
+ public:
+  explicit SchnorrSuite(const SchnorrGroup& group) : group_(group) {}
+
+  KeyPair keygen(Rng& rng) const override {
+    const SchnorrKeyPair kp = schnorr_keygen(group_, rng);
+    return KeyPair{kp.secret.to_bytes_be(), kp.public_key.to_bytes_be()};
+  }
+
+  Bytes sign(BytesView secret_key, BytesView message) const override {
+    // Deterministic nonce derivation (RFC-6979 style): the signing nonce is a
+    // PRF of the secret and the message, so signing needs no ambient RNG.
+    const Digest nd = hmac_sha256(secret_key, message);
+    Rng nonce_rng(U256::from_bytes_be(digest_view(nd)).limb[0] ^
+                  U256::from_bytes_be(digest_view(nd)).limb[2]);
+    return schnorr_sign(group_, U256::from_bytes_be(secret_key), message, nonce_rng).encode();
+  }
+
+  bool verify(BytesView public_key, BytesView message, BytesView signature) const override {
+    if (signature.size() != 64 || public_key.size() != 32) return false;
+    return schnorr_verify(group_, U256::from_bytes_be(public_key), message,
+                          SchnorrSignature::decode(signature));
+  }
+
+  Bytes shared_secret(BytesView my_secret_key, BytesView peer_public_key) const override {
+    const U256 s = dh_shared_secret(group_, U256::from_bytes_be(my_secret_key),
+                                    U256::from_bytes_be(peer_public_key));
+    return s.to_bytes_be();
+  }
+
+  std::size_t signature_size() const override { return 64; }
+  std::string name() const override { return "schnorr-zp"; }
+
+ private:
+  SchnorrGroup group_;
+};
+
+class FastSuite final : public Suite {
+ public:
+  explicit FastSuite(std::uint64_t seed) {
+    Writer w(8);
+    w.u64(seed);
+    seed_ = std::move(w).take();
+  }
+
+  KeyPair keygen(Rng& rng) const override {
+    // public key: 32 random bytes; secret key: pub || mac_key(pub).
+    Bytes pub(32);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::uint64_t v = rng.next();
+      for (std::size_t j = 0; j < 8; ++j) {
+        pub[8 * i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+      }
+    }
+    const Digest mac_key = derive_mac_key(pub);
+    Bytes secret = pub;
+    secret.insert(secret.end(), mac_key.begin(), mac_key.end());
+    return KeyPair{std::move(secret), std::move(pub)};
+  }
+
+  Bytes sign(BytesView secret_key, BytesView message) const override {
+    const Digest d = hmac_sha256(secret_key.subspan(32), message);
+    return digest_bytes(d);
+  }
+
+  bool verify(BytesView public_key, BytesView message, BytesView signature) const override {
+    if (signature.size() != kSha256DigestSize) return false;
+    const Digest mac_key = derive_mac_key(public_key);
+    const Digest expect = hmac_sha256(digest_view(mac_key), message);
+    Digest got{};
+    std::copy(signature.begin(), signature.end(), got.begin());
+    return digest_equal(expect, got);
+  }
+
+  Bytes shared_secret(BytesView my_secret_key, BytesView peer_public_key) const override {
+    // Symmetric in the two endpoints: HMAC(seed, sorted(pub_a, pub_b)).
+    const BytesView my_pub = my_secret_key.subspan(0, 32);
+    Writer w(64);
+    const bool mine_first = std::lexicographical_compare(my_pub.begin(), my_pub.end(),
+                                                         peer_public_key.begin(),
+                                                         peer_public_key.end());
+    if (mine_first) {
+      w.raw(my_pub);
+      w.raw(peer_public_key);
+    } else {
+      w.raw(peer_public_key);
+      w.raw(my_pub);
+    }
+    return digest_bytes(hmac_sha256(seed_, w.bytes()));
+  }
+
+  std::size_t signature_size() const override { return kSha256DigestSize; }
+  std::string name() const override { return "fast-hmac"; }
+
+ private:
+  [[nodiscard]] Digest derive_mac_key(BytesView pub) const { return hmac_sha256(seed_, pub); }
+
+  Bytes seed_;
+};
+
+}  // namespace
+
+SuitePtr make_schnorr_suite() { return make_schnorr_suite(SchnorrGroup::default_group()); }
+
+SuitePtr make_schnorr_suite(const SchnorrGroup& group) {
+  return std::make_shared<SchnorrSuite>(group);
+}
+
+SuitePtr make_fast_suite(std::uint64_t seed) { return std::make_shared<FastSuite>(seed); }
+
+SessionKeys derive_session_keys(BytesView shared_secret, BytesView transcript) {
+  Writer w(shared_secret.size() + transcript.size());
+  w.raw(shared_secret);
+  w.raw(transcript);
+  SessionKeys keys;
+  keys.enc_key = derive_chacha_key(w.bytes());
+  keys.nonce = derive_chacha_nonce(w.bytes());
+  return keys;
+}
+
+}  // namespace g2g::crypto

@@ -1,0 +1,106 @@
+// Simulation metrics: the quantities every table and figure in the paper is
+// built from — delivery, delay, replica cost, control overhead, memory and
+// energy accounting, and misbehaviour-detection events.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "g2g/util/ids.hpp"
+#include "g2g/util/stats.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::metrics {
+
+/// Per-node resource accounting. Drives the payoff function used by the
+/// Nash-equilibrium property tests.
+struct NodeCosts {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t signatures = 0;
+  std::uint64_t verifications = 0;
+  std::uint64_t heavy_hmacs = 0;        // storage-proof challenges computed
+  std::uint64_t sessions = 0;           // authenticated contacts
+  double memory_byte_seconds = 0.0;     // integral of buffer occupancy
+
+  /// Scalar energy in abstract joule-like units; the knobs encode the paper's
+  /// requirement that a heavy HMAC outweighs what storing-without-relaying saves.
+  [[nodiscard]] double energy(double per_byte = 0.001, double per_signature = 1.0,
+                              double per_heavy_hmac = 2000.0) const {
+    return static_cast<double>(bytes_sent + bytes_received) * per_byte +
+           static_cast<double>(signatures + verifications) * per_signature +
+           static_cast<double>(heavy_hmacs) * per_heavy_hmac;
+  }
+};
+
+/// How a misbehaving node was caught.
+enum class DetectionMethod {
+  TestBySender,       // failed POR_RQST challenge (dropper)
+  TestByDestination,  // inconsistent forwarding-quality declaration (liar)
+  ChainCheck,         // broken f_AD = f1_m < f_BD = f2_m < f_CD chain (cheater)
+};
+
+struct DetectionEvent {
+  NodeId culprit;
+  NodeId detector;
+  TimePoint at;
+  DetectionMethod method;
+  /// Detection latency measured from the moment the culprit became testable
+  /// (Delta1 expiry of the relay under test), as in the paper's figures.
+  Duration after_delta1;
+};
+
+class Collector {
+ public:
+  // -- message lifecycle -----------------------------------------------------
+  void message_generated(MessageId id, NodeId src, NodeId dst, TimePoint at);
+  void message_relayed(MessageId id, NodeId from, NodeId to, TimePoint at);
+  void message_delivered(MessageId id, TimePoint at);
+
+  // -- node accounting -------------------------------------------------------
+  [[nodiscard]] NodeCosts& costs(NodeId n);
+  [[nodiscard]] const NodeCosts& costs(NodeId n) const;
+
+  // -- misbehaviour ----------------------------------------------------------
+  void detection(const DetectionEvent& e) { detections_.push_back(e); }
+  void node_evicted(NodeId n, TimePoint at);
+
+  // -- results ---------------------------------------------------------------
+  [[nodiscard]] std::size_t generated_count() const { return messages_.size(); }
+  [[nodiscard]] std::size_t delivered_count() const;
+  [[nodiscard]] double success_rate() const;
+  /// Delays of delivered messages, seconds.
+  [[nodiscard]] Samples delays() const;
+  /// Replicas created per generated message (relay transfers, source copy excluded).
+  [[nodiscard]] double avg_replicas() const;
+  [[nodiscard]] const std::vector<DetectionEvent>& detections() const { return detections_; }
+  [[nodiscard]] std::vector<NodeId> detected_nodes() const;
+  [[nodiscard]] const std::map<NodeId, TimePoint>& evictions() const { return evictions_; }
+  /// First detection event against `n`, if any.
+  [[nodiscard]] std::optional<DetectionEvent> first_detection(NodeId n) const;
+
+  [[nodiscard]] std::uint64_t total_relays() const { return total_relays_; }
+
+  struct MessageRecord {
+    NodeId src;
+    NodeId dst;
+    TimePoint created;
+    std::optional<TimePoint> delivered;
+    std::uint32_t replicas = 0;
+  };
+  [[nodiscard]] const std::map<MessageId, MessageRecord>& messages() const {
+    return messages_;
+  }
+
+ private:
+  std::map<MessageId, MessageRecord> messages_;
+  std::map<NodeId, NodeCosts> costs_;
+  std::vector<DetectionEvent> detections_;
+  std::map<NodeId, TimePoint> evictions_;
+  std::uint64_t total_relays_ = 0;
+};
+
+}  // namespace g2g::metrics

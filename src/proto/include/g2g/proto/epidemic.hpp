@@ -1,0 +1,50 @@
+// Vanilla Epidemic Forwarding (Vahdat & Becker, 2000).
+//
+// Every contact is a forwarding opportunity: if the giver carries a message
+// the taker has not seen, the message is replicated to the taker. Used by the
+// paper as the delay/success-rate optimal (but costly) benchmark, and as the
+// victim of the message-dropper experiments (Fig. 3).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "g2g/proto/node.hpp"
+
+namespace g2g::proto {
+
+class EpidemicNode final : public ProtocolNode {
+ public:
+  using ProtocolNode::ProtocolNode;
+
+  /// Inject a locally-generated message (the node is its source).
+  void generate(const SealedMessage& m);
+
+  /// Run both directions of the forwarding exchange for one contact.
+  static void run_contact(Session& s, EpidemicNode& x, EpidemicNode& y);
+
+  // Introspection (tests).
+  [[nodiscard]] bool carries(const MessageHash& h) const { return buffer_.contains(h); }
+  [[nodiscard]] bool has_seen(const MessageHash& h) const { return seen_.contains(h); }
+  [[nodiscard]] std::size_t buffer_size() const { return buffer_.size(); }
+
+ private:
+  struct Entry {
+    SealedMessage msg;
+    TimePoint expires;  // creation + delta1 (the vanilla TTL), carried along
+    std::size_t bytes = 0;
+  };
+
+  void offer_all(Session& s, EpidemicNode& taker);
+  void receive(Session& s, EpidemicNode& giver, const SealedMessage& m, TimePoint expires);
+  void purge(TimePoint now);
+  void drop_entry(std::map<MessageHash, Entry>::iterator it);
+  /// Finite-buffer extension: evict entries closest to expiry when over cap.
+  void enforce_buffer_cap();
+
+  std::map<MessageHash, Entry> buffer_;
+  std::set<MessageHash> seen_;
+  std::set<MessageHash> mine_;  // messages this node originated
+};
+
+}  // namespace g2g::proto

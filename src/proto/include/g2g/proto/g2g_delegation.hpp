@@ -1,0 +1,106 @@
+// Give2Get Delegation Forwarding (Sections VI–VII).
+//
+// Builds on the G2G Epidemic machinery and adds:
+//  * signed forwarding-quality declarations (FQ_RQST/FQ_RESP, Fig. 6) with
+//    values computed over the last *completed* timeframe, so that the
+//    destination can later cross-check them;
+//  * a decoy destination D' whenever the candidate relay *is* the
+//    destination, so a taker can never tell whether it is the destination
+//    before signing the PoR;
+//  * proofs of relay that carry the message quality f_m at handover and the
+//    taker's declared quality, enabling the sender's chain check
+//    f_AD = f1_m < f_BD = f2_m < f_CD  (catches *cheaters*);
+//  * test by the destination: the source embeds the last two signed
+//    declarations of candidates that failed to qualify; the destination
+//    verifies them against its own symmetric records (catches *liars*).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "g2g/proto/node.hpp"
+#include "g2g/proto/quality.hpp"
+
+namespace g2g::proto {
+
+class G2GDelegationNode final : public ProtocolNode {
+ public:
+  G2GDelegationNode(Env& env, crypto::NodeIdentity identity, NodeConfig config,
+                    BehaviorConfig behavior);
+
+  void generate(const SealedMessage& m);
+  static void run_contact(Session& s, G2GDelegationNode& x, G2GDelegationNode& y);
+
+  void note_encounter(NodeId peer, TimePoint t) override;
+
+  // Introspection (tests).
+  [[nodiscard]] bool stores_message(const MessageHash& h) const;
+  [[nodiscard]] std::size_t por_count(const MessageHash& h) const;
+  [[nodiscard]] bool has_handled(const MessageHash& h) const { return handled_.contains(h); }
+  [[nodiscard]] const EncounterTable& table() const { return table_; }
+  [[nodiscard]] std::size_t pending_test_count() const;
+
+  struct TestResponse {
+    std::vector<ProofOfRelay> pors;
+    std::optional<crypto::Digest> stored_hmac;
+  };
+  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed);
+
+  /// Step 9: answer an FQ_RQST about destination `dst` for message `h`;
+  /// nullopt declines (message already handled). Liars declare value 0.
+  [[nodiscard]] std::optional<QualityDeclaration> respond_fq(Session& s,
+                                                             G2GDelegationNode& giver,
+                                                             const MessageHash& h, NodeId dst);
+
+ private:
+  struct Hold {
+    SealedMessage msg;
+    bool has_msg = false;
+    std::size_t msg_bytes = 0;
+    double fm = 0.0;  // quality label; changed only when forwarded
+    TimePoint received;
+    TimePoint expires;  // stop seeking relays past this point
+    NodeId giver;
+    bool is_source = false;
+    bool is_destination = false;
+    std::vector<ProofOfRelay> pors;
+    std::vector<QualityDeclaration> attachments;       // carried toward D
+    std::deque<QualityDeclaration> failed_candidates;  // source only, last 2
+  };
+
+  struct PendingTest {
+    MessageHash h{};
+    NodeId relay;
+    TimePoint relayed_at;
+    ProofOfRelay por;  // signed by the relay; contains f_AD
+    bool done = false;
+  };
+
+  void purge(TimePoint now);
+  void run_tests(Session& s, G2GDelegationNode& peer);
+  void giver_pass(Session& s, G2GDelegationNode& taker);
+  void complete_relay(Session& s, G2GDelegationNode& giver, const SealedMessage& m,
+                      double new_fm, TimePoint expires,
+                      const std::vector<QualityDeclaration>& attachments);
+  /// Test by the destination: cross-check embedded declarations.
+  void check_attachments(Session& s, const std::vector<QualityDeclaration>& attachments);
+  /// Sender chain check over a relay's presented PoRs; issues a PoM and
+  /// returns false on a detected cheat.
+  bool chain_check(const PendingTest& t, const std::vector<ProofOfRelay>& pors,
+                   NodeId real_dst, TimePoint now);
+  void drop_payload(Hold& hold);
+  [[nodiscard]] NodeId random_decoy(NodeId not_this) const;
+
+  std::map<MessageHash, Hold> hold_;
+  std::set<MessageHash> handled_;
+  std::vector<PendingTest> tests_;
+  /// Ground truth the source needs for chain checks: real destination per
+  /// message it originated.
+  std::map<MessageHash, NodeId> my_message_dst_;
+  EncounterTable table_;
+};
+
+}  // namespace g2g::proto

@@ -1,0 +1,86 @@
+// Give2Get Epidemic Forwarding (Sections IV–V).
+//
+// Three phases:
+//  * Relay (Fig. 1): a 5-step handshake. The giver offers H(m); a willing
+//    taker acknowledges; the message travels encrypted under a fresh key k;
+//    the taker signs a proof of relay (PoR) before k is revealed — so it
+//    commits to having taken the message while it still cannot know whether
+//    it is the destination or a relay.
+//  * Forwarding duty: every holder must hand the message to `relay_fanout`
+//    (= 2) further relays within Delta1, collecting their PoRs. Only then may
+//    it discard the message (keeping the PoRs until Delta2).
+//  * Test (Fig. 2): the source — and only the source, which stays anonymous
+//    to relays — challenges each of its direct relays when re-meeting it in
+//    (Delta1, Delta2]: either show the PoRs, or prove continued storage by
+//    computing a heavy keyed HMAC on a fresh seed. Failure yields a proof of
+//    misbehaviour (the PoR the culprit signed), gossiped network-wide.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "g2g/proto/node.hpp"
+
+namespace g2g::proto {
+
+class G2GEpidemicNode final : public ProtocolNode {
+ public:
+  using ProtocolNode::ProtocolNode;
+
+  void generate(const SealedMessage& m);
+  static void run_contact(Session& s, G2GEpidemicNode& x, G2GEpidemicNode& y);
+
+  // Introspection (tests).
+  [[nodiscard]] bool stores_message(const MessageHash& h) const;
+  [[nodiscard]] std::size_t por_count(const MessageHash& h) const;
+  [[nodiscard]] bool has_handled(const MessageHash& h) const { return handled_.contains(h); }
+  [[nodiscard]] std::size_t pending_test_count() const;
+
+  /// Response to a POR_RQST challenge (public so tests can drive it directly).
+  struct TestResponse {
+    std::vector<ProofOfRelay> pors;
+    std::optional<crypto::Digest> stored_hmac;  // heavy HMAC over (m, seed)
+  };
+  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed);
+
+ private:
+  struct Hold {
+    SealedMessage msg;
+    bool has_msg = false;  // payload still stored (PoRs may outlive it)
+    std::size_t msg_bytes = 0;
+    TimePoint received;
+    TimePoint expires;  // stop seeking relays past this point
+    NodeId giver;
+    bool is_source = false;
+    bool is_destination = false;
+    std::vector<ProofOfRelay> pors;
+  };
+
+  struct PendingTest {
+    MessageHash h{};
+    NodeId relay;
+    TimePoint relayed_at;
+    ProofOfRelay por;  // the PoR the relay signed for us
+    bool done = false;
+  };
+
+  void purge(TimePoint now);
+  void run_tests(Session& s, G2GEpidemicNode& peer);
+  void giver_pass(Session& s, G2GEpidemicNode& taker);
+  /// Taker side of the relay phase, steps 2/4; returns the signed PoR, or
+  /// nullopt if the taker declines (already handled the message).
+  [[nodiscard]] std::optional<ProofOfRelay> accept_relay(Session& s, G2GEpidemicNode& giver,
+                                                         const MessageHash& h);
+  /// Taker side after the key reveal (step 5): store / deliver / drop.
+  void complete_relay(Session& s, G2GEpidemicNode& giver, const SealedMessage& m,
+                      TimePoint expires);
+  void drop_payload(Hold& hold);
+
+  std::map<MessageHash, Hold> hold_;
+  std::set<MessageHash> handled_;
+  std::vector<PendingTest> tests_;  // source role only
+};
+
+}  // namespace g2g::proto

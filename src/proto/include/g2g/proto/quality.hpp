@@ -1,0 +1,60 @@
+// Forwarding-quality bookkeeping for Delegation protocols.
+//
+// Every node records each encounter. Vanilla Delegation uses the *current*
+// quality; G2G Delegation declares the quality computed at the end of the
+// last *completed* timeframe (paper: 34 minutes) and retains the last two
+// completed snapshots, so that a destination can later cross-check a relay's
+// declaration against its own symmetric records (f_BD must equal f_DB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "g2g/proto/wire.hpp"
+#include "g2g/util/ids.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::proto {
+
+class EncounterTable {
+ public:
+  explicit EncounterTable(Duration frame_length = Duration::minutes(34));
+
+  /// Record one encounter with `peer` at time `t` (monotone non-decreasing).
+  void record(NodeId peer, TimePoint t);
+
+  /// Current (up-to-the-second) quality toward `dst` — vanilla Delegation.
+  [[nodiscard]] double current(QualityKind kind, NodeId dst) const;
+
+  /// Timeframe index containing `t`.
+  [[nodiscard]] std::int64_t frame_of(TimePoint t) const {
+    return t.micros() / frame_length_.count();
+  }
+  [[nodiscard]] Duration frame_length() const { return frame_length_; }
+
+  struct Declared {
+    double value = 0.0;
+    std::int64_t frame = -1;
+  };
+  /// Quality as of the end of the last completed timeframe — what a G2G node
+  /// declares in FQ_RESP at time `now`.
+  [[nodiscard]] Declared declared(QualityKind kind, NodeId dst, TimePoint now) const;
+
+  /// Quality toward `dst` as of the end of timeframe `frame`, if that frame
+  /// is still retained at time `now` (the paper keeps the current value plus
+  /// the two previous completed snapshots). nullopt => unverifiable.
+  [[nodiscard]] std::optional<double> value_at_frame(QualityKind kind, NodeId dst,
+                                                     std::int64_t frame, TimePoint now) const;
+
+  [[nodiscard]] std::size_t encounter_count(NodeId peer) const;
+
+ private:
+  /// Quality from encounters strictly before `cutoff`.
+  [[nodiscard]] double value_before(QualityKind kind, NodeId dst, TimePoint cutoff) const;
+
+  Duration frame_length_;
+  std::vector<std::vector<TimePoint>> encounters_;  // [peer] sorted timestamps
+};
+
+}  // namespace g2g::proto

@@ -1,0 +1,132 @@
+// Signed protocol artefacts and control-message sizing.
+//
+// Three artefacts outlive the session that produced them and therefore need
+// real signatures and canonical encodings:
+//   * ProofOfRelay  — PoR, signed by the taker. Epidemic form (Fig. 1 step 4):
+//     ⟨POR, H(m), A, B⟩_B. Delegation form (Fig. 6 step 11) additionally
+//     carries the declared destination D', the message quality f_m at
+//     handover and the taker's declared quality f_BD'.
+//   * QualityDeclaration — ⟨FQ_RESP, B, D', f_BD'⟩_B, with the timeframe the
+//     value was computed in. Stored by sources when a candidate fails, later
+//     embedded toward the destination (test by the destination).
+//   * ProofOfMisbehavior — PoM, gossiped network-wide; whoever verifies it
+//     blacklists the culprit.
+//
+// Transient handshake steps (RELAY_RQST, RELAY_OK, KEY, ...) are not
+// materialized as structs; their wire cost is accounted via the size helpers
+// at the bottom.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "g2g/proto/message.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::proto {
+
+/// Which flavour of forwarding quality a Delegation network runs on.
+enum class QualityKind : std::uint8_t {
+  DestinationFrequency = 0,   ///< encounters with the destination
+  DestinationLastContact = 1, ///< time of last encounter with the destination
+};
+
+[[nodiscard]] const char* to_string(QualityKind kind);
+
+/// Sentinel for "never met the destination". For DestinationLastContact the
+/// quality is the encounter time (possibly negative: history predating the
+/// simulation window), so "never" must rank below every real timestamp.
+inline constexpr double kNeverMet = -1e18;
+
+/// The worst possible declarable quality of a kind — what a *liar* reports
+/// (the paper's "forwarding quality equal to 0" generalized to both kinds).
+[[nodiscard]] double min_quality(QualityKind kind);
+
+/// ⟨FQ_RESP, B, D', f, frame⟩_B with timestamp.
+struct QualityDeclaration {
+  NodeId declarer;
+  NodeId dst;
+  double value = 0.0;
+  std::int64_t frame = -1;  ///< completed timeframe the value was computed in
+  TimePoint at;             ///< when the declaration was made
+  Bytes signature;
+
+  [[nodiscard]] Bytes signed_payload() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static QualityDeclaration decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Proof of relay, signed by the taker.
+struct ProofOfRelay {
+  MessageHash h{};
+  NodeId giver;
+  NodeId taker;
+  TimePoint at;
+
+  /// Delegation extension (ignored for epidemic PoRs).
+  bool delegation = false;
+  NodeId declared_dst;         ///< D' (the real destination or a decoy)
+  double msg_quality = 0.0;    ///< f_m the giver attached at handover
+  double taker_quality = 0.0;  ///< f_BD' the taker declared
+  std::int64_t quality_frame = -1;
+
+  Bytes taker_signature;
+
+  [[nodiscard]] Bytes signed_payload() const;
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ProofOfRelay decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Network-wide accusation with verifiable evidence.
+struct ProofOfMisbehavior {
+  enum class Kind : std::uint8_t {
+    RelayFailure = 0,  ///< culprit signed a PoR but failed the storage test
+    QualityLie = 1,    ///< culprit's signed declaration contradicts the destination
+    ChainCheat = 2,    ///< culprit's outgoing PoR contradicts its incoming PoR
+  };
+
+  Kind kind = Kind::RelayFailure;
+  NodeId culprit;
+  NodeId accuser;
+  TimePoint at;
+
+  /// RelayFailure: the PoR the culprit signed when accepting the message.
+  /// ChainCheat: the PoR the *culprit* signed for the accuser (shows f_AD)...
+  std::optional<ProofOfRelay> evidence_accepted;
+  /// ChainCheat: ...and the PoR the culprit presented (signed by the next
+  /// relay, shows the f1_m the culprit attached).
+  std::optional<ProofOfRelay> evidence_forwarded;
+  /// QualityLie: the culprit's signed declaration.
+  std::optional<QualityDeclaration> evidence_declaration;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Verify a PoM's internal evidence against the roster (signature checks plus
+/// the ChainCheat arithmetic). QualityLie accusations additionally rely on
+/// the accuser's own records, which third parties accept (the destination has
+/// no interest in lying — Section VI-A).
+[[nodiscard]] bool verify_pom(const crypto::Suite& suite, const Roster& roster,
+                              const ProofOfMisbehavior& pom);
+
+/// Approximate wire sizes of transient handshake steps, for cost accounting.
+/// `sig` is the suite's signature size.
+namespace wire {
+[[nodiscard]] constexpr std::size_t relay_rqst(std::size_t sig) { return 1 + 32 + sig; }
+[[nodiscard]] constexpr std::size_t relay_ok(std::size_t sig) { return 1 + 32 + sig; }
+[[nodiscard]] constexpr std::size_t relay_data(std::size_t sig, std::size_t msg_bytes) {
+  return 1 + 32 + 8 + msg_bytes + sig;
+}
+[[nodiscard]] constexpr std::size_t key_reveal(std::size_t sig) { return 1 + 32 + 32 + sig; }
+[[nodiscard]] constexpr std::size_t por_rqst(std::size_t sig) { return 1 + 32 + 32 + sig; }
+[[nodiscard]] constexpr std::size_t stored_resp(std::size_t sig) {
+  return 1 + 32 + 32 + 32 + sig;
+}
+[[nodiscard]] constexpr std::size_t fq_rqst(std::size_t sig) { return 1 + 32 + 4 + sig; }
+[[nodiscard]] constexpr std::size_t certificate(std::size_t sig) { return 4 + 32 + sig; }
+}  // namespace wire
+
+}  // namespace g2g::proto

@@ -1,0 +1,105 @@
+#include "g2g/proto/epidemic.hpp"
+
+#include <vector>
+
+namespace g2g::proto {
+
+void EpidemicNode::generate(const SealedMessage& m) {
+  const MessageHash h = m.hash();
+  Entry e;
+  e.msg = m;
+  e.expires = env_.now() + config().delta1;
+  e.bytes = m.wire_size();
+  buffer_changed(static_cast<std::int64_t>(e.bytes));
+  buffer_.emplace(h, std::move(e));
+  seen_.insert(h);
+  mine_.insert(h);
+}
+
+void EpidemicNode::run_contact(Session& s, EpidemicNode& x, EpidemicNode& y) {
+  x.purge(s.now());
+  y.purge(s.now());
+  x.offer_all(s, y);
+  y.offer_all(s, x);
+}
+
+void EpidemicNode::offer_all(Session& s, EpidemicNode& taker) {
+  // A hoarder free-rides: it only spends transmit energy on its own traffic.
+  const bool hoarding =
+      behavior().kind == Behavior::Hoarder && deviates_with(taker.id());
+  // Summary-vector exchange: one hash per carried message.
+  s.transfer(*this, buffer_.size() * sizeof(MessageHash));
+  // Snapshot hashes first: receive() on the peer can trigger no mutation on
+  // this node, but keep iteration robust anyway.
+  std::vector<MessageHash> offered;
+  offered.reserve(buffer_.size());
+  for (const auto& [h, e] : buffer_) {
+    if (hoarding && !mine_.contains(h)) continue;
+    offered.push_back(h);
+  }
+  for (const MessageHash& h : offered) {
+    if (s.exhausted()) break;  // contact too short to carry more
+    const auto it = buffer_.find(h);
+    if (it == buffer_.end()) continue;
+    if (taker.seen_.contains(h)) continue;
+    s.transfer(*this, it->second.bytes);
+    taker.receive(s, *this, it->second.msg, it->second.expires);
+  }
+}
+
+void EpidemicNode::receive(Session& s, EpidemicNode& giver, const SealedMessage& m,
+                           TimePoint expires) {
+  const MessageHash h = m.hash();
+  seen_.insert(h);
+  s.env().notify_relayed(h, giver.id(), id());
+
+  if (m.dst == id()) {
+    const auto opened = open_message(identity(), m, s.env().roster());
+    count_verification();  // inner sender-signature check
+    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, id());
+    return;  // destinations consume; `seen_` suppresses re-reception
+  }
+
+  // A message dropper "uses the system to send and receive messages and
+  // just drops every message it happens to relay" (Section V).
+  if (behavior().kind == Behavior::Dropper && deviates_with(giver.id())) return;
+
+  Entry e;
+  e.msg = m;
+  e.expires = expires;
+  e.bytes = m.wire_size();
+  buffer_changed(static_cast<std::int64_t>(e.bytes));
+  buffer_.emplace(h, std::move(e));
+  enforce_buffer_cap();
+}
+
+void EpidemicNode::enforce_buffer_cap() {
+  const std::size_t cap = config().max_buffer_messages;
+  if (cap == 0) return;
+  while (buffer_.size() > cap) {
+    // Evict the entry closest to expiry: it has the least forwarding value.
+    auto victim = buffer_.begin();
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (it->second.expires < victim->second.expires) victim = it;
+    }
+    drop_entry(victim);
+  }
+}
+
+void EpidemicNode::purge(TimePoint now) {
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (it->second.expires <= now) {
+      auto dead = it++;
+      drop_entry(dead);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EpidemicNode::drop_entry(std::map<MessageHash, Entry>::iterator it) {
+  buffer_changed(-static_cast<std::int64_t>(it->second.bytes));
+  buffer_.erase(it);
+}
+
+}  // namespace g2g::proto

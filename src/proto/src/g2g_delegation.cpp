@@ -1,0 +1,462 @@
+#include "g2g/proto/g2g_delegation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "g2g/crypto/hmac.hpp"
+
+namespace g2g::proto {
+
+namespace {
+
+constexpr double kQualityEps = 1e-9;
+
+Bytes random_seed(Rng& rng) {
+  Writer w(32);
+  for (int i = 0; i < 4; ++i) w.u64(rng.next());
+  return std::move(w).take();
+}
+
+bool quality_mismatch(double a, double b) { return std::abs(a - b) > kQualityEps; }
+
+}  // namespace
+
+G2GDelegationNode::G2GDelegationNode(Env& env, crypto::NodeIdentity identity,
+                                     NodeConfig config, BehaviorConfig behavior)
+    : ProtocolNode(env, std::move(identity), config, behavior),
+      table_(config.quality_frame) {}
+
+void G2GDelegationNode::note_encounter(NodeId peer, TimePoint t) { table_.record(peer, t); }
+
+void G2GDelegationNode::generate(const SealedMessage& m) {
+  const MessageHash h = m.hash();
+  Hold hold;
+  hold.msg = m;
+  hold.has_msg = true;
+  hold.msg_bytes = m.wire_size();
+  hold.fm = table_.current(config().quality_kind, m.dst);
+  hold.received = env_.now();
+  hold.expires = env_.now() + config().delta1;
+  hold.giver = id();
+  hold.is_source = true;
+  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+  handled_.insert(h);
+  my_message_dst_.emplace(h, m.dst);
+}
+
+void G2GDelegationNode::run_contact(Session& s, G2GDelegationNode& x, G2GDelegationNode& y) {
+  x.purge(s.now());
+  y.purge(s.now());
+  x.run_tests(s, y);
+  y.run_tests(s, x);
+  x.giver_pass(s, y);
+  y.giver_pass(s, x);
+}
+
+void G2GDelegationNode::purge(TimePoint now) {
+  for (auto it = hold_.begin(); it != hold_.end();) {
+    Hold& hold = it->second;
+    const bool expired = now > hold.received + config().delta2;
+    const bool testing = hold.is_source &&
+                         std::any_of(tests_.begin(), tests_.end(), [&](const PendingTest& t) {
+                           return t.h == it->first && !t.done &&
+                                  now <= t.relayed_at + config().delta2;
+                         });
+    if (expired && !testing) {
+      if (hold.has_msg) drop_payload(hold);
+      // Keep the 32-byte hash in `handled_` (no re-reception); drop the rest.
+      my_message_dst_.erase(it->first);
+      it = hold_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(tests_, [&](const PendingTest& t) {
+    return t.done || now > t.relayed_at + config().delta2;
+  });
+}
+
+void G2GDelegationNode::drop_payload(Hold& hold) {
+  buffer_changed(-static_cast<std::int64_t>(hold.msg_bytes));
+  hold.has_msg = false;
+}
+
+NodeId G2GDelegationNode::random_decoy(NodeId not_this) const {
+  const auto n = static_cast<std::uint32_t>(env_.node_count());
+  for (;;) {
+    const NodeId candidate(static_cast<std::uint32_t>(env_.rng().below(n)));
+    if (candidate != not_this && candidate != id()) return candidate;
+  }
+}
+
+void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
+  const TimePoint now = s.now();
+  const std::size_t sig = identity().suite().signature_size();
+
+  std::vector<MessageHash> candidates;
+  for (const auto& [h, hold] : hold_) {
+    if (!hold.has_msg || hold.is_destination) continue;
+    // Hoarders sit on messages and answer storage tests instead of relaying.
+    if (behavior().kind == Behavior::Hoarder && !hold.is_source &&
+        deviates_with(hold.giver)) {
+      continue;
+    }
+    const std::size_t fanout =
+        hold.is_source ? config().source_fanout : config().relay_fanout;
+    if (hold.pors.size() >= fanout) continue;
+    if (now > hold.expires) continue;  // Delta1 / TTL
+    candidates.push_back(h);
+  }
+
+  for (const MessageHash& h : candidates) {
+    if (s.exhausted()) break;  // the contact cannot carry another handshake
+    const auto it = hold_.find(h);
+    if (it == hold_.end() || !it->second.has_msg) continue;
+    Hold& hold = it->second;
+
+    const NodeId real_dst = hold.msg.dst;
+    const bool to_dst = taker.id() == real_dst;
+    // "When the destination of m is B, D' is chosen as a random node
+    // different from B" — B must not learn it is the destination.
+    const NodeId dprime = to_dst ? random_decoy(taker.id()) : real_dst;
+
+    // Step 8: FQ_RQST.
+    s.signed_control(*this, wire::fq_rqst(sig));
+    const auto decl = taker.respond_fq(s, *this, h, dprime);
+    if (!decl.has_value()) continue;  // taker already handled the message
+
+    // Verify the declaration signature (it may be stored as evidence).
+    count_verification();
+    const auto* taker_cert = env_.roster().find(taker.id());
+    const bool decl_ok =
+        taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime &&
+        identity().suite().verify(taker_cert->public_key, decl->signed_payload(),
+                                  decl->signature);
+    if (!decl_ok) continue;
+
+    // A cheater advertises (and labels the message with) a zeroed quality so
+    // any candidate qualifies and it gets rid of the message quickly.
+    const bool cheating = behavior().kind == Behavior::Cheater && deviates_with(taker.id());
+    const double effective_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
+
+    if (!to_dst && decl->value <= effective_fm + kQualityEps) {
+      // Failed candidate. The source archives the last two declarations for
+      // the test by the destination.
+      if (hold.is_source) {
+        hold.failed_candidates.push_back(*decl);
+        while (hold.failed_candidates.size() > 2) hold.failed_candidates.pop_front();
+      }
+      continue;
+    }
+
+    // Step 10: RELAY with f_m and the embedded declarations.
+    std::vector<QualityDeclaration> attachments = hold.attachments;
+    if (hold.is_source) {
+      attachments.assign(hold.failed_candidates.begin(), hold.failed_candidates.end());
+    }
+    std::size_t attach_bytes = 0;
+    for (const auto& a : attachments) attach_bytes += a.wire_size();
+    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes + attach_bytes));
+    const double sent_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
+
+    // Step 11: PoR back from the taker.
+    ProofOfRelay por;
+    por.h = h;
+    por.giver = id();
+    por.taker = taker.id();
+    por.at = now;
+    por.delegation = true;
+    por.declared_dst = dprime;
+    por.msg_quality = sent_fm;
+    por.taker_quality = decl->value;
+    por.quality_frame = decl->frame;
+    taker.count_signature();
+    por.taker_signature = taker.identity().sign(por.signed_payload());
+    s.transfer(taker, por.wire_size());
+
+    count_verification();
+    if (!identity().suite().verify(taker_cert->public_key, por.signed_payload(),
+                                   por.taker_signature)) {
+      continue;
+    }
+    hold.pors.push_back(por);
+
+    // Step 12: KEY.
+    s.signed_control(*this, wire::key_reveal(sig));
+    env_.notify_relayed(h, id(), taker.id());
+
+    // "Label both messages with the forwarding quality of node B" — only on a
+    // true delegation step; a delivery to the destination leaves f_m as-is.
+    if (!to_dst) hold.fm = decl->value;
+    taker.complete_relay(s, *this, hold.msg, to_dst ? hold.fm : decl->value, hold.expires,
+                         attachments);
+
+    if (hold.is_source) {
+      tests_.push_back(PendingTest{h, taker.id(), now, por, false});
+    }
+    if (!hold.is_source && hold.pors.size() >= config().relay_fanout) {
+      drop_payload(hold);
+    }
+  }
+}
+
+std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
+                                                                G2GDelegationNode& giver,
+                                                                const MessageHash& h,
+                                                                NodeId dst) {
+  if (handled_.contains(h)) {
+    const std::size_t sig = identity().suite().signature_size();
+    s.signed_control(*this, wire::relay_ok(sig));  // decline notice
+    return std::nullopt;
+  }
+  QualityDeclaration decl;
+  decl.declarer = id();
+  decl.dst = dst;
+  decl.at = s.now();
+  const auto declared = table_.declared(config().quality_kind, dst, s.now());
+  decl.frame = declared.frame;
+  decl.value = declared.value;
+  if (behavior().kind == Behavior::Liar && deviates_with(giver.id())) {
+    // "Report a forwarding quality equal to 0 any time asked" — i.e. the
+    // worst declarable quality of the configured kind.
+    decl.value = min_quality(config().quality_kind);
+  }
+  count_signature();
+  decl.signature = identity().sign(decl.signed_payload());
+  s.transfer(*this, decl.wire_size());
+  return decl;
+}
+
+void G2GDelegationNode::complete_relay(Session& s, G2GDelegationNode& giver,
+                                       const SealedMessage& m, double new_fm,
+                                       TimePoint expires,
+                                       const std::vector<QualityDeclaration>& attachments) {
+  const MessageHash h = m.hash();
+  handled_.insert(h);
+
+  Hold hold;
+  hold.msg = m;
+  hold.msg_bytes = m.wire_size();
+  hold.fm = new_fm;
+  hold.received = s.now();
+  hold.expires = config().global_ttl ? expires : s.now() + config().delta1;
+  hold.giver = giver.id();
+  hold.attachments = attachments;
+
+  if (m.dst == id()) {
+    const auto opened = open_message(identity(), m, s.env().roster());
+    count_verification();
+    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, id());
+    check_attachments(s, attachments);  // test by the destination
+    hold.is_destination = true;
+    hold.has_msg = true;
+    buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  if (behavior().kind == Behavior::Dropper && deviates_with(giver.id())) {
+    hold.has_msg = false;
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  hold.has_msg = true;
+  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+}
+
+void G2GDelegationNode::check_attachments(Session& s,
+                                          const std::vector<QualityDeclaration>& attachments) {
+  const TimePoint now = s.now();
+  for (const auto& decl : attachments) {
+    if (decl.dst != id()) continue;  // declarations are about quality toward me
+    count_verification();
+    const auto* cert = env_.roster().find(decl.declarer);
+    if (cert == nullptr ||
+        !identity().suite().verify(cert->public_key, decl.signed_payload(),
+                                   decl.signature)) {
+      continue;
+    }
+    // f_BD must equal f_DB for the declared timeframe — both nodes log the
+    // same symmetric encounters.
+    const auto own = table_.value_at_frame(config().quality_kind, decl.declarer, decl.frame, now);
+    if (!own.has_value()) continue;  // frame no longer retained: unverifiable
+    if (quality_mismatch(*own, decl.value)) {
+      ProofOfMisbehavior pom;
+      pom.kind = ProofOfMisbehavior::Kind::QualityLie;
+      pom.culprit = decl.declarer;
+      pom.evidence_declaration = decl;
+      issue_pom(std::move(pom), metrics::DetectionMethod::TestByDestination, now - decl.at);
+    }
+  }
+}
+
+void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
+  const TimePoint now = s.now();
+  const std::size_t sig = identity().suite().signature_size();
+
+  for (PendingTest& t : tests_) {
+    if (s.exhausted()) break;
+    if (t.done || t.relay != peer.id()) continue;
+    if (now < t.relayed_at + config().delta1) continue;
+    if (now > t.relayed_at + config().delta2) continue;
+    t.done = true;
+
+    const auto dst_it = my_message_dst_.find(t.h);
+    if (dst_it == my_message_dst_.end()) continue;  // message record gone
+    const NodeId real_dst = dst_it->second;
+    if (t.relay == real_dst) {
+      // We happened to hand the message to the destination itself; it will
+      // answer with a storage proof, and there is no chain to check.
+    }
+
+    const Bytes seed = random_seed(env_.rng());
+    s.signed_control(*this, wire::por_rqst(sig));
+    const TestResponse resp = peer.respond_test(s, t.h, seed);
+
+    // Chain check runs over every PoR the relay presents.
+    if (!resp.pors.empty() && !chain_check(t, resp.pors, real_dst, now)) {
+      continue;  // cheat detected; PoM already issued
+    }
+
+    if (resp.pors.size() >= config().relay_fanout) {
+      bool all_ok = true;
+      for (const auto& por : resp.pors) {
+        count_verification();
+        const auto* cert = env_.roster().find(por.taker);
+        if (por.h != t.h || por.giver != peer.id() || cert == nullptr ||
+            !identity().suite().verify(cert->public_key, por.signed_payload(),
+                                       por.taker_signature)) {
+          all_ok = false;
+        }
+      }
+      if (all_ok) continue;
+    }
+
+    if (resp.stored_hmac.has_value()) {
+      const auto it = hold_.find(t.h);
+      if (it != hold_.end() && it->second.has_msg) {
+        count_heavy_hmac();
+        const crypto::Digest expect = crypto::heavy_hmac(
+            it->second.msg.encode(), seed, config().heavy_hmac_iterations);
+        if (crypto::digest_equal(expect, *resp.stored_hmac)) continue;
+      } else {
+        continue;
+      }
+    }
+
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = peer.id();
+    pom.evidence_accepted = t.por;
+    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+              now - (t.relayed_at + config().delta1));
+  }
+}
+
+bool G2GDelegationNode::chain_check(const PendingTest& t,
+                                    const std::vector<ProofOfRelay>& pors, NodeId real_dst,
+                                    TimePoint now) {
+  // Presented PoRs in relay order.
+  std::vector<ProofOfRelay> ordered = pors;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ProofOfRelay& a, const ProofOfRelay& b) { return a.at < b.at; });
+
+  // The establishing PoR: the one whose taker_quality is the current f_m.
+  // Initially that is the PoR the tested relay signed for us (f_AD).
+  ProofOfRelay establisher = t.por;
+  double expected_fm = t.por.taker_quality;
+
+  for (const auto& por : ordered) {
+    count_verification();
+    const auto* cert = env_.roster().find(por.taker);
+    if (cert == nullptr || por.h != t.h || por.giver != t.relay ||
+        !identity().suite().verify(cert->public_key, por.signed_payload(),
+                                   por.taker_signature)) {
+      return true;  // malformed PoR: handled by the caller's validity pass
+    }
+
+    const bool claims_decoy = por.declared_dst != real_dst;
+    if (claims_decoy && por.taker != real_dst) {
+      // The relay pretended its taker was the destination (decoy on a
+      // non-destination): a way to dump the message regardless of quality.
+      ProofOfMisbehavior pom;
+      pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+      pom.culprit = t.relay;
+      pom.evidence_accepted = establisher;
+      pom.evidence_forwarded = por;
+      issue_pom(std::move(pom), metrics::DetectionMethod::ChainCheck,
+                now - (t.relayed_at + config().delta1));
+      return false;
+    }
+    const bool is_delivery = por.taker == real_dst;
+
+    // f_m attached on forward must match the quality the chain established.
+    if (quality_mismatch(por.msg_quality, expected_fm)) {
+      ProofOfMisbehavior pom;
+      pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+      pom.culprit = t.relay;
+      pom.evidence_accepted = establisher;
+      pom.evidence_forwarded = por;
+      issue_pom(std::move(pom), metrics::DetectionMethod::ChainCheck,
+                now - (t.relayed_at + config().delta1));
+      return false;
+    }
+    if (!is_delivery) {
+      // Delegation discipline: the taker must actually be better.
+      if (por.taker_quality <= por.msg_quality + kQualityEps) {
+        ProofOfMisbehavior pom;
+        pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+        pom.culprit = t.relay;
+        pom.evidence_accepted = establisher;
+        pom.evidence_forwarded = por;
+        issue_pom(std::move(pom), metrics::DetectionMethod::ChainCheck,
+                  now - (t.relayed_at + config().delta1));
+        return false;
+      }
+      expected_fm = por.taker_quality;
+      establisher = por;
+    }
+  }
+  return true;
+}
+
+G2GDelegationNode::TestResponse G2GDelegationNode::respond_test(Session& s,
+                                                                const MessageHash& h,
+                                                                BytesView seed) {
+  TestResponse resp;
+  const auto it = hold_.find(h);
+  if (it == hold_.end()) return resp;
+  const Hold& hold = it->second;
+  resp.pors = hold.pors;
+  for (const auto& por : resp.pors) s.transfer(*this, por.wire_size());
+  if (hold.pors.size() < config().relay_fanout) {
+    if (hold.has_msg) {
+      count_heavy_hmac();
+      resp.stored_hmac =
+          crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+      const std::size_t sig = identity().suite().signature_size();
+      s.signed_control(*this, wire::stored_resp(sig));
+    }
+  }
+  return resp;
+}
+
+bool G2GDelegationNode::stores_message(const MessageHash& h) const {
+  const auto it = hold_.find(h);
+  return it != hold_.end() && it->second.has_msg;
+}
+
+std::size_t G2GDelegationNode::por_count(const MessageHash& h) const {
+  const auto it = hold_.find(h);
+  return it == hold_.end() ? 0 : it->second.pors.size();
+}
+
+std::size_t G2GDelegationNode::pending_test_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(tests_.begin(), tests_.end(), [](const PendingTest& t) { return !t.done; }));
+}
+
+}  // namespace g2g::proto

@@ -1,0 +1,292 @@
+#include "g2g/proto/g2g_epidemic.hpp"
+
+#include <algorithm>
+
+#include "g2g/crypto/hmac.hpp"
+
+namespace g2g::proto {
+
+namespace {
+Bytes random_seed(Rng& rng) {
+  Writer w(32);
+  for (int i = 0; i < 4; ++i) w.u64(rng.next());
+  return std::move(w).take();
+}
+}  // namespace
+
+void G2GEpidemicNode::generate(const SealedMessage& m) {
+  const MessageHash h = m.hash();
+  Hold hold;
+  hold.msg = m;
+  hold.has_msg = true;
+  hold.msg_bytes = m.wire_size();
+  hold.received = env_.now();
+  hold.expires = env_.now() + config().delta1;
+  hold.giver = id();
+  hold.is_source = true;
+  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+  handled_.insert(h);
+}
+
+void G2GEpidemicNode::run_contact(Session& s, G2GEpidemicNode& x, G2GEpidemicNode& y) {
+  x.purge(s.now());
+  y.purge(s.now());
+  // Test phases first: the source challenges its relays before new relays
+  // are negotiated.
+  x.run_tests(s, y);
+  y.run_tests(s, x);
+  x.giver_pass(s, y);
+  y.giver_pass(s, x);
+}
+
+void G2GEpidemicNode::purge(TimePoint now) {
+  // Delta2 after receipt: every trace of the message may be discarded.
+  for (auto it = hold_.begin(); it != hold_.end();) {
+    Hold& hold = it->second;
+    const bool expired = now > hold.received + config().delta2;
+    // A source keeps its bookkeeping while tests of its relays are pending.
+    const bool testing = hold.is_source &&
+                         std::any_of(tests_.begin(), tests_.end(), [&](const PendingTest& t) {
+                           return t.h == it->first && !t.done &&
+                                  now <= t.relayed_at + config().delta2;
+                         });
+    if (expired && !testing) {
+      if (hold.has_msg) drop_payload(hold);
+      // Message and PoR state is discarded at Delta2; the 32-byte message
+      // hash stays in `handled_` so the node never pays for re-reception.
+      it = hold_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(tests_, [&](const PendingTest& t) {
+    return t.done || now > t.relayed_at + config().delta2;
+  });
+}
+
+void G2GEpidemicNode::drop_payload(Hold& hold) {
+  buffer_changed(-static_cast<std::int64_t>(hold.msg_bytes));
+  hold.has_msg = false;
+}
+
+void G2GEpidemicNode::giver_pass(Session& s, G2GEpidemicNode& taker) {
+  const TimePoint now = s.now();
+  const std::size_t sig = identity().suite().signature_size();
+
+  std::vector<MessageHash> candidates;
+  for (const auto& [h, hold] : hold_) {
+    if (!hold.has_msg || hold.is_destination) continue;
+    // A hoarder never relays other people's messages — it will answer the
+    // storage test instead (and pay the heavy HMAC for it).
+    if (behavior().kind == Behavior::Hoarder && !hold.is_source &&
+        deviates_with(hold.giver)) {
+      continue;
+    }
+    const std::size_t fanout =
+        hold.is_source ? config().source_fanout : config().relay_fanout;
+    if (hold.pors.size() >= fanout) continue;
+    if (now > hold.expires) continue;  // stop seeking relays (Delta1 / TTL)
+    candidates.push_back(h);
+  }
+
+  for (const MessageHash& h : candidates) {
+    if (s.exhausted()) break;  // the contact cannot carry another handshake
+    const auto it = hold_.find(h);
+    if (it == hold_.end() || !it->second.has_msg) continue;
+    Hold& hold = it->second;
+
+    // Step 1: RELAY_RQST.
+    s.signed_control(*this, wire::relay_rqst(sig));
+    // Steps 2/3/4: the taker answers, the message travels, the PoR returns.
+    const auto por = taker.accept_relay(s, *this, h);
+    if (!por.has_value()) continue;  // taker declined (already handled)
+
+    // Step 3 accounting: E_k(m).
+    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes));
+
+    // Verify the PoR before revealing the key.
+    count_verification();
+    const auto* taker_cert = env_.roster().find(taker.id());
+    const bool por_ok =
+        taker_cert != nullptr && por->h == h && por->giver == id() &&
+        por->taker == taker.id() &&
+        identity().suite().verify(taker_cert->public_key, por->signed_payload(),
+                                  por->taker_signature);
+    if (!por_ok) continue;  // never happens with conforming takers
+
+    hold.pors.push_back(*por);
+    // Step 5: KEY.
+    s.signed_control(*this, wire::key_reveal(sig));
+    env_.notify_relayed(h, id(), taker.id());
+    taker.complete_relay(s, *this, hold.msg, hold.expires);
+
+    if (hold.is_source) {
+      tests_.push_back(PendingTest{h, taker.id(), now, *por, false});
+    }
+    if (!hold.is_source && hold.pors.size() >= config().relay_fanout) {
+      // Forwarding duty fulfilled: the payload may go, the PoRs stay.
+      drop_payload(hold);
+    }
+  }
+}
+
+std::optional<ProofOfRelay> G2GEpidemicNode::accept_relay(Session& s, G2GEpidemicNode& giver,
+                                                          const MessageHash& h) {
+  const std::size_t sig = identity().suite().signature_size();
+  if (handled_.contains(h)) {
+    // "node B informs S that it should not be chosen as a relay" — and it
+    // answers honestly, because it cannot know whether it is the destination.
+    s.signed_control(*this, wire::relay_ok(sig));
+    return std::nullopt;
+  }
+  // Step 2: RELAY_OK.
+  s.signed_control(*this, wire::relay_ok(sig));
+
+  // Step 4: sign the PoR. (The encrypted message of step 3 has arrived; the
+  // giver accounts its bytes.)
+  ProofOfRelay por;
+  por.h = h;
+  por.giver = giver.id();
+  por.taker = id();
+  por.at = s.now();
+  count_signature();
+  por.taker_signature = identity().sign(por.signed_payload());
+  s.transfer(*this, por.wire_size());
+  return por;
+}
+
+void G2GEpidemicNode::complete_relay(Session& s, G2GEpidemicNode& giver,
+                                     const SealedMessage& m, TimePoint expires) {
+  const MessageHash h = m.hash();
+  handled_.insert(h);
+
+  Hold hold;
+  hold.msg = m;
+  hold.msg_bytes = m.wire_size();
+  hold.received = s.now();
+  // Global TTL: the expiry travels with the message; per-holder otherwise.
+  hold.expires = config().global_ttl ? expires : s.now() + config().delta1;
+  hold.giver = giver.id();
+
+  if (m.dst == id()) {
+    const auto opened = open_message(identity(), m, s.env().roster());
+    count_verification();
+    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, id());
+    // The destination keeps the message (it must still answer a possible
+    // storage test — it cannot reveal that it is the destination by design).
+    hold.is_destination = true;
+    hold.has_msg = true;
+    buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  if (behavior().kind == Behavior::Dropper && deviates_with(giver.id())) {
+    // Drop right after the relay phase: no payload is stored; only the
+    // handled-set entry remains so the node declines re-reception.
+    hold.has_msg = false;
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  hold.has_msg = true;
+  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+}
+
+void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
+  const TimePoint now = s.now();
+  const std::size_t sig = identity().suite().signature_size();
+
+  for (PendingTest& t : tests_) {
+    if (s.exhausted()) break;
+    if (t.done || t.relay != peer.id()) continue;
+    if (now < t.relayed_at + config().delta1) continue;  // not testable yet
+    if (now > t.relayed_at + config().delta2) continue;  // window closed
+    t.done = true;
+
+    const Bytes seed = random_seed(env_.rng());
+    s.signed_control(*this, wire::por_rqst(sig));
+    const TestResponse resp = peer.respond_test(s, t.h, seed);
+
+    // Either two valid PoRs...
+    if (resp.pors.size() >= config().relay_fanout) {
+      bool all_ok = true;
+      for (const auto& por : resp.pors) {
+        count_verification();
+        const auto* cert = env_.roster().find(por.taker);
+        if (por.h != t.h || por.giver != peer.id() || cert == nullptr ||
+            !identity().suite().verify(cert->public_key, por.signed_payload(),
+                                       por.taker_signature)) {
+          all_ok = false;
+        }
+      }
+      if (all_ok) continue;  // test passed
+    }
+
+    // ...or a storage proof the source can recompute (it still has m).
+    if (resp.stored_hmac.has_value()) {
+      const auto it = hold_.find(t.h);
+      if (it != hold_.end() && it->second.has_msg) {
+        count_heavy_hmac();
+        const crypto::Digest expect = crypto::heavy_hmac(
+            it->second.msg.encode(), seed, config().heavy_hmac_iterations);
+        if (crypto::digest_equal(expect, *resp.stored_hmac)) continue;  // passed
+      } else {
+        continue;  // source can no longer verify; give the benefit of the doubt
+      }
+    }
+
+    // Failure: broadcastable proof of misbehaviour — the PoR the relay signed.
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = peer.id();
+    pom.evidence_accepted = t.por;
+    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+              now - (t.relayed_at + config().delta1));
+  }
+}
+
+G2GEpidemicNode::TestResponse G2GEpidemicNode::respond_test(Session& s, const MessageHash& h,
+                                                            BytesView seed) {
+  TestResponse resp;
+  const auto it = hold_.find(h);
+  if (it == hold_.end()) {
+    // Nothing to show: a dropper past Delta2, or a dropper that kept no state.
+    return resp;
+  }
+  const Hold& hold = it->second;
+  if (hold.pors.size() >= config().relay_fanout) {
+    resp.pors = hold.pors;
+    for (const auto& por : resp.pors) s.transfer(*this, por.wire_size());
+    return resp;
+  }
+  if (hold.has_msg) {
+    count_heavy_hmac();
+    resp.stored_hmac =
+        crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+    resp.pors = hold.pors;  // show what we have (0 or 1)
+    const std::size_t sig = identity().suite().signature_size();
+    s.signed_control(*this, wire::stored_resp(sig));
+    return resp;
+  }
+  return resp;  // dropper: no PoRs, no message
+}
+
+bool G2GEpidemicNode::stores_message(const MessageHash& h) const {
+  const auto it = hold_.find(h);
+  return it != hold_.end() && it->second.has_msg;
+}
+
+std::size_t G2GEpidemicNode::por_count(const MessageHash& h) const {
+  const auto it = hold_.find(h);
+  return it == hold_.end() ? 0 : it->second.pors.size();
+}
+
+std::size_t G2GEpidemicNode::pending_test_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(tests_.begin(), tests_.end(), [](const PendingTest& t) { return !t.done; }));
+}
+
+}  // namespace g2g::proto

@@ -1,0 +1,123 @@
+#include "g2g/proto/network.hpp"
+
+#include <stdexcept>
+
+namespace g2g::proto {
+
+NetworkBase::NetworkBase(const trace::ContactTrace& trace, NetworkConfig config,
+                         metrics::Collector& collector)
+    : config_(std::move(config)),
+      node_count_(trace.node_count()),
+      rng_(config_.seed),
+      sim_(config_.horizon == TimePoint::zero() ? trace.end_time() : config_.horizon),
+      collector_(&collector),
+      trace_(&trace) {
+  if (!trace.finalized()) throw std::invalid_argument("trace must be finalized");
+  if (node_count_ < 2) throw std::invalid_argument("need at least 2 nodes");
+  if (!config_.suite) config_.suite = crypto::make_fast_suite();
+
+  Rng auth_rng = rng_.fork(0xA117);
+  authority_ = std::make_unique<crypto::Authority>(config_.suite, auth_rng);
+  // Schedule contacts directly (rather than via sim::schedule_trace) so the
+  // contact duration reaches the session for bandwidth budgeting.
+  for (const auto& e : trace.events()) {
+    sim_.at(e.start, [this, e] { contact(e.start, e.a, e.b, e.duration()); });
+  }
+}
+
+std::size_t NetworkBase::contact_budget(Duration contact_duration) const {
+  if (config_.bandwidth_bytes_per_s <= 0.0 || contact_duration == Duration::max()) {
+    return static_cast<std::size_t>(-1);
+  }
+  const double budget = config_.bandwidth_bytes_per_s * contact_duration.to_seconds();
+  return budget >= 1e18 ? static_cast<std::size_t>(-1)
+                        : static_cast<std::size_t>(budget);
+}
+
+crypto::NodeIdentity NetworkBase::make_identity(NodeId n) {
+  Rng key_rng = rng_.fork(0x1D000000ULL + n.value());
+  crypto::NodeIdentity identity(config_.suite, n, *authority_, key_rng);
+  roster_.add(identity.certificate());
+  return identity;
+}
+
+void NetworkBase::register_node(ProtocolNode* node) { generic_nodes_.push_back(node); }
+
+void NetworkBase::notify_delivered(const MessageHash& h, NodeId /*dst*/) {
+  const auto it = hash_to_id_.find(h);
+  if (it != hash_to_id_.end()) collector_->message_delivered(it->second, now());
+}
+
+void NetworkBase::notify_relayed(const MessageHash& h, NodeId from, NodeId to) {
+  const auto it = hash_to_id_.find(h);
+  if (it != hash_to_id_.end()) collector_->message_relayed(it->second, from, to, now());
+}
+
+void NetworkBase::notify_detection(NodeId culprit, NodeId detector,
+                                   metrics::DetectionMethod method, Duration after_delta1) {
+  collector_->detection(
+      metrics::DetectionEvent{culprit, detector, now(), method, after_delta1});
+}
+
+void NetworkBase::broadcast_pom(const ProofOfMisbehavior& pom) {
+  if (!config_.instant_pom_broadcast) return;  // gossip handles dissemination
+  for (ProtocolNode* node : generic_nodes_) {
+    if (node->id() == pom.culprit || node->id() == pom.accuser) continue;
+    (void)node->learn_pom(pom);
+  }
+}
+
+void NetworkBase::warm_up(const std::vector<trace::ContactEvent>& history,
+                          TimePoint window_start) {
+  for (const auto& e : history) {
+    if (e.start >= window_start) continue;
+    const TimePoint t = TimePoint::zero() + (e.start - window_start);
+    generic_nodes_.at(e.a.value())->note_encounter(e.b, t);
+    generic_nodes_.at(e.b.value())->note_encounter(e.a, t);
+  }
+}
+
+void NetworkBase::schedule_traffic(const std::vector<sim::TrafficDemand>& demands) {
+  for (const auto& d : demands) {
+    sim_.at(d.at, [this, d] {
+      ProtocolNode& src = *generic_nodes_.at(d.src.value());
+      Bytes body(d.body_size, 0);
+      Rng body_rng = rng_.fork(d.id.value());
+      for (auto& byte : body) byte = static_cast<std::uint8_t>(body_rng.next());
+      const SealedMessage m =
+          make_message(src.identity(), roster_.get(d.dst), d.id, body, rng_);
+      collector_->message_generated(d.id, d.src, d.dst, now());
+      hash_to_id_.emplace(m.hash(), d.id);
+      inject(d.src, m);
+    });
+  }
+}
+
+void NetworkBase::run() {
+  sim_.run();
+  const TimePoint end =
+      config_.horizon == TimePoint::zero() ? trace_->end_time() : config_.horizon;
+  for (ProtocolNode* n : generic_nodes_) n->finalize(end);
+}
+
+bool NetworkBase::open_session(Session& s, ProtocolNode& a, ProtocolNode& b) {
+  a.note_encounter(b.id(), now());
+  b.note_encounter(a.id(), now());
+  // PoM gossip: accusations spread epidemically at session start.
+  gossip_poms(s, a, b);
+  gossip_poms(s, b, a);
+  // If gossip revealed the peer is a known misbehaver, cut the session.
+  return a.accepts_session_with(b.id()) && b.accepts_session_with(a.id());
+}
+
+void NetworkBase::gossip_poms(Session& s, ProtocolNode& from, ProtocolNode& to) {
+  // Snapshot: learn_pom may append to `to`'s own list, never to `from`'s.
+  const std::vector<ProofOfMisbehavior> known = from.known_poms();
+  for (const auto& pom : known) {
+    if (to.blacklisted(pom.culprit)) continue;  // peer already knows
+    s.transfer(from, pom.wire_size());
+    (void)to.learn_pom(pom);
+  }
+}
+
+}  // namespace g2g::proto

@@ -1,0 +1,64 @@
+#include "g2g/proto/quality.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace g2g::proto {
+
+EncounterTable::EncounterTable(Duration frame_length) : frame_length_(frame_length) {
+  if (frame_length <= Duration::zero()) throw std::invalid_argument("bad frame length");
+}
+
+void EncounterTable::record(NodeId peer, TimePoint t) {
+  if (peer.value() >= encounters_.size()) encounters_.resize(peer.value() + 1);
+  auto& v = encounters_[peer.value()];
+  if (!v.empty() && t < v.back()) throw std::invalid_argument("non-monotone encounter time");
+  v.push_back(t);
+}
+
+double EncounterTable::value_before(QualityKind kind, NodeId dst, TimePoint cutoff) const {
+  if (dst.value() >= encounters_.size()) return min_quality(kind);
+  const auto& v = encounters_[dst.value()];
+  const auto it = std::lower_bound(v.begin(), v.end(), cutoff);
+  const auto count = static_cast<std::size_t>(it - v.begin());
+  switch (kind) {
+    case QualityKind::DestinationFrequency:
+      return static_cast<double>(count);
+    case QualityKind::DestinationLastContact:
+      return count == 0 ? kNeverMet : v[count - 1].to_seconds();
+  }
+  return 0.0;
+}
+
+double EncounterTable::current(QualityKind kind, NodeId dst) const {
+  return value_before(kind, dst, TimePoint::max());
+}
+
+EncounterTable::Declared EncounterTable::declared(QualityKind kind, NodeId dst,
+                                                  TimePoint now) const {
+  const std::int64_t current_frame = frame_of(now);
+  // Last completed frame is current_frame - 1; its end is current_frame * F.
+  const std::int64_t frame = current_frame - 1;
+  if (frame < 0) return Declared{min_quality(kind), -1};  // no completed frame yet
+  const TimePoint cutoff = TimePoint(current_frame * frame_length_.count());
+  return Declared{value_before(kind, dst, cutoff), frame};
+}
+
+std::optional<double> EncounterTable::value_at_frame(QualityKind kind, NodeId dst,
+                                                     std::int64_t frame,
+                                                     TimePoint now) const {
+  const std::int64_t current_frame = frame_of(now);
+  // Retention: only the two most recent *completed* frames are kept.
+  if (frame < 0 || frame > current_frame - 1 || frame < current_frame - 2) {
+    return std::nullopt;
+  }
+  const TimePoint cutoff = TimePoint((frame + 1) * frame_length_.count());
+  return value_before(kind, dst, cutoff);
+}
+
+std::size_t EncounterTable::encounter_count(NodeId peer) const {
+  if (peer.value() >= encounters_.size()) return 0;
+  return encounters_[peer.value()].size();
+}
+
+}  // namespace g2g::proto

@@ -1,0 +1,192 @@
+#include "g2g/proto/wire.hpp"
+
+#include <cmath>
+
+namespace g2g::proto {
+
+const char* to_string(QualityKind kind) {
+  switch (kind) {
+    case QualityKind::DestinationFrequency: return "dest-frequency";
+    case QualityKind::DestinationLastContact: return "dest-last-contact";
+  }
+  return "?";
+}
+
+double min_quality(QualityKind kind) {
+  switch (kind) {
+    case QualityKind::DestinationFrequency: return 0.0;
+    case QualityKind::DestinationLastContact: return kNeverMet;
+  }
+  return 0.0;
+}
+
+Bytes QualityDeclaration::signed_payload() const {
+  Writer w(64);
+  w.str("g2g-fqresp-v1");
+  w.u32(declarer.value());
+  w.u32(dst.value());
+  w.f64(value);
+  w.i64(frame);
+  w.i64(at.micros());
+  return std::move(w).take();
+}
+
+Bytes QualityDeclaration::encode() const {
+  Writer w(64 + signature.size());
+  w.u32(declarer.value());
+  w.u32(dst.value());
+  w.f64(value);
+  w.i64(frame);
+  w.i64(at.micros());
+  w.blob(signature);
+  return std::move(w).take();
+}
+
+QualityDeclaration QualityDeclaration::decode(BytesView b) {
+  Reader r(b);
+  QualityDeclaration d;
+  d.declarer = NodeId(r.u32());
+  d.dst = NodeId(r.u32());
+  d.value = r.f64();
+  d.frame = r.i64();
+  d.at = TimePoint(r.i64());
+  d.signature = r.blob();
+  return d;
+}
+
+std::size_t QualityDeclaration::wire_size() const { return encode().size(); }
+
+Bytes ProofOfRelay::signed_payload() const {
+  Writer w(96);
+  w.str("g2g-por-v1");
+  w.raw(BytesView(h.data(), h.size()));
+  w.u32(giver.value());
+  w.u32(taker.value());
+  w.i64(at.micros());
+  w.u8(delegation ? 1 : 0);
+  if (delegation) {
+    w.u32(declared_dst.value());
+    w.f64(msg_quality);
+    w.f64(taker_quality);
+    w.i64(quality_frame);
+  }
+  return std::move(w).take();
+}
+
+Bytes ProofOfRelay::encode() const {
+  Writer w(128 + taker_signature.size());
+  w.raw(BytesView(h.data(), h.size()));
+  w.u32(giver.value());
+  w.u32(taker.value());
+  w.i64(at.micros());
+  w.u8(delegation ? 1 : 0);
+  w.u32(declared_dst.value());
+  w.f64(msg_quality);
+  w.f64(taker_quality);
+  w.i64(quality_frame);
+  w.blob(taker_signature);
+  return std::move(w).take();
+}
+
+ProofOfRelay ProofOfRelay::decode(BytesView b) {
+  Reader r(b);
+  ProofOfRelay p;
+  const BytesView hv = r.raw(p.h.size());
+  std::copy(hv.begin(), hv.end(), p.h.begin());
+  p.giver = NodeId(r.u32());
+  p.taker = NodeId(r.u32());
+  p.at = TimePoint(r.i64());
+  p.delegation = r.u8() != 0;
+  p.declared_dst = NodeId(r.u32());
+  p.msg_quality = r.f64();
+  p.taker_quality = r.f64();
+  p.quality_frame = r.i64();
+  p.taker_signature = r.blob();
+  return p;
+}
+
+std::size_t ProofOfRelay::wire_size() const { return encode().size(); }
+
+Bytes ProofOfMisbehavior::encode() const {
+  Writer w(256);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(culprit.value());
+  w.u32(accuser.value());
+  w.i64(at.micros());
+  w.u8(evidence_accepted.has_value() ? 1 : 0);
+  if (evidence_accepted) w.blob(evidence_accepted->encode());
+  w.u8(evidence_forwarded.has_value() ? 1 : 0);
+  if (evidence_forwarded) w.blob(evidence_forwarded->encode());
+  w.u8(evidence_declaration.has_value() ? 1 : 0);
+  if (evidence_declaration) w.blob(evidence_declaration->encode());
+  return std::move(w).take();
+}
+
+std::size_t ProofOfMisbehavior::wire_size() const { return encode().size(); }
+
+namespace {
+
+bool verify_por_signature(const crypto::Suite& suite, const Roster& roster,
+                          const ProofOfRelay& por) {
+  const auto* cert = roster.find(por.taker);
+  return cert != nullptr &&
+         suite.verify(cert->public_key, por.signed_payload(), por.taker_signature);
+}
+
+}  // namespace
+
+bool verify_pom(const crypto::Suite& suite, const Roster& roster,
+                const ProofOfMisbehavior& pom) {
+  switch (pom.kind) {
+    case ProofOfMisbehavior::Kind::RelayFailure:
+      // The culprit signed a PoR accepting the message; the accuser (its
+      // giver) attests the storage test failed.
+      return pom.evidence_accepted.has_value() &&
+             pom.evidence_accepted->taker == pom.culprit &&
+             pom.evidence_accepted->giver == pom.accuser &&
+             verify_por_signature(suite, roster, *pom.evidence_accepted);
+
+    case ProofOfMisbehavior::Kind::QualityLie:
+      // Signed declaration by the culprit; the destination attests the
+      // contradiction with its own symmetric records.
+      if (!pom.evidence_declaration.has_value() ||
+          pom.evidence_declaration->declarer != pom.culprit) {
+        return false;
+      }
+      {
+        const auto* cert = roster.find(pom.culprit);
+        return cert != nullptr &&
+               suite.verify(cert->public_key, pom.evidence_declaration->signed_payload(),
+                            pom.evidence_declaration->signature);
+      }
+
+    case ProofOfMisbehavior::Kind::ChainCheat: {
+      // Self-contained: the culprit accepted at quality f_AD
+      // (evidence_accepted, signed by the culprit) but attached a different
+      // f1_m when forwarding (evidence_forwarded, signed by the next relay).
+      if (!pom.evidence_accepted.has_value() || !pom.evidence_forwarded.has_value()) {
+        return false;
+      }
+      const ProofOfRelay& in = *pom.evidence_accepted;
+      const ProofOfRelay& out = *pom.evidence_forwarded;
+      // The establishing PoR is either the one the culprit signed when it
+      // accepted the message, or an earlier outgoing PoR of the culprit.
+      if (in.taker != pom.culprit && in.giver != pom.culprit) return false;
+      if (out.giver != pom.culprit) return false;
+      if (in.h != out.h) return false;
+      if (!in.delegation || !out.delegation) return false;
+      const auto* in_cert = roster.find(in.taker);
+      const auto* out_cert = roster.find(out.taker);
+      if (in_cert == nullptr || out_cert == nullptr) return false;
+      if (!suite.verify(in_cert->public_key, in.signed_payload(), in.taker_signature) ||
+          !suite.verify(out_cert->public_key, out.signed_payload(), out.taker_signature)) {
+        return false;
+      }
+      // The cheat: quality attached on forward differs from quality accepted.
+      return std::abs(out.msg_quality - in.taker_quality) > 1e-9;
+    }
+  }
+  return false;
+}
+
+}  // namespace g2g::proto

@@ -1,0 +1,41 @@
+// Traffic generation.
+//
+// The paper's workload: "a set of messages is generated with sources and
+// destinations chosen uniformly at random, and generation times from a
+// Poisson process averaging one message per 4 seconds", over a 3-hour
+// simulation with no generation in the last hour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "g2g/util/ids.hpp"
+#include "g2g/util/rng.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::sim {
+
+struct TrafficDemand {
+  MessageId id;
+  NodeId src;
+  NodeId dst;
+  TimePoint at;
+  std::size_t body_size;
+};
+
+struct TrafficConfig {
+  /// Mean inter-arrival time of the Poisson process.
+  Duration mean_interarrival = Duration::seconds(4.0);
+  /// Generation window [start, end).
+  TimePoint start = TimePoint::zero();
+  TimePoint end = TimePoint::from_seconds(2.0 * 3600.0);
+  std::size_t body_size = 64;
+  std::uint64_t seed = 42;
+};
+
+/// Generate the full demand schedule for `node_count` nodes (src != dst,
+/// both uniform). Deterministic in the seed.
+[[nodiscard]] std::vector<TrafficDemand> generate_traffic(const TrafficConfig& config,
+                                                          std::size_t node_count);
+
+}  // namespace g2g::sim

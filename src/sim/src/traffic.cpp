@@ -1,0 +1,31 @@
+#include "g2g/sim/traffic.hpp"
+
+#include <stdexcept>
+
+namespace g2g::sim {
+
+std::vector<TrafficDemand> generate_traffic(const TrafficConfig& config,
+                                            std::size_t node_count) {
+  if (node_count < 2) throw std::invalid_argument("traffic needs >= 2 nodes");
+  if (config.end <= config.start) throw std::invalid_argument("empty traffic window");
+  if (config.mean_interarrival <= Duration::zero()) {
+    throw std::invalid_argument("mean inter-arrival must be positive");
+  }
+
+  Rng rng(config.seed);
+  std::vector<TrafficDemand> out;
+  std::uint64_t next_id = 1;
+  TimePoint t = config.start;
+  for (;;) {
+    t = t + Duration::seconds(rng.exponential(config.mean_interarrival.to_seconds()));
+    if (t >= config.end) break;
+    const auto src = static_cast<std::uint32_t>(rng.below(node_count));
+    auto dst = static_cast<std::uint32_t>(rng.below(node_count - 1));
+    if (dst >= src) ++dst;
+    out.push_back(TrafficDemand{MessageId(next_id++), NodeId(src), NodeId(dst), t,
+                                config.body_size});
+  }
+  return out;
+}
+
+}  // namespace g2g::sim

@@ -1,0 +1,64 @@
+// Contact events and traces.
+//
+// A trace is the ground truth a PSN simulation runs on: a set of intervals
+// during which two nodes are in radio range. Real CRAWDAD traces load through
+// trace::load_trace (parser.hpp); synthetic ones come from synthetic.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "g2g/util/ids.hpp"
+#include "g2g/util/time.hpp"
+
+namespace g2g::trace {
+
+/// One radio contact between two nodes over [start, end).
+struct ContactEvent {
+  NodeId a;
+  NodeId b;
+  TimePoint start;
+  TimePoint end;
+
+  [[nodiscard]] Duration duration() const { return end - start; }
+  [[nodiscard]] bool involves(NodeId n) const { return a == n || b == n; }
+  [[nodiscard]] NodeId peer_of(NodeId n) const { return a == n ? b : a; }
+
+  bool operator==(const ContactEvent&) const = default;
+};
+
+/// An immutable-after-finalize collection of contacts, sorted by start time.
+class ContactTrace {
+ public:
+  ContactTrace() = default;
+
+  /// Add a contact; `a != b`, `end > start`. Normalizes so a < b.
+  void add(NodeId a, NodeId b, TimePoint start, TimePoint end);
+
+  /// Sort by start time and coalesce overlapping intervals of the same pair.
+  /// Must be called once after the last add() and before queries.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] const std::vector<ContactEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Number of distinct nodes = max id + 1 (ids are expected to be dense).
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  /// End of the last contact (zero on empty trace).
+  [[nodiscard]] TimePoint end_time() const;
+  /// Start of the first contact (zero on empty trace).
+  [[nodiscard]] TimePoint start_time() const;
+
+  /// Contacts clipped to [from, to): events overlapping the window, with
+  /// start/end clamped, re-based so the window start becomes t=0.
+  [[nodiscard]] ContactTrace slice(TimePoint from, TimePoint to) const;
+
+ private:
+  std::vector<ContactEvent> events_;
+  std::size_t node_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace g2g::trace

@@ -1,0 +1,26 @@
+// Text serialization of contact traces.
+//
+// Format (CRAWDAD-imote-like, one contact per line, times in seconds):
+//   <node_a> <node_b> <start_seconds> <end_seconds>
+// Blank lines and lines starting with '#' are ignored. This is the format the
+// published Haggle/iMote contact lists are commonly distributed in, so the
+// real Infocom 05 / Cambridge 06 data can be dropped in directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "g2g/trace/contact.hpp"
+
+namespace g2g::trace {
+
+/// Parse a trace from a stream; throws std::runtime_error on malformed lines.
+[[nodiscard]] ContactTrace read_trace(std::istream& in);
+/// Parse a trace from a file path.
+[[nodiscard]] ContactTrace load_trace(const std::string& path);
+
+/// Write a trace in the same format (with a descriptive header comment).
+void write_trace(std::ostream& out, const ContactTrace& trace);
+void save_trace(const std::string& path, const ContactTrace& trace);
+
+}  // namespace g2g::trace

@@ -1,0 +1,76 @@
+#include "g2g/trace/contact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace g2g::trace {
+
+void ContactTrace::add(NodeId a, NodeId b, TimePoint start, TimePoint end) {
+  if (a == b) throw std::invalid_argument("self-contact");
+  if (end <= start) throw std::invalid_argument("empty or negative contact interval");
+  if (!a.valid() || !b.valid()) throw std::invalid_argument("invalid node id");
+  if (a > b) std::swap(a, b);
+  events_.push_back(ContactEvent{a, b, start, end});
+  node_count_ = std::max<std::size_t>(node_count_, b.value() + 1);
+  finalized_ = false;
+}
+
+void ContactTrace::finalize() {
+  // Coalesce per-pair overlapping intervals, then sort globally by start.
+  std::map<std::pair<NodeId, NodeId>, std::vector<ContactEvent>> by_pair;
+  for (const auto& e : events_) by_pair[{e.a, e.b}].push_back(e);
+
+  std::vector<ContactEvent> merged;
+  merged.reserve(events_.size());
+  for (auto& [pair, list] : by_pair) {
+    std::sort(list.begin(), list.end(),
+              [](const ContactEvent& x, const ContactEvent& y) { return x.start < y.start; });
+    for (const auto& e : list) {
+      if (!merged.empty() && merged.back().a == e.a && merged.back().b == e.b &&
+          e.start <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, e.end);
+      } else {
+        merged.push_back(e);
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const ContactEvent& x, const ContactEvent& y) {
+    if (x.start != y.start) return x.start < y.start;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  events_ = std::move(merged);
+  finalized_ = true;
+}
+
+TimePoint ContactTrace::end_time() const {
+  TimePoint latest = TimePoint::zero();
+  for (const auto& e : events_) latest = std::max(latest, e.end);
+  return latest;
+}
+
+TimePoint ContactTrace::start_time() const {
+  if (events_.empty()) return TimePoint::zero();
+  TimePoint earliest = TimePoint::max();
+  for (const auto& e : events_) earliest = std::min(earliest, e.start);
+  return earliest;
+}
+
+ContactTrace ContactTrace::slice(TimePoint from, TimePoint to) const {
+  if (to <= from) throw std::invalid_argument("empty slice window");
+  ContactTrace out;
+  for (const auto& e : events_) {
+    const TimePoint s = std::max(e.start, from);
+    const TimePoint t = std::min(e.end, to);
+    if (s < t) {
+      out.add(e.a, e.b, TimePoint::zero() + (s - from), TimePoint::zero() + (t - from));
+    }
+  }
+  // Preserve the node universe even if some nodes have no contact in-window.
+  out.node_count_ = std::max(out.node_count_, node_count_);
+  out.finalize();
+  return out;
+}
+
+}  // namespace g2g::trace

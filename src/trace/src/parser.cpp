@@ -1,0 +1,53 @@
+#include "g2g/trace/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace g2g::trace {
+
+ContactTrace read_trace(std::istream& in) {
+  ContactTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    double start = 0.0;
+    double end = 0.0;
+    if (!(ls >> a >> b >> start >> end)) {
+      throw std::runtime_error("trace parse error at line " + std::to_string(line_no));
+    }
+    trace.add(NodeId(a), NodeId(b), TimePoint::from_seconds(start),
+              TimePoint::from_seconds(end));
+  }
+  trace.finalize();
+  return trace;
+}
+
+ContactTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const ContactTrace& trace) {
+  out << "# g2g contact trace: <node_a> <node_b> <start_s> <end_s>\n";
+  out << "# nodes=" << trace.node_count() << " contacts=" << trace.size() << "\n";
+  for (const auto& e : trace.events()) {
+    out << e.a.value() << ' ' << e.b.value() << ' ' << e.start.to_seconds() << ' '
+        << e.end.to_seconds() << '\n';
+  }
+}
+
+void save_trace(const std::string& path, const ContactTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file for writing: " + path);
+  write_trace(out, trace);
+}
+
+}  // namespace g2g::trace

@@ -1,0 +1,57 @@
+#include "g2g/trace/stats.hpp"
+
+#include <stdexcept>
+
+namespace g2g::trace {
+
+TraceStats::TraceStats(const ContactTrace& trace) {
+  if (!trace.finalized()) throw std::invalid_argument("trace must be finalized");
+  contact_count_ = trace.size();
+  span_ = trace.end_time() - trace.start_time();
+
+  std::map<PairKey, TimePoint> last_end;
+  const TimePoint trace_end = trace.end_time();
+  for (const auto& e : trace.events()) {
+    durations_.add(e.duration().to_seconds());
+    const PairKey key = make_pair_key(e.a, e.b);
+    ++per_pair_contacts_[key];
+    const auto it = last_end.find(key);
+    if (it != last_end.end()) {
+      const double gap = (e.start - it->second).to_seconds();
+      if (gap > 0) {
+        inter_contacts_.add(gap);
+        remeet_gaps_.emplace_back(gap, false);
+      }
+    }
+    last_end[key] = e.end;
+  }
+  // Censored observations: pairs whose last contact never recurs before the
+  // trace ends. Counting them keeps remeet_probability honest.
+  for (const auto& [key, end] : last_end) {
+    const double tail = (trace_end - end).to_seconds();
+    if (tail > 0) remeet_gaps_.emplace_back(tail, true);
+  }
+}
+
+double TraceStats::contacts_per_hour() const {
+  const double hours = span_.to_seconds() / 3600.0;
+  return hours > 0 ? static_cast<double>(contact_count_) / hours : 0.0;
+}
+
+double TraceStats::remeet_probability(Duration window) const {
+  const double w = window.to_seconds();
+  std::size_t observed = 0;  // re-met within w
+  std::size_t at_risk = 0;   // could have re-met within w (not right-censored short)
+  for (const auto& [gap, censored] : remeet_gaps_) {
+    if (!censored) {
+      ++at_risk;
+      if (gap <= w) ++observed;
+    } else if (gap >= w) {
+      // Censored but the observation window was long enough: counts as a miss.
+      ++at_risk;
+    }
+  }
+  return at_risk > 0 ? static_cast<double>(observed) / static_cast<double>(at_risk) : 0.0;
+}
+
+}  // namespace g2g::trace

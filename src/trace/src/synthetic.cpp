@@ -1,0 +1,168 @@
+#include "g2g/trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "g2g/util/rng.hpp"
+
+namespace g2g::trace {
+
+namespace {
+
+/// Unit-mean heavy-tailed gap multiplier: Pareto/exponential mixture.
+double gap_multiplier(Rng& rng, const SyntheticConfig& cfg) {
+  if (rng.chance(cfg.pareto_weight)) {
+    // Pareto with mean alpha*xm/(alpha-1) == 1  =>  xm = (alpha-1)/alpha.
+    const double xm = (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
+    return rng.pareto(xm, cfg.pareto_alpha);
+  }
+  return rng.exponential(1.0);
+}
+
+/// Diurnal acceptance probability at time t.
+double activity(const SyntheticConfig& cfg, TimePoint t) {
+  if (!cfg.diurnal) return 1.0;
+  const double hour = std::fmod(t.to_seconds() / 3600.0, 24.0);
+  const bool day = hour >= cfg.day_start_hour && hour < cfg.day_end_hour;
+  return day ? 1.0 : cfg.night_activity;
+}
+
+std::vector<std::vector<NodeId>> assign_communities(Rng& rng, const SyntheticConfig& cfg) {
+  std::vector<std::vector<NodeId>> communities(cfg.communities);
+  // Round-robin base assignment keeps community sizes balanced.
+  std::vector<NodeId> nodes;
+  nodes.reserve(cfg.nodes);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) nodes.emplace_back(i);
+  rng.shuffle(nodes);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    communities[i % cfg.communities].push_back(nodes[i]);
+  }
+  // Travelers additionally join a second community.
+  const auto traveler_count =
+      static_cast<std::uint32_t>(static_cast<double>(cfg.nodes) * cfg.traveler_fraction);
+  for (std::uint32_t i = 0; i < traveler_count && cfg.communities > 1; ++i) {
+    const NodeId n = nodes[i];
+    const std::uint32_t home = i % cfg.communities;
+    std::uint32_t other = static_cast<std::uint32_t>(rng.below(cfg.communities));
+    if (other == home) other = (other + 1) % cfg.communities;
+    communities[other].push_back(n);
+  }
+  for (auto& c : communities) std::sort(c.begin(), c.end());
+  return communities;
+}
+
+}  // namespace
+
+SyntheticTrace generate_trace(const SyntheticConfig& cfg) {
+  if (cfg.nodes < 2) throw std::invalid_argument("need at least 2 nodes");
+  if (cfg.communities == 0 || cfg.communities > cfg.nodes) {
+    throw std::invalid_argument("bad community count");
+  }
+  if (cfg.pareto_alpha <= 1.0) throw std::invalid_argument("pareto_alpha must exceed 1");
+
+  Rng rng(cfg.seed);
+  SyntheticTrace out;
+  out.communities = assign_communities(rng, cfg);
+
+  // Shared-community membership lookup.
+  std::vector<std::vector<bool>> member(cfg.communities, std::vector<bool>(cfg.nodes, false));
+  for (std::uint32_t c = 0; c < cfg.communities; ++c) {
+    for (const NodeId n : out.communities[c]) member[c][n.value()] = true;
+  }
+  const auto share_community = [&](std::uint32_t a, std::uint32_t b) {
+    for (std::uint32_t c = 0; c < cfg.communities; ++c) {
+      if (member[c][a] && member[c][b]) return true;
+    }
+    return false;
+  };
+
+  const double duration_s = cfg.duration.to_seconds();
+  const double log_mean_contact =
+      std::log(cfg.mean_contact_s) - cfg.contact_sigma * cfg.contact_sigma / 2.0;
+
+  // Per-node activity multipliers (unit-mean lognormal on the *rate*).
+  // Normalized to an exact unit mean per trace: with only ~40 draws the
+  // sample mean of a heavy-tailed lognormal varies a lot, which would make
+  // the *global* contact density swing across seeds — we want heterogeneity
+  // between nodes, not between traces.
+  std::vector<double> node_activity(cfg.nodes, 1.0);
+  if (cfg.node_activity_sigma > 0.0) {
+    Rng act_rng = rng.fork(0xAC7);
+    const double sig = cfg.node_activity_sigma;
+    double sum = 0.0;
+    for (auto& a : node_activity) {
+      a = act_rng.lognormal(-sig * sig / 2.0, sig);
+      sum += a;
+    }
+    const double mean = sum / static_cast<double>(cfg.nodes);
+    for (auto& a : node_activity) a /= mean;
+  }
+
+  for (std::uint32_t a = 0; a < cfg.nodes; ++a) {
+    for (std::uint32_t b = a + 1; b < cfg.nodes; ++b) {
+      Rng pair_rng = rng.fork((static_cast<std::uint64_t>(a) << 32) | b);
+      const double base_gap =
+          share_community(a, b) ? cfg.intra_mean_gap_s : cfg.inter_mean_gap_s;
+      // Per-pair heterogeneity: unit-mean lognormal multiplier on the gap.
+      const double sigma = cfg.rate_heterogeneity_sigma;
+      const double pair_scale = pair_rng.lognormal(-sigma * sigma / 2.0, sigma);
+      const double mean_gap = base_gap * pair_scale / (node_activity[a] * node_activity[b]);
+
+      // Renewal process: alternate (gap, contact) until the trace ends.
+      // The first gap gets a random phase so pairs don't synchronize at t=0.
+      double t = pair_rng.uniform(0.0, mean_gap);
+      while (t < duration_s) {
+        const double gap = mean_gap * gap_multiplier(pair_rng, cfg);
+        t += gap;
+        if (t >= duration_s) break;
+        const double dur = std::max(
+            1.0, pair_rng.lognormal(log_mean_contact, cfg.contact_sigma));
+        const TimePoint start = TimePoint::from_seconds(t);
+        if (pair_rng.chance(activity(cfg, start))) {
+          const double end_s = std::min(t + dur, duration_s);
+          if (end_s > t) {
+            out.trace.add(NodeId(a), NodeId(b), start, TimePoint::from_seconds(end_s));
+          }
+        }
+        t += dur;
+      }
+    }
+  }
+  out.trace.finalize();
+  return out;
+}
+
+SyntheticConfig infocom05(std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.nodes = 41;
+  cfg.duration = Duration::days(3);
+  cfg.communities = 4;
+  cfg.traveler_fraction = 0.1;
+  cfg.intra_mean_gap_s = 2800.0;    // conference crowd: group-mates re-meet hourly
+  cfg.inter_mean_gap_s = 86400.0;   // cross-group meetings daily
+  cfg.rate_heterogeneity_sigma = 0.5;
+  cfg.node_activity_sigma = 0.8;    // iMote-like device heterogeneity
+  cfg.mean_contact_s = 180.0;
+  cfg.diurnal = false;  // 3-hour experiment windows are taken inside sessions
+  cfg.seed = seed;
+  return cfg;
+}
+
+SyntheticConfig cambridge06(std::uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.nodes = 36;
+  cfg.duration = Duration::days(11);
+  cfg.communities = 2;  // two student cohorts, as detected in the paper's trace
+  cfg.traveler_fraction = 0.08;
+  cfg.intra_mean_gap_s = 5000.0;    // lab-mates: sparser than a conference
+  cfg.inter_mean_gap_s = 125000.0;  // cross-cohort every day or two
+  cfg.rate_heterogeneity_sigma = 0.5;
+  cfg.node_activity_sigma = 0.8;
+  cfg.mean_contact_s = 300.0;       // longer co-location (shared offices)
+  cfg.diurnal = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace g2g::trace

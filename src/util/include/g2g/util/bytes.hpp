@@ -1,0 +1,123 @@
+// Byte buffers and canonical (de)serialization.
+//
+// Every signed protocol artefact (proof of relay, forwarding-quality
+// declaration, proof of misbehaviour, ...) is signed over a canonical
+// little-endian byte encoding produced by Writer and consumed by Reader.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g2g {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Thrown by Reader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only canonical encoder (little-endian, length-prefixed blobs).
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+  /// Raw bytes, no length prefix (use for fixed-size fields like hashes).
+  void raw(BytesView b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  /// Length-prefixed blob.
+  void blob(BytesView b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+  void str(std::string_view s) {
+    blob(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  [[nodiscard]] const Bytes& bytes() const& { return out_; }
+  [[nodiscard]] Bytes take() && { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes out_;
+};
+
+/// Canonical decoder; throws DecodeError on truncation.
+class Reader {
+ public:
+  explicit Reader(BytesView in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
+  [[nodiscard]] std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] BytesView raw(std::size_t n) { return take(n); }
+  [[nodiscard]] Bytes blob() {
+    const auto n = u32();
+    const auto b = take(n);
+    return Bytes(b.begin(), b.end());
+  }
+  [[nodiscard]] std::string str() {
+    const auto b = blob();
+    return std::string(b.begin(), b.end());
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T read_le() {
+    const auto b = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(b[i]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] BytesView take(std::size_t n) {
+    if (remaining() < n) throw DecodeError("truncated input");
+    const BytesView out = in_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  BytesView in_;
+  std::size_t pos_ = 0;
+};
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(BytesView b);
+/// Inverse of to_hex; throws DecodeError on bad input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+/// Bytes of a string literal / string view.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+}  // namespace g2g

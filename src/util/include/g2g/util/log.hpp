@@ -1,0 +1,54 @@
+// Minimal leveled logger. Default level is Warn so simulations stay quiet;
+// benches and examples raise it explicitly when narrating runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace g2g {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a single log line (thread-compatible: the library is single-threaded
+/// by design; the simulator owns all state).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::Info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::Error, args...);
+}
+
+}  // namespace g2g

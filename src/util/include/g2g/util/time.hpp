@@ -1,0 +1,79 @@
+// Simulation time types.
+//
+// All simulation timestamps are integer microseconds since the start of the
+// trace. Integer time keeps the event queue deterministic across platforms
+// and makes equality comparisons exact, which the protocol timeout logic
+// (Delta1/Delta2 windows, quality timeframes) relies on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace g2g {
+
+/// A span of simulation time, in microseconds. Signed so differences are safe.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) { return Duration(v); }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) { return Duration(v * 1000); }
+  [[nodiscard]] static constexpr Duration seconds(double v) {
+    return Duration(static_cast<std::int64_t>(v * 1e6));
+  }
+  [[nodiscard]] static constexpr Duration minutes(double v) { return seconds(v * 60.0); }
+  [[nodiscard]] static constexpr Duration hours(double v) { return seconds(v * 3600.0); }
+  [[nodiscard]] static constexpr Duration days(double v) { return hours(v * 24.0); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return micros_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(micros_) / 1e6; }
+  [[nodiscard]] constexpr double to_minutes() const { return to_seconds() / 60.0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(micros_ + o.micros_); }
+  constexpr Duration operator-(Duration o) const { return Duration(micros_ - o.micros_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(micros_ * k); }
+  constexpr Duration operator/(std::int64_t k) const { return Duration(micros_ / k); }
+  constexpr Duration operator-() const { return Duration(-micros_); }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// A point in simulation time (microseconds since trace start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint(0); }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+  [[nodiscard]] static constexpr TimePoint from_seconds(double v) {
+    return TimePoint(static_cast<std::int64_t>(v * 1e6));
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return micros_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(micros_ + d.count()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(micros_ - d.count()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(micros_ - o.micros_); }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+/// Human-readable rendering, e.g. "1h02m03.5s".
+[[nodiscard]] std::string to_string(Duration d);
+[[nodiscard]] std::string to_string(TimePoint t);
+
+}  // namespace g2g

@@ -1,0 +1,55 @@
+#include "g2g/util/log.hpp"
+
+#include <cstdio>
+
+#include "g2g/util/time.hpp"
+
+namespace g2g {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+std::string to_string(Duration d) {
+  const bool neg = d.count() < 0;
+  std::int64_t us = neg ? -d.count() : d.count();
+  const std::int64_t h = us / 3'600'000'000LL;
+  us %= 3'600'000'000LL;
+  const std::int64_t m = us / 60'000'000LL;
+  us %= 60'000'000LL;
+  const double s = static_cast<double>(us) / 1e6;
+  char buf[64];
+  if (h > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm%04.1fs", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m), s);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%04.1fs", neg ? "-" : "",
+                  static_cast<long long>(m), s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", neg ? "-" : "", s);
+  }
+  return buf;
+}
+
+std::string to_string(TimePoint t) { return to_string(t - TimePoint::zero()); }
+
+}  // namespace g2g

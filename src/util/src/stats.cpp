@@ -1,0 +1,94 @@
+#include "g2g/util/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace g2g {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(o.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += o.m2_ + delta * delta * n * m / (n + m);
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(v_.begin(), v_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (v_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : v_) s += x;
+  return s / static_cast<double>(v_.size());
+}
+
+double Samples::stddev() const {
+  if (v_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const double x : v_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v_.size() - 1));
+}
+
+double Samples::quantile(double q) const {
+  if (v_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return v_.front();
+  if (q >= 1.0) return v_.back();
+  const double pos = q * static_cast<double>(v_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= v_.size()) return v_.back();
+  return v_[i] * (1.0 - frac) + v_[i + 1] * frac;
+}
+
+double Samples::min() const {
+  if (v_.empty()) return 0.0;
+  ensure_sorted();
+  return v_.front();
+}
+
+double Samples::max() const {
+  if (v_.empty()) return 0.0;
+  ensure_sorted();
+  return v_.back();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(hi > lo) || buckets == 0) throw std::invalid_argument("bad histogram bounds");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+    ++counts_[std::min(i, counts_.size() - 1)];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+}  // namespace g2g

@@ -1,0 +1,127 @@
+#include "g2g/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace g2g {
+namespace {
+
+TEST(Writer, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.str("hello");
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Writer, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(Writer, BlobIsLengthPrefixed) {
+  Writer w;
+  w.blob(to_bytes("xyz"));
+  EXPECT_EQ(w.size(), 4u + 3u);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.blob(), to_bytes("xyz"));
+}
+
+TEST(Writer, RawHasNoPrefix) {
+  Writer w;
+  w.raw(to_bytes("xyz"));
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Writer, EmptyBlob) {
+  Writer w;
+  w.blob({});
+  Reader r(w.bytes());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Writer, SpecialDoubles) {
+  for (const double v : {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::lowest(), -1e18, 1e-300}) {
+    Writer w;
+    w.f64(v);
+    Reader r(w.bytes());
+    EXPECT_EQ(r.f64(), v);
+  }
+}
+
+TEST(Reader, ThrowsOnTruncatedInput) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.u64(), DecodeError);
+}
+
+TEST(Reader, ThrowsOnTruncatedBlob) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(to_bytes("short"));
+  Reader r(w.bytes());
+  EXPECT_THROW((void)r.blob(), DecodeError);
+}
+
+TEST(Reader, RemainingTracksPosition) {
+  Writer w;
+  w.u64(1);
+  w.u64(2);
+  Reader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u64();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW((void)from_hex("abc"), DecodeError);   // odd length
+  EXPECT_THROW((void)from_hex("zz"), DecodeError);    // invalid digit
+  EXPECT_THROW((void)from_hex("0 "), DecodeError);
+}
+
+TEST(Bytes, ToBytesPreservesContent) {
+  const Bytes b = to_bytes("a\0b");  // string_view of literal stops at NUL here
+  EXPECT_EQ(b.size(), 1u);           // "a" only: documents the gotcha
+  const std::string s("a\0b", 3);
+  EXPECT_EQ(to_bytes(s).size(), 3u);
+}
+
+}  // namespace
+}  // namespace g2g

@@ -1,0 +1,195 @@
+#include "g2g/community/kclique.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "g2g/trace/synthetic.hpp"
+
+namespace g2g::community {
+namespace {
+
+ContactGraph graph_from_edges(std::size_t n,
+                              std::initializer_list<std::pair<int, int>> edges) {
+  ContactGraph g(n);
+  for (const auto& [a, b] : edges) {
+    g.add_edge(NodeId(static_cast<std::uint32_t>(a)), NodeId(static_cast<std::uint32_t>(b)));
+  }
+  return g;
+}
+
+TEST(ContactGraph, BasicOperations) {
+  ContactGraph g(4);
+  g.add_edge(NodeId(0), NodeId(1));
+  g.add_edge(NodeId(1), NodeId(0));  // duplicate, no-op
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_TRUE(g.has_edge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(g.has_edge(NodeId(1), NodeId(0)));
+  EXPECT_FALSE(g.has_edge(NodeId(0), NodeId(2)));
+  EXPECT_EQ(g.degree(NodeId(0)), 1u);
+  EXPECT_EQ(g.neighbors(NodeId(1)), std::vector<NodeId>{NodeId(0)});
+  EXPECT_THROW(g.add_edge(NodeId(0), NodeId(0)), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(NodeId(0), NodeId(9)), std::out_of_range);
+}
+
+TEST(ContactGraph, BuildFromTraceThresholds) {
+  trace::ContactTrace t;
+  const auto at = [](double s) { return TimePoint::from_seconds(s); };
+  // Pair (0,1): 3 short contacts -> qualifies by count.
+  for (int i = 0; i < 3; ++i) {
+    t.add(NodeId(0), NodeId(1), at(i * 100.0), at(i * 100.0 + 5.0));
+  }
+  // Pair (2,3): single very long contact -> qualifies by duration.
+  t.add(NodeId(2), NodeId(3), at(0), at(1200));
+  // Pair (0,2): single short contact -> no edge.
+  t.add(NodeId(0), NodeId(2), at(0), at(5));
+  t.finalize();
+
+  ContactGraphConfig cfg;
+  cfg.min_contacts = 3;
+  cfg.min_total_duration = Duration::minutes(10);
+  const ContactGraph g(t, cfg);
+  EXPECT_TRUE(g.has_edge(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(g.has_edge(NodeId(2), NodeId(3)));
+  EXPECT_FALSE(g.has_edge(NodeId(0), NodeId(2)));
+}
+
+TEST(ContactGraphConfig, ForSpanScalesWithDays) {
+  const auto short_cfg = ContactGraphConfig::for_span(Duration::days(1), 6.0, 20.0);
+  const auto long_cfg = ContactGraphConfig::for_span(Duration::days(10), 6.0, 20.0);
+  EXPECT_EQ(short_cfg.min_contacts, 6u);
+  EXPECT_EQ(long_cfg.min_contacts, 60u);
+  EXPECT_EQ(long_cfg.min_total_duration, Duration::minutes(200));
+}
+
+TEST(MaximalCliques, Triangle) {
+  const ContactGraph g = graph_from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto cliques = maximal_cliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<NodeId>{NodeId(0), NodeId(1), NodeId(2)}));
+}
+
+TEST(MaximalCliques, PathGraphGivesEdges) {
+  const ContactGraph g = graph_from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto cliques = maximal_cliques(g);
+  EXPECT_EQ(cliques.size(), 3u);
+  for (const auto& c : cliques) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(MaximalCliques, CompleteGraph) {
+  ContactGraph g(5);
+  for (std::uint32_t a = 0; a < 5; ++a) {
+    for (std::uint32_t b = a + 1; b < 5; ++b) g.add_edge(NodeId(a), NodeId(b));
+  }
+  const auto cliques = maximal_cliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 5u);
+}
+
+TEST(MaximalCliques, IsolatedVerticesYieldNoCliques) {
+  const ContactGraph g(3);  // no edges
+  // Isolated vertices are maximal cliques of size 1.
+  EXPECT_EQ(maximal_cliques(g).size(), 3u);
+}
+
+TEST(KClique, TwoTrianglesSharingOneVertexStaySeparate) {
+  // Sharing one vertex (< k-1 = 2 for k=3) must NOT merge the communities.
+  const ContactGraph g =
+      graph_from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  const CommunityMap cm = k_clique_communities(g, 3);
+  ASSERT_EQ(cm.group_count(), 2u);
+  EXPECT_TRUE(cm.same_community(NodeId(0), NodeId(1)));
+  EXPECT_TRUE(cm.same_community(NodeId(3), NodeId(4)));
+  EXPECT_FALSE(cm.same_community(NodeId(0), NodeId(4)));
+  // The shared vertex 2 is in both communities.
+  EXPECT_EQ(cm.groups_of(NodeId(2)).size(), 2u);
+  EXPECT_TRUE(cm.same_community(NodeId(2), NodeId(0)));
+  EXPECT_TRUE(cm.same_community(NodeId(2), NodeId(4)));
+}
+
+TEST(KClique, TrianglesSharingAnEdgeMerge) {
+  // Sharing an edge (k-1 = 2 nodes) merges.
+  const ContactGraph g = graph_from_edges(4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}});
+  const CommunityMap cm = k_clique_communities(g, 3);
+  ASSERT_EQ(cm.group_count(), 1u);
+  EXPECT_EQ(cm.groups()[0].size(), 4u);
+}
+
+TEST(KClique, ChainOfTrianglesPercolates) {
+  // 0-1-2, 1-2-3, 2-3-4: adjacent triangles overlap in 2 nodes -> one community.
+  const ContactGraph g =
+      graph_from_edges(5, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}});
+  const CommunityMap cm = k_clique_communities(g, 3);
+  ASSERT_EQ(cm.group_count(), 1u);
+  EXPECT_EQ(cm.groups()[0].size(), 5u);
+}
+
+TEST(KClique, K4RequiresDenserOverlap) {
+  // Two K4s sharing a single edge (2 nodes < k-1 = 3) stay separate for k=4.
+  ContactGraph g(6);
+  for (const auto& [a, b] : std::initializer_list<std::pair<int, int>>{
+           {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},     // K4 on 0..3
+           {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}}) {          // K4 on 2..5
+    g.add_edge(NodeId(static_cast<std::uint32_t>(a)), NodeId(static_cast<std::uint32_t>(b)));
+  }
+  EXPECT_EQ(k_clique_communities(g, 4).group_count(), 2u);
+  // For k=3, the shared edge suffices to merge.
+  EXPECT_EQ(k_clique_communities(g, 3).group_count(), 1u);
+}
+
+TEST(KClique, NodesBelowKAreUnassigned) {
+  const ContactGraph g = graph_from_edges(4, {{0, 1}, {0, 2}, {1, 2}});  // node 3 isolated
+  const CommunityMap cm = k_clique_communities(g, 3);
+  EXPECT_TRUE(cm.groups_of(NodeId(3)).empty());
+  EXPECT_FALSE(cm.same_community(NodeId(3), NodeId(0)));
+  EXPECT_FALSE(cm.same_community(NodeId(3), NodeId(3)));  // isolated: no community
+}
+
+TEST(KClique, RejectsK1) {
+  const ContactGraph g(3);
+  EXPECT_THROW((void)k_clique_communities(g, 1), std::invalid_argument);
+}
+
+TEST(CommunityMap, ExplicitGroups) {
+  const CommunityMap cm(6, {{NodeId(0), NodeId(1), NodeId(2)}, {NodeId(2), NodeId(3)}});
+  EXPECT_TRUE(cm.same_community(NodeId(0), NodeId(2)));
+  EXPECT_TRUE(cm.same_community(NodeId(2), NodeId(3)));
+  EXPECT_FALSE(cm.same_community(NodeId(0), NodeId(3)));
+  EXPECT_FALSE(cm.same_community(NodeId(4), NodeId(5)));
+  EXPECT_THROW(CommunityMap(2, {{NodeId(5)}}), std::out_of_range);
+}
+
+TEST(KClique, RecoversPlantedCommunitiesInSyntheticTrace) {
+  // End-to-end: the detector run on a planted-partition synthetic trace must
+  // substantially agree with the ground truth.
+  trace::SyntheticConfig cfg;
+  cfg.nodes = 24;
+  cfg.communities = 3;
+  cfg.duration = Duration::days(2);
+  cfg.traveler_fraction = 0.0;
+  cfg.intra_mean_gap_s = 1200.0;
+  cfg.inter_mean_gap_s = 86400.0;
+  cfg.rate_heterogeneity_sigma = 0.3;
+  cfg.seed = 3;
+  const trace::SyntheticTrace t = trace::generate_trace(cfg);
+
+  const ContactGraph g(t.trace, ContactGraphConfig::for_span(cfg.duration, 20.0, 80.0));
+  const CommunityMap cm = k_clique_communities(g, 3);
+  ASSERT_EQ(cm.group_count(), 3u);
+
+  // Each detected community must be dominated by one ground-truth community.
+  for (const auto& detected : cm.groups()) {
+    std::size_t best_overlap = 0;
+    for (const auto& truth : t.communities) {
+      std::vector<NodeId> inter;
+      std::set_intersection(detected.begin(), detected.end(), truth.begin(), truth.end(),
+                            std::back_inserter(inter));
+      best_overlap = std::max(best_overlap, inter.size());
+    }
+    EXPECT_GE(best_overlap * 10, detected.size() * 9)
+        << "detected community not aligned with ground truth";
+  }
+}
+
+}  // namespace
+}  // namespace g2g::community

@@ -1,0 +1,142 @@
+#include "g2g/proto/delegation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto_test_util.hpp"
+
+namespace g2g::proto {
+namespace {
+
+using testutil::Contact;
+using testutil::World;
+using testutil::make_trace;
+
+using DelegationWorld = World<DelegationNode>;
+
+// Contacts that give node 1 a high frequency toward node 3 before traffic.
+constexpr double kWarm = 10.0;
+
+TEST(Delegation, DirectDeliveryIgnoresQuality) {
+  DelegationWorld w(make_trace(4, {{0, 1, 100, 110}}));
+  const MessageId id = w.send(0, 1, 50);
+  w.run();
+  EXPECT_TRUE(w.delivered(id));
+}
+
+TEST(Delegation, ForwardsOnlyToBetterNodes) {
+  // Node 1 met destination 3 twice (t=10, 20); node 2 never did. A message
+  // 0 -> 3 must be delegated to 1 but not to 2.
+  DelegationWorld w(make_trace(5, {{1, 3, kWarm, kWarm + 2},
+                                   {1, 3, 20, 22},
+                                   {0, 2, 1000, 1010},
+                                   {0, 1, 1100, 1110}}));
+  const MessageId id = w.send(0, 3, 900);
+  w.run();
+  EXPECT_FALSE(w.node(2).carries(MessageHash{}));  // structural: see buffer sizes
+  EXPECT_EQ(w.node(2).buffer_size(), 0u);
+  EXPECT_EQ(w.node(1).buffer_size(), 1u);
+  EXPECT_EQ(w.replicas(id), 1u);
+}
+
+TEST(Delegation, QualityThresholdRises) {
+  // After delegating to node 1 (quality 2 toward dst 4), an equal-quality
+  // node 2 must NOT receive a replica (strictly better required).
+  DelegationWorld w(make_trace(5, {{1, 4, 10, 12},
+                                   {1, 4, 20, 22},
+                                   {2, 4, 30, 32},
+                                   {2, 4, 40, 42},
+                                   {0, 1, 1000, 1010},
+                                   {0, 2, 1100, 1110}}));
+  const MessageId id = w.send(0, 4, 900);
+  w.run();
+  EXPECT_EQ(w.replicas(id), 1u);  // only node 1
+  EXPECT_EQ(w.node(2).buffer_size(), 0u);
+}
+
+TEST(Delegation, HigherQualityNodeStillAccepted) {
+  // Node 2 has strictly higher quality (3 encounters) than node 1 (2): both
+  // get replicas, in order.
+  DelegationWorld w(make_trace(5, {{1, 4, 10, 12},
+                                   {1, 4, 20, 22},
+                                   {2, 4, 30, 32},
+                                   {2, 4, 40, 42},
+                                   {2, 4, 50, 52},
+                                   {0, 1, 1000, 1010},
+                                   {0, 2, 1100, 1110}}));
+  const MessageId id = w.send(0, 4, 900);
+  w.run();
+  EXPECT_EQ(w.replicas(id), 2u);
+}
+
+TEST(Delegation, LastContactKindUsesRecency) {
+  auto cfg = DelegationWorld::default_config();
+  cfg.node.quality_kind = QualityKind::DestinationLastContact;
+  // Node 1 met dst long ago; node 2 met dst recently. Source meets 1 first
+  // (replica), then 2 (more recent: replica).
+  DelegationWorld w(make_trace(5, {{1, 4, 10, 12},
+                                   {2, 4, 500, 510},
+                                   {0, 1, 1000, 1010},
+                                   {0, 2, 1100, 1110}}),
+                    cfg);
+  const MessageId id = w.send(0, 4, 900);
+  w.run();
+  EXPECT_EQ(w.replicas(id), 2u);
+}
+
+TEST(Delegation, LiarNeverReceivesReplicas) {
+  DelegationWorld w(make_trace(5, {{1, 3, 10, 12}, {1, 3, 20, 22}, {0, 1, 1000, 1010}}),
+                    {{}, {Behavior::Liar, false}, {}, {}, {}});
+  const MessageId id = w.send(0, 3, 900);
+  w.run();
+  EXPECT_EQ(w.replicas(id), 0u);
+  EXPECT_EQ(w.node(1).buffer_size(), 0u);
+}
+
+TEST(Delegation, LiarStillGetsDirectDelivery) {
+  DelegationWorld w(make_trace(4, {{0, 1, 100, 110}}), {{}, {Behavior::Liar, false}, {}, {}});
+  const MessageId id = w.send(0, 1, 50);
+  w.run();
+  EXPECT_TRUE(w.delivered(id));
+}
+
+TEST(Delegation, DropperAcceptsThenDiscards) {
+  DelegationWorld w(make_trace(5, {{1, 3, 10, 12}, {0, 1, 1000, 1010}, {1, 3, 2000, 2010}}),
+                    {{}, {Behavior::Dropper, false}, {}, {}, {}});
+  const MessageId id = w.send(0, 3, 900);
+  w.run();
+  // The replica was handed to the dropper (cost paid) but never delivered.
+  EXPECT_EQ(w.replicas(id), 1u);
+  EXPECT_FALSE(w.delivered(id));
+}
+
+TEST(Delegation, DeclareQualityMatchesTable) {
+  DelegationWorld w(make_trace(4, {{1, 2, 10, 12}, {1, 2, 20, 22}}));
+  w.run();
+  EXPECT_DOUBLE_EQ(w.node(1).declare_quality(NodeId(2), NodeId(0)), 2.0);
+  EXPECT_DOUBLE_EQ(w.node(1).declare_quality(NodeId(3), NodeId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(w.node(1).table().current(QualityKind::DestinationFrequency, NodeId(2)),
+                   2.0);
+}
+
+TEST(Delegation, MessageQualityInitializedFromSender) {
+  // Source 0 already met dst 3 twice: its f_m = 2, so node 1 with a single
+  // encounter must not receive a replica.
+  DelegationWorld w(make_trace(5, {{0, 3, 10, 12},
+                                   {0, 3, 20, 22},
+                                   {1, 3, 30, 32},
+                                   {0, 1, 1000, 1010}}));
+  const MessageId id = w.send(0, 3, 900);
+  w.run();
+  EXPECT_EQ(w.replicas(id), 0u);
+}
+
+TEST(Delegation, TtlPurgesReplicas) {
+  DelegationWorld w(make_trace(5, {{1, 3, 10, 12}, {0, 1, 1000, 1010}, {1, 3, 4000, 4010}}));
+  const MessageId id = w.send(0, 3, 900);  // TTL 1800 => dead by 2700
+  w.run();
+  EXPECT_EQ(w.replicas(id), 1u);
+  EXPECT_FALSE(w.delivered(id));  // the 4000s meeting is past TTL
+}
+
+}  // namespace
+}  // namespace g2g::proto

@@ -1,0 +1,147 @@
+// Robustness of every decoder against malformed input: random bytes and
+// random truncations/mutations of valid encodings must either decode or
+// throw DecodeError — never crash, hang, or read out of bounds.
+#include <gtest/gtest.h>
+
+#include "g2g/crypto/identity.hpp"
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/proto/message.hpp"
+#include "g2g/proto/wire.hpp"
+#include "g2g/util/rng.hpp"
+
+namespace g2g {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+template <typename Decode>
+void expect_no_crash(Rng& rng, Decode&& decode, int rounds = 300) {
+  for (int i = 0; i < rounds; ++i) {
+    const Bytes junk = random_bytes(rng, rng.below(200));
+    try {
+      decode(junk);
+    } catch (const DecodeError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(FuzzDecode, ProofOfRelaySurvivesJunk) {
+  Rng rng(101);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::ProofOfRelay::decode(b); });
+}
+
+TEST(FuzzDecode, QualityDeclarationSurvivesJunk) {
+  Rng rng(102);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::QualityDeclaration::decode(b); });
+}
+
+TEST(FuzzDecode, SealedMessageSurvivesJunk) {
+  Rng rng(103);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::SealedMessage::decode(b); });
+}
+
+TEST(FuzzDecode, CertificateSurvivesJunk) {
+  Rng rng(104);
+  expect_no_crash(rng, [](const Bytes& b) { (void)crypto::Certificate::decode(b); });
+}
+
+TEST(FuzzDecode, SchnorrSignatureSurvivesJunk) {
+  Rng rng(105);
+  expect_no_crash(rng, [](const Bytes& b) { (void)crypto::SchnorrSignature::decode(b); });
+}
+
+TEST(FuzzDecode, TruncationsOfValidEncodings) {
+  Rng rng(106);
+  proto::ProofOfRelay por;
+  por.h.fill(0x7c);
+  por.giver = NodeId(1);
+  por.taker = NodeId(2);
+  por.delegation = true;
+  por.taker_signature = random_bytes(rng, 64);
+  const Bytes valid = por.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::ProofOfRelay::decode(truncated), DecodeError) << cut;
+  }
+  // The full encoding round-trips.
+  const proto::ProofOfRelay decoded = proto::ProofOfRelay::decode(valid);
+  EXPECT_EQ(decoded.h, por.h);
+}
+
+TEST(FuzzDecode, SingleByteMutationsNeverCrash) {
+  Rng rng(107);
+  proto::QualityDeclaration decl;
+  decl.declarer = NodeId(3);
+  decl.dst = NodeId(4);
+  decl.value = 7.0;
+  decl.frame = 2;
+  decl.at = TimePoint::from_seconds(10.0);
+  decl.signature = random_bytes(rng, 32);
+  const Bytes valid = decl.encode();
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      Bytes mutated = valid;
+      mutated[i] ^= flip;
+      try {
+        (void)proto::QualityDeclaration::decode(mutated);
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+}
+
+TEST(FuzzDecode, VerifyPomOnRandomEvidenceNeverAccepts) {
+  // Random evidence must never produce a verifiable PoM (only properly
+  // signed evidence does).
+  Rng rng(108);
+  const crypto::SuitePtr suite = crypto::make_fast_suite(0xF077);
+  crypto::Authority authority(suite, rng);
+  proto::Roster roster;
+  std::vector<crypto::NodeIdentity> ids;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ids.emplace_back(suite, NodeId(i), authority, rng);
+    roster.add(ids.back().certificate());
+  }
+  for (int round = 0; round < 100; ++round) {
+    proto::ProofOfMisbehavior pom;
+    pom.kind = static_cast<proto::ProofOfMisbehavior::Kind>(rng.below(3));
+    pom.culprit = NodeId(static_cast<std::uint32_t>(rng.below(3)));
+    pom.accuser = NodeId(static_cast<std::uint32_t>(rng.below(3)));
+    proto::ProofOfRelay por;
+    por.giver = pom.accuser;
+    por.taker = pom.culprit;
+    por.delegation = true;
+    por.taker_signature = random_bytes(rng, 32);  // junk signature
+    pom.evidence_accepted = por;
+    pom.evidence_forwarded = por;
+    proto::QualityDeclaration decl;
+    decl.declarer = pom.culprit;
+    decl.signature = random_bytes(rng, 32);
+    pom.evidence_declaration = decl;
+    EXPECT_FALSE(proto::verify_pom(*suite, roster, pom));
+  }
+}
+
+TEST(FuzzDecode, U256FromHexSurvivesJunkStrings) {
+  Rng rng(109);
+  const char alphabet[] = "0123456789abcdefXYZ -";
+  for (int i = 0; i < 300; ++i) {
+    std::string s;
+    const std::size_t len = rng.below(80);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    try {
+      (void)crypto::U256::from_hex(s);
+    } catch (const DecodeError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace g2g

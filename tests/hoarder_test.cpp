@@ -1,0 +1,140 @@
+// The hoarder deviation: stores everything, relays nothing, answers storage
+// tests honestly. Undetectable by construction — the heavy HMAC is the
+// counter-incentive (Section IV-C). These tests pin down both halves:
+// no detection ever, and a strictly worse payoff than faithful behaviour.
+#include <gtest/gtest.h>
+
+#include "g2g/core/experiment.hpp"
+#include "g2g/proto/epidemic.hpp"
+#include "g2g/proto/g2g_epidemic.hpp"
+#include "proto_test_util.hpp"
+
+namespace g2g::proto {
+namespace {
+
+using testutil::Contact;
+using testutil::World;
+using testutil::make_trace;
+
+constexpr double kD1 = 1800.0;
+
+TEST(Hoarder, NeverRelaysOthersMessages) {
+  World<G2GEpidemicNode> w(make_trace(5, {{0, 1, 100, 110}, {1, 2, 300, 310}}),
+                           {{}, {Behavior::Hoarder, false}, {}, {}, {}});
+  const MessageId id = w.send(0, 2, 50);
+  w.run();
+  EXPECT_FALSE(w.delivered(id));
+  EXPECT_EQ(w.replicas(id), 1u);  // only source -> hoarder
+  EXPECT_TRUE(w.node(1).stores_message(MessageHash{}) == false);  // structural
+  EXPECT_GT(w.node(1).buffered_bytes(), 0);  // but it does store the payload
+}
+
+TEST(Hoarder, PassesStorageTestUndetected) {
+  World<G2GEpidemicNode> w(
+      make_trace(4, {{0, 1, 100, 110}, {0, 1, 100 + kD1 + 60, 100 + kD1 + 70}}),
+      {{}, {Behavior::Hoarder, false}, {}, {}});
+  w.send(0, 3, 50);
+  w.run();
+  // The hoarder is never caught...
+  EXPECT_TRUE(w.collector().detections().empty());
+  EXPECT_TRUE(w.collector().evictions().empty());
+  // ...but it paid the heavy HMAC for the test.
+  EXPECT_GE(w.collector().costs(NodeId(1)).heavy_hmacs, 1u);
+}
+
+TEST(Hoarder, StillSpreadsItsOwnMessages) {
+  World<G2GEpidemicNode> w(make_trace(5, {{1, 2, 100, 110}, {2, 3, 300, 310}}),
+                           {{}, {Behavior::Hoarder, false}, {}, {}, {}});
+  const MessageId id = w.send(1, 3, 50);  // the hoarder is the source
+  w.run();
+  EXPECT_TRUE(w.delivered(id));
+}
+
+TEST(Hoarder, VanillaEpidemicHoarderBlocksRelay) {
+  World<EpidemicNode> w(make_trace(5, {{0, 1, 100, 110}, {1, 2, 300, 310}}),
+                        {{}, {Behavior::Hoarder, false}, {}, {}, {}});
+  const MessageId id = w.send(0, 2, 50);
+  w.run();
+  EXPECT_FALSE(w.delivered(id));
+  // The hoarder accepted (and stores) the replica but never forwarded it.
+  EXPECT_EQ(w.node(1).buffer_size(), 1u);
+}
+
+TEST(Hoarder, VanillaHoarderStillSendsOwnTraffic) {
+  World<EpidemicNode> w(make_trace(5, {{1, 2, 100, 110}, {2, 3, 300, 310}}),
+                        {{}, {Behavior::Hoarder, false}, {}, {}, {}});
+  const MessageId id = w.send(1, 3, 50);
+  w.run();
+  EXPECT_TRUE(w.delivered(id));
+}
+
+TEST(Hoarder, WithOutsidersRelaysForInsiders) {
+  auto cfg = World<G2GEpidemicNode>::default_config();
+  cfg.communities =
+      community::CommunityMap(5, {{NodeId(0), NodeId(1)}, {NodeId(2), NodeId(3), NodeId(4)}});
+  World<G2GEpidemicNode> w(make_trace(5, {{0, 1, 100, 110}, {1, 2, 300, 310}}), cfg,
+                           {{}, {Behavior::Hoarder, true}, {}, {}, {}});
+  // Giver 0 is an insider of hoarder 1: the message is relayed onward.
+  const MessageId id = w.send(0, 2, 50);
+  w.run();
+  EXPECT_TRUE(w.delivered(id));
+}
+
+}  // namespace
+}  // namespace g2g::proto
+
+namespace g2g::core {
+namespace {
+
+TEST(HoarderNash, HoardingDoesNotPayDespiteBeingUndetectable) {
+  ExperimentConfig cfg;
+  cfg.scenario = infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 24;
+  cfg.scenario.trace_config.duration = Duration::days(2);
+  cfg.scenario.window_start = TimePoint::from_seconds(8.0 * 3600.0);
+  cfg.protocol = Protocol::G2GEpidemic;
+  cfg.sim_window = Duration::hours(3);
+  cfg.traffic_window = Duration::hours(2);
+  cfg.mean_interarrival = Duration::seconds(12.0);
+  cfg.deviation = proto::Behavior::Hoarder;
+  cfg.deviant_count = 6;
+  cfg.seed = 31;
+  const ExperimentResult r = run_experiment(cfg);
+
+  // Undetectable: no PoMs, no evictions.
+  EXPECT_TRUE(r.collector.detections().empty());
+  EXPECT_EQ(r.detected_count, 0u);
+
+  // The heavy HMAC bill: hoarders answer storage tests, faithful relays
+  // virtually never do ("the heavy HMAC is virtually never executed if no
+  // node deviates" — Section IV-B).
+  double hoarder_hmacs = 0.0;
+  double faithful_hmacs = 0.0;
+  double hoarder_payoff = 0.0;
+  double faithful_payoff = 0.0;
+  std::size_t nh = 0;
+  std::size_t nf = 0;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    const bool hoarder =
+        std::binary_search(r.deviants.begin(), r.deviants.end(), NodeId(i));
+    const auto& costs = r.collector.costs(NodeId(i));
+    if (hoarder) {
+      hoarder_hmacs += static_cast<double>(costs.heavy_hmacs);
+      hoarder_payoff += node_payoff(r, NodeId(i));
+      ++nh;
+    } else {
+      // Sources verifying STORED responses also compute the HMAC; count
+      // only prover-side responses by looking at non-source relays is hard
+      // here, so compare per-group totals instead.
+      faithful_hmacs += static_cast<double>(costs.heavy_hmacs);
+      faithful_payoff += node_payoff(r, NodeId(i));
+      ++nf;
+    }
+  }
+  EXPECT_GT(hoarder_hmacs / static_cast<double>(nh), 0.0);
+  EXPECT_LE(hoarder_payoff / static_cast<double>(nh),
+            faithful_payoff / static_cast<double>(nf));
+}
+
+}  // namespace
+}  // namespace g2g::core

@@ -1,0 +1,73 @@
+#include "g2g/crypto/identity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "g2g/crypto/sealed_box.hpp"
+
+namespace g2g::crypto {
+namespace {
+
+class IdentityTest : public ::testing::Test {
+ protected:
+  SuitePtr suite_ = make_fast_suite(0xCE47);
+  Rng rng_{77};
+  Authority authority_{suite_, rng_};
+};
+
+TEST_F(IdentityTest, CertificateVerifies) {
+  const NodeIdentity id(suite_, NodeId(3), authority_, rng_);
+  EXPECT_EQ(id.node(), NodeId(3));
+  EXPECT_TRUE(check_certificate(*suite_, authority_.public_key(), id.certificate()));
+}
+
+TEST_F(IdentityTest, ForgedCertificateRejected) {
+  const NodeIdentity id(suite_, NodeId(3), authority_, rng_);
+  Certificate forged = id.certificate();
+  forged.node = NodeId(4);  // claim another identity under the same key
+  EXPECT_FALSE(check_certificate(*suite_, authority_.public_key(), forged));
+
+  Certificate bad_key = id.certificate();
+  bad_key.public_key[0] ^= 1;
+  EXPECT_FALSE(check_certificate(*suite_, authority_.public_key(), bad_key));
+}
+
+TEST_F(IdentityTest, CertificateFromOtherAuthorityRejected) {
+  Rng rng2(78);
+  const Authority rogue(suite_, rng2);
+  const NodeIdentity id(suite_, NodeId(5), rogue, rng2);
+  EXPECT_FALSE(check_certificate(*suite_, authority_.public_key(), id.certificate()));
+}
+
+TEST_F(IdentityTest, CertificateEncodingRoundTrip) {
+  const NodeIdentity id(suite_, NodeId(9), authority_, rng_);
+  const Certificate decoded = Certificate::decode(id.certificate().encode());
+  EXPECT_EQ(decoded.node, id.certificate().node);
+  EXPECT_EQ(decoded.public_key, id.certificate().public_key);
+  EXPECT_EQ(decoded.authority_signature, id.certificate().authority_signature);
+}
+
+TEST_F(IdentityTest, SignAndVerifyBetweenIdentities) {
+  const NodeIdentity alice(suite_, NodeId(1), authority_, rng_);
+  const NodeIdentity bob(suite_, NodeId(2), authority_, rng_);
+  const Bytes msg = to_bytes("POR");
+  const Bytes sig = alice.sign(msg);
+  EXPECT_TRUE(bob.verify_from(alice.certificate(), msg, sig));
+  EXPECT_FALSE(bob.verify_from(bob.certificate(), msg, sig));
+}
+
+TEST_F(IdentityTest, SharedSecretAgreesAcrossIdentities) {
+  const NodeIdentity alice(suite_, NodeId(1), authority_, rng_);
+  const NodeIdentity bob(suite_, NodeId(2), authority_, rng_);
+  EXPECT_EQ(alice.shared_secret_with(bob.certificate().public_key),
+            bob.shared_secret_with(alice.certificate().public_key));
+}
+
+TEST_F(IdentityTest, OpenBoxDecryptsSealedContent) {
+  const NodeIdentity alice(suite_, NodeId(1), authority_, rng_);
+  const Bytes plain = to_bytes("inner message");
+  const SealedBox box = seal(*suite_, rng_, alice.certificate().public_key, plain);
+  EXPECT_EQ(alice.open_box(box), plain);
+}
+
+}  // namespace
+}  // namespace g2g::crypto

@@ -1,0 +1,149 @@
+// Cross-module integration: paper-scale scenarios exercising the full
+// pipeline (synthetic trace -> k-clique communities -> network -> metrics)
+// and asserting the qualitative shapes the paper reports.
+#include <gtest/gtest.h>
+
+#include "g2g/core/experiment.hpp"
+
+namespace g2g::core {
+namespace {
+
+ExperimentConfig paper_config(Protocol p, const Scenario& s) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.scenario = s;
+  cfg.seed = 4;
+  // Paper workload, thinned 4x to keep the suite quick but statistically
+  // meaningful (~450 messages).
+  cfg.mean_interarrival = Duration::seconds(16.0);
+  return cfg;
+}
+
+TEST(Integration, EpidemicDeliversMostMessagesOnBothTraces) {
+  for (const auto& scen : {infocom05_scenario(), cambridge06_scenario()}) {
+    const ExperimentResult r = run_experiment(paper_config(Protocol::Epidemic, scen));
+    EXPECT_GT(r.success_rate, 0.55) << scen.name;
+    EXPECT_GT(r.generated, 300u);
+  }
+}
+
+TEST(Integration, DroppersCollapseEpidemicDelivery) {
+  const Scenario scen = infocom05_scenario();
+  auto cfg = paper_config(Protocol::Epidemic, scen);
+  const double baseline = run_experiment(cfg).success_rate;
+
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = scen.trace_config.nodes;  // everyone drops
+  const double floor = run_experiment(cfg).success_rate;
+  EXPECT_LT(floor, baseline * 0.6);  // "drops to unacceptably low" (Fig. 3)
+  EXPECT_GT(floor, 0.0);             // direct src->dst meetings still deliver
+}
+
+TEST(Integration, OutsiderDroppersHurtLess) {
+  const Scenario scen = cambridge06_scenario();
+  auto cfg = paper_config(Protocol::Epidemic, scen);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = scen.trace_config.nodes;
+  const double plain = run_experiment(cfg).success_rate;
+  cfg.with_outsiders = true;
+  const double outsiders = run_experiment(cfg).success_rate;
+  EXPECT_GT(outsiders, plain);  // intra-community forwarding survives
+}
+
+TEST(Integration, G2GEpidemicCostsLessThanEpidemic) {
+  const Scenario scen = infocom05_scenario();
+  const ExperimentResult epi = run_experiment(paper_config(Protocol::Epidemic, scen));
+  const ExperimentResult g2g = run_experiment(paper_config(Protocol::G2GEpidemic, scen));
+  // The two-relay cap cuts replicas (paper: ~20%); delivery stays comparable.
+  EXPECT_LT(g2g.avg_replicas, epi.avg_replicas);
+  EXPECT_GT(g2g.success_rate, epi.success_rate * 0.6);
+}
+
+TEST(Integration, G2GDelegationCostsLessThanDelegation) {
+  const Scenario scen = cambridge06_scenario();
+  const ExperimentResult vanilla =
+      run_experiment(paper_config(Protocol::DelegationLastContact, scen));
+  const ExperimentResult g2g =
+      run_experiment(paper_config(Protocol::G2GDelegationLastContact, scen));
+  EXPECT_LT(g2g.avg_replicas, vanilla.avg_replicas);
+  EXPECT_GT(g2g.success_rate, vanilla.success_rate * 0.75);
+}
+
+TEST(Integration, DelegationCheaperThanEpidemic) {
+  const Scenario scen = infocom05_scenario();
+  const ExperimentResult epi = run_experiment(paper_config(Protocol::Epidemic, scen));
+  const ExperimentResult del =
+      run_experiment(paper_config(Protocol::DelegationFrequency, scen));
+  EXPECT_LT(del.avg_replicas, epi.avg_replicas * 0.5);
+}
+
+TEST(Integration, DropperDetectionFastAndReliable) {
+  const Scenario scen = infocom05_scenario();
+  auto cfg = paper_config(Protocol::G2GEpidemic, scen);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = 10;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GE(r.detection_rate, 0.8);  // paper: 94.7%
+  EXPECT_EQ(r.false_positives, 0u);
+  // "deviations are detected very quickly (on the order of minutes)"
+  EXPECT_LT(r.detection_minutes_after_delta1.mean(), 45.0);
+}
+
+TEST(Integration, DelegationDetectionCoversAllDeviations) {
+  const Scenario scen = infocom05_scenario();
+  for (const proto::Behavior b :
+       {proto::Behavior::Dropper, proto::Behavior::Liar, proto::Behavior::Cheater}) {
+    auto cfg = paper_config(Protocol::G2GDelegationLastContact, scen);
+    cfg.deviation = b;
+    cfg.deviant_count = 10;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_GE(r.detection_rate, 0.5) << proto::to_string(b);
+    EXPECT_EQ(r.false_positives, 0u) << proto::to_string(b);
+  }
+}
+
+TEST(Integration, DetectionTimeIndependentOfDeviantCount) {
+  // Fig. 4 / Fig. 7: detection time does not grow with the number of
+  // deviants. Compare few vs many droppers.
+  const Scenario scen = infocom05_scenario();
+  auto cfg = paper_config(Protocol::G2GEpidemic, scen);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = 5;
+  const double few = run_experiment(cfg).detection_minutes_after_delta1.mean();
+  cfg.deviant_count = 25;
+  cfg.seed = 5;
+  const double many = run_experiment(cfg).detection_minutes_after_delta1.mean();
+  EXPECT_GT(few, 0.0);
+  EXPECT_GT(many, 0.0);
+  EXPECT_LT(many, few * 4.0);
+  EXPECT_LT(few, many * 4.0);
+}
+
+TEST(Integration, CommunityDetectionFindsMultipleGroups) {
+  const ExperimentResult inf =
+      run_experiment(paper_config(Protocol::Epidemic, infocom05_scenario()));
+  EXPECT_GE(inf.community_count, 2u);
+  const ExperimentResult cam =
+      run_experiment(paper_config(Protocol::Epidemic, cambridge06_scenario()));
+  EXPECT_GE(cam.community_count, 2u);
+}
+
+TEST(Integration, MemoryAccountingWithinConstantFactor) {
+  // Section VIII: "the memory used by the G2G version ... is within a
+  // constant factor from their original counterpart."
+  const Scenario scen = infocom05_scenario();
+  const ExperimentResult epi = run_experiment(paper_config(Protocol::Epidemic, scen));
+  const ExperimentResult g2g = run_experiment(paper_config(Protocol::G2GEpidemic, scen));
+  double epi_mem = 0.0;
+  double g2g_mem = 0.0;
+  for (std::uint32_t i = 0; i < scen.trace_config.nodes; ++i) {
+    epi_mem += epi.collector.costs(NodeId(i)).memory_byte_seconds;
+    g2g_mem += g2g.collector.costs(NodeId(i)).memory_byte_seconds;
+  }
+  ASSERT_GT(epi_mem, 0.0);
+  EXPECT_LT(g2g_mem / epi_mem, 4.0);
+  EXPECT_GT(g2g_mem / epi_mem, 0.05);
+}
+
+}  // namespace
+}  // namespace g2g::core

@@ -1,0 +1,90 @@
+#include "g2g/core/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::core {
+namespace {
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ExperimentResultSerializes) {
+  ExperimentConfig cfg;
+  cfg.protocol = Protocol::G2GEpidemic;
+  cfg.scenario = infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 12;
+  cfg.scenario.trace_config.duration = Duration::days(1);
+  cfg.scenario.window_start = TimePoint::from_seconds(6.0 * 3600.0);
+  cfg.sim_window = Duration::hours(1.5);
+  cfg.traffic_window = Duration::hours(1);
+  cfg.mean_interarrival = Duration::seconds(60.0);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = 3;
+  cfg.seed = 13;
+
+  const ExperimentResult r = run_experiment(cfg);
+  const std::string json = to_json(r);
+
+  // Structural sanity (no JSON parser offline; check shape and key fields).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"generated\":" + std::to_string(r.generated)), std::string::npos);
+  EXPECT_NE(json.find("\"deviants\":["), std::string::npos);
+  EXPECT_NE(json.find("\"messages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"detections\":["), std::string::npos);
+  // Balanced braces and brackets.
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // No NaN/inf leaks.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Json, DeterministicForSameRun) {
+  ExperimentConfig cfg;
+  cfg.protocol = Protocol::Epidemic;
+  cfg.scenario = infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 10;
+  cfg.scenario.trace_config.duration = Duration::days(1);
+  cfg.scenario.window_start = TimePoint::from_seconds(6.0 * 3600.0);
+  cfg.sim_window = Duration::hours(1);
+  cfg.traffic_window = Duration::hours(0.5);
+  cfg.mean_interarrival = Duration::seconds(120.0);
+  cfg.seed = 3;
+  EXPECT_EQ(to_json(run_experiment(cfg)), to_json(run_experiment(cfg)));
+}
+
+TEST(Json, AggregateSerializes) {
+  AggregateResult agg;
+  agg.success_rate.add(0.5);
+  agg.success_rate.add(0.7);
+  agg.false_positives = 2;
+  const std::string json = to_json(agg);
+  EXPECT_NE(json.find("\"success_rate\":{\"count\":2,\"mean\":0.6"), std::string::npos);
+  EXPECT_NE(json.find("\"false_positives\":2"), std::string::npos);
+}
+
+TEST(Json, EmptyStatsSerializeAsZeros) {
+  const AggregateResult agg;
+  const std::string json = to_json(agg);
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g2g::core

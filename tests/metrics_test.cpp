@@ -1,0 +1,96 @@
+#include "g2g/metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::metrics {
+namespace {
+
+TimePoint at(double s) { return TimePoint::from_seconds(s); }
+
+TEST(Collector, MessageLifecycle) {
+  Collector c;
+  c.message_generated(MessageId(1), NodeId(0), NodeId(5), at(10));
+  c.message_generated(MessageId(2), NodeId(1), NodeId(6), at(20));
+  c.message_relayed(MessageId(1), NodeId(0), NodeId(2), at(30));
+  c.message_relayed(MessageId(1), NodeId(2), NodeId(5), at(100));
+  c.message_delivered(MessageId(1), at(100));
+
+  EXPECT_EQ(c.generated_count(), 2u);
+  EXPECT_EQ(c.delivered_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(c.avg_replicas(), 1.0);  // 2 relays over 2 messages
+  EXPECT_EQ(c.total_relays(), 2u);
+  const Samples delays = c.delays();
+  ASSERT_EQ(delays.count(), 1u);
+  EXPECT_DOUBLE_EQ(delays.mean(), 90.0);
+}
+
+TEST(Collector, DuplicateDeliveryKeepsFirstTime) {
+  Collector c;
+  c.message_generated(MessageId(1), NodeId(0), NodeId(1), at(0));
+  c.message_delivered(MessageId(1), at(50));
+  c.message_delivered(MessageId(1), at(80));
+  EXPECT_DOUBLE_EQ(c.delays().mean(), 50.0);
+}
+
+TEST(Collector, RejectsUnknownAndDuplicateIds) {
+  Collector c;
+  EXPECT_THROW(c.message_relayed(MessageId(9), NodeId(0), NodeId(1), at(0)), std::logic_error);
+  EXPECT_THROW(c.message_delivered(MessageId(9), at(0)), std::logic_error);
+  c.message_generated(MessageId(1), NodeId(0), NodeId(1), at(0));
+  EXPECT_THROW(c.message_generated(MessageId(1), NodeId(0), NodeId(1), at(0)),
+               std::logic_error);
+}
+
+TEST(Collector, DetectionBookkeeping) {
+  Collector c;
+  c.detection(DetectionEvent{NodeId(3), NodeId(0), at(100), DetectionMethod::TestBySender,
+                             Duration::minutes(5)});
+  c.detection(DetectionEvent{NodeId(3), NodeId(1), at(200), DetectionMethod::ChainCheck,
+                             Duration::minutes(7)});
+  c.detection(DetectionEvent{NodeId(4), NodeId(0), at(150),
+                             DetectionMethod::TestByDestination, Duration::minutes(2)});
+
+  EXPECT_EQ(c.detections().size(), 3u);
+  EXPECT_EQ(c.detected_nodes(), (std::vector<NodeId>{NodeId(3), NodeId(4)}));
+  const auto first = c.first_detection(NodeId(3));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->at, at(100));
+  EXPECT_FALSE(c.first_detection(NodeId(9)).has_value());
+}
+
+TEST(Collector, EvictionKeepsFirstTime) {
+  Collector c;
+  c.node_evicted(NodeId(2), at(10));
+  c.node_evicted(NodeId(2), at(20));
+  EXPECT_EQ(c.evictions().at(NodeId(2)), at(10));
+}
+
+TEST(Collector, CostsAreZeroInitializedAndMutable) {
+  Collector c;
+  EXPECT_EQ(c.costs(NodeId(7)).bytes_sent, 0u);
+  c.costs(NodeId(7)).bytes_sent += 100;
+  c.costs(NodeId(7)).signatures += 2;
+  EXPECT_EQ(c.costs(NodeId(7)).bytes_sent, 100u);
+  const Collector& cc = c;
+  EXPECT_EQ(cc.costs(NodeId(7)).signatures, 2u);
+  EXPECT_EQ(cc.costs(NodeId(99)).signatures, 0u);  // const lookup of unknown node
+}
+
+TEST(NodeCosts, EnergyModelWeighting) {
+  NodeCosts costs;
+  costs.bytes_sent = 1000;
+  costs.bytes_received = 1000;
+  costs.signatures = 10;
+  costs.verifications = 10;
+  costs.heavy_hmacs = 1;
+  // 2000 * 0.001 + 20 * 1 + 1 * 2000 = 2 + 20 + 2000
+  EXPECT_DOUBLE_EQ(costs.energy(), 2022.0);
+  // The heavy HMAC must dominate: that is the incentive design.
+  NodeCosts no_hmac = costs;
+  no_hmac.heavy_hmacs = 0;
+  EXPECT_GT(costs.energy(), 10.0 * no_hmac.energy());
+}
+
+}  // namespace
+}  // namespace g2g::metrics

@@ -1,0 +1,133 @@
+// Empirical validation of the paper's Nash-equilibrium claims (Theorems 1-2):
+// under both G2G protocols, every implemented rational deviation yields an
+// expected payoff no better than faithful behaviour, because deviants are
+// detected with high probability and evicted (payoff -> 0), while faithful
+// nodes never are.
+#include <gtest/gtest.h>
+
+#include "g2g/core/experiment.hpp"
+
+namespace g2g::core {
+namespace {
+
+Scenario nash_scenario() {
+  Scenario s = infocom05_scenario();
+  s.trace_config.nodes = 24;
+  s.trace_config.duration = Duration::days(2);
+  s.window_start = TimePoint::from_seconds(8.0 * 3600.0);
+  return s;
+}
+
+ExperimentConfig nash_config(Protocol p, proto::Behavior b, std::size_t deviants) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.scenario = nash_scenario();
+  cfg.sim_window = Duration::hours(3);
+  cfg.traffic_window = Duration::hours(2);
+  cfg.mean_interarrival = Duration::seconds(12.0);
+  cfg.deviation = b;
+  cfg.deviant_count = deviants;
+  cfg.seed = 21;
+  return cfg;
+}
+
+/// Mean payoff of the deviant set vs the faithful set in one run.
+struct PayoffSplit {
+  double deviant_mean = 0.0;
+  double faithful_mean = 0.0;
+};
+
+PayoffSplit payoff_split(const ExperimentResult& r, std::size_t node_count) {
+  PayoffSplit out;
+  std::size_t nd = 0;
+  std::size_t nf = 0;
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    const double p = node_payoff(r, NodeId(i));
+    const bool is_deviant =
+        std::binary_search(r.deviants.begin(), r.deviants.end(), NodeId(i));
+    if (is_deviant) {
+      out.deviant_mean += p;
+      ++nd;
+    } else {
+      out.faithful_mean += p;
+      ++nf;
+    }
+  }
+  if (nd > 0) out.deviant_mean /= static_cast<double>(nd);
+  if (nf > 0) out.faithful_mean /= static_cast<double>(nf);
+  return out;
+}
+
+struct Deviation {
+  Protocol protocol;
+  proto::Behavior behavior;
+  const char* name;
+};
+
+class NashProperty : public ::testing::TestWithParam<Deviation> {};
+
+TEST_P(NashProperty, DeviationDoesNotPay) {
+  const auto& d = GetParam();
+  const ExperimentResult r = run_experiment(nash_config(d.protocol, d.behavior, 6));
+  ASSERT_EQ(r.deviant_count, 6u);
+  // No honest node is ever accused.
+  EXPECT_EQ(r.false_positives, 0u);
+  // Deviants are detected with non-negligible probability...
+  EXPECT_GT(r.detection_rate, 0.5);
+  // ...so their expected payoff cannot beat the faithful strategy.
+  const PayoffSplit split = payoff_split(r, 24);
+  EXPECT_LE(split.deviant_mean, split.faithful_mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDeviations, NashProperty,
+    ::testing::Values(
+        Deviation{Protocol::G2GEpidemic, proto::Behavior::Dropper, "EpidemicDropper"},
+        Deviation{Protocol::G2GDelegationFrequency, proto::Behavior::Dropper,
+                  "DelegationFreqDropper"},
+        Deviation{Protocol::G2GDelegationLastContact, proto::Behavior::Dropper,
+                  "DelegationLcDropper"},
+        Deviation{Protocol::G2GDelegationLastContact, proto::Behavior::Liar, "DelegationLiar"},
+        Deviation{Protocol::G2GDelegationLastContact, proto::Behavior::Cheater,
+                  "DelegationCheater"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(NashProperty, FaithfulRunHasNoDetectionsAtAll) {
+  for (const Protocol p : {Protocol::G2GEpidemic, Protocol::G2GDelegationFrequency,
+                           Protocol::G2GDelegationLastContact}) {
+    const ExperimentResult r = run_experiment(nash_config(p, proto::Behavior::Faithful, 0));
+    EXPECT_TRUE(r.collector.detections().empty()) << to_string(p);
+    EXPECT_TRUE(r.collector.evictions().empty()) << to_string(p);
+  }
+}
+
+TEST(NashProperty, HeavyHmacCostExceedsStorageSavings) {
+  // The incentive argument of Section IV-C: the energy of the storage-proof
+  // HMAC must exceed the energy a node saves by hoarding instead of relaying.
+  // With default weights, one heavy HMAC (2000) dwarfs the per-message relay
+  // cost (~ message bytes * 2 * 0.001 + a handful of signatures).
+  const metrics::NodeCosts relaying{.bytes_sent = 2000,
+                                    .bytes_received = 2000,
+                                    .signatures = 10,
+                                    .verifications = 10,
+                                    .heavy_hmacs = 0,
+                                    .sessions = 0,
+                                    .memory_byte_seconds = 0};
+  metrics::NodeCosts hoarding;
+  hoarding.heavy_hmacs = 1;
+  EXPECT_GT(hoarding.energy(), relaying.energy());
+}
+
+TEST(NashProperty, DroppersWithOutsidersAlsoLose) {
+  auto cfg = nash_config(Protocol::G2GEpidemic, proto::Behavior::Dropper, 6);
+  cfg.with_outsiders = true;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.false_positives, 0u);
+  // Outsider-droppers deviate less often, but still get caught.
+  EXPECT_GT(r.detection_rate, 0.3);
+  const PayoffSplit split = payoff_split(r, 24);
+  EXPECT_LE(split.deviant_mean, split.faithful_mean * 1.001);
+}
+
+}  // namespace
+}  // namespace g2g::core

@@ -1,0 +1,74 @@
+#include "g2g/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::core {
+namespace {
+
+ExperimentConfig tiny(Protocol p, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.protocol = p;
+  cfg.scenario = infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 12;
+  cfg.scenario.trace_config.duration = Duration::days(2);
+  cfg.scenario.window_start = TimePoint::from_seconds(8.0 * 3600.0);
+  cfg.sim_window = Duration::hours(1.5);
+  cfg.traffic_window = Duration::hours(1);
+  cfg.mean_interarrival = Duration::seconds(60.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Parallel, MatchesSequentialResults) {
+  std::vector<ExperimentConfig> configs;
+  for (std::uint64_t s = 1; s <= 6; ++s) configs.push_back(tiny(Protocol::G2GEpidemic, s));
+
+  const auto parallel = run_parallel(configs, 4);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ExperimentResult seq = run_experiment(configs[i]);
+    EXPECT_EQ(parallel[i].generated, seq.generated) << i;
+    EXPECT_EQ(parallel[i].delivered, seq.delivered) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].avg_replicas, seq.avg_replicas) << i;
+  }
+}
+
+TEST(Parallel, PreservesInputOrder) {
+  std::vector<ExperimentConfig> configs{tiny(Protocol::Epidemic, 1),
+                                        tiny(Protocol::G2GEpidemic, 1)};
+  const auto results = run_parallel(configs, 2);
+  // G2G spends signatures; vanilla epidemic does not sign relay handshakes.
+  std::uint64_t epi_sigs = 0;
+  std::uint64_t g2g_sigs = 0;
+  for (std::uint32_t n = 0; n < 12; ++n) {
+    epi_sigs += results[0].collector.costs(NodeId(n)).signatures;
+    g2g_sigs += results[1].collector.costs(NodeId(n)).signatures;
+  }
+  EXPECT_EQ(epi_sigs, 0u);
+  EXPECT_GT(g2g_sigs, 0u);
+}
+
+TEST(Parallel, SingleThreadAndEmptyInput) {
+  EXPECT_TRUE(run_parallel({}, 4).empty());
+  const auto one = run_parallel({tiny(Protocol::Epidemic, 3)}, 1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_GT(one[0].generated, 0u);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  ExperimentConfig bad = tiny(Protocol::Epidemic, 1);
+  bad.scenario.trace_config.nodes = 1;  // invalid
+  EXPECT_THROW((void)run_parallel({bad}, 2), std::invalid_argument);
+}
+
+TEST(Parallel, RepeatedParallelMatchesSequentialAggregate) {
+  const ExperimentConfig base = tiny(Protocol::G2GEpidemic, 9);
+  const AggregateResult par = run_repeated_parallel(base, 4, 4);
+  const AggregateResult seq = run_repeated(base, 4);
+  EXPECT_EQ(par.success_rate.count(), seq.success_rate.count());
+  EXPECT_NEAR(par.success_rate.mean(), seq.success_rate.mean(), 1e-12);
+  EXPECT_NEAR(par.avg_replicas.mean(), seq.avg_replicas.mean(), 1e-12);
+}
+
+}  // namespace
+}  // namespace g2g::core

@@ -1,0 +1,68 @@
+// Parser tolerance for real-world trace files: the published CRAWDAD
+// contact lists come in several column layouts; anything after the four
+// fields we need (a b start end) is ignored, and common irregularities
+// (comments, blank lines, CRLF, unsorted rows, duplicate intervals) are
+// handled.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "g2g/trace/parser.hpp"
+
+namespace g2g::trace {
+namespace {
+
+TEST(ParserTolerance, ExtraColumnsIgnored) {
+  // 6-column layout: a b start end count weight.
+  std::istringstream in("0 1 10.0 20.0 3 0.5\n1 2 30.0 40.0 1 0.9\n");
+  const ContactTrace t = read_trace(in);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].start, TimePoint::from_seconds(10.0));
+  EXPECT_EQ(t.events()[1].end, TimePoint::from_seconds(40.0));
+}
+
+TEST(ParserTolerance, CrlfLineEndings) {
+  std::istringstream in("0 1 10.0 20.0\r\n1 2 30.0 40.0\r\n");
+  const ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ParserTolerance, UnsortedInputGetsSorted) {
+  std::istringstream in("2 3 100 110\n0 1 10 20\n");
+  const ContactTrace t = read_trace(in);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_LT(t.events()[0].start, t.events()[1].start);
+}
+
+TEST(ParserTolerance, DuplicateAndOverlappingRowsCoalesce) {
+  std::istringstream in("0 1 10 20\n0 1 10 20\n0 1 15 25\n");
+  const ContactTrace t = read_trace(in);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].start, TimePoint::from_seconds(10.0));
+  EXPECT_EQ(t.events()[0].end, TimePoint::from_seconds(25.0));
+}
+
+TEST(ParserTolerance, ReversedPairNormalized) {
+  std::istringstream in("5 2 10 20\n");
+  const ContactTrace t = read_trace(in);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].a, NodeId(2));
+  EXPECT_EQ(t.events()[0].b, NodeId(5));
+}
+
+TEST(ParserTolerance, ScientificNotationTimes) {
+  std::istringstream in("0 1 1e2 2.5e2\n");
+  const ContactTrace t = read_trace(in);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].duration(), Duration::seconds(150.0));
+}
+
+TEST(ParserTolerance, EmptyFileYieldsEmptyTrace) {
+  std::istringstream in("# just comments\n\n");
+  const ContactTrace t = read_trace(in);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.finalized());
+}
+
+}  // namespace
+}  // namespace g2g::trace

@@ -1,0 +1,145 @@
+#include "g2g/proto/quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::proto {
+namespace {
+
+TimePoint at_min(double m) { return TimePoint::from_seconds(m * 60.0); }
+
+class QualityKindTest : public ::testing::TestWithParam<QualityKind> {
+ protected:
+  QualityKind kind() const { return GetParam(); }
+};
+
+TEST_P(QualityKindTest, NeverMetIsMinimal) {
+  const EncounterTable t(Duration::minutes(34));
+  EXPECT_EQ(t.current(kind(), NodeId(5)), min_quality(kind()));
+}
+
+TEST_P(QualityKindTest, CurrentTracksEncounters) {
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), at_min(5));
+  t.record(NodeId(1), at_min(10));
+  t.record(NodeId(2), at_min(7));
+  if (kind() == QualityKind::DestinationFrequency) {
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(1)), 2.0);
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(2)), 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(1)), 600.0);
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(2)), 420.0);
+  }
+  EXPECT_EQ(t.encounter_count(NodeId(1)), 2u);
+}
+
+TEST_P(QualityKindTest, DeclaredUsesLastCompletedFrame) {
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), at_min(10));  // frame 0
+  t.record(NodeId(1), at_min(40));  // frame 1
+  t.record(NodeId(1), at_min(70));  // frame 2
+
+  // At minute 75 (frame 2), the last completed frame is 1 (ends at 68 min):
+  // only the first two encounters count.
+  const auto d = t.declared(kind(), NodeId(1), at_min(75));
+  EXPECT_EQ(d.frame, 1);
+  if (kind() == QualityKind::DestinationFrequency) {
+    EXPECT_DOUBLE_EQ(d.value, 2.0);
+  } else {
+    EXPECT_DOUBLE_EQ(d.value, 40.0 * 60.0);
+  }
+}
+
+TEST_P(QualityKindTest, DeclaredBeforeFirstFrameCompletes) {
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), at_min(5));
+  const auto d = t.declared(kind(), NodeId(1), at_min(10));  // inside frame 0
+  EXPECT_EQ(d.frame, -1);
+  EXPECT_EQ(d.value, min_quality(kind()));
+}
+
+TEST_P(QualityKindTest, ValueAtFrameRetentionWindow) {
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), at_min(10));
+
+  const TimePoint now = at_min(5 * 34 + 10);  // inside frame 5
+  // Frames 3 and 4 are retained; older or incomplete frames are not.
+  EXPECT_TRUE(t.value_at_frame(kind(), NodeId(1), 3, now).has_value());
+  EXPECT_TRUE(t.value_at_frame(kind(), NodeId(1), 4, now).has_value());
+  EXPECT_FALSE(t.value_at_frame(kind(), NodeId(1), 2, now).has_value());
+  EXPECT_FALSE(t.value_at_frame(kind(), NodeId(1), 5, now).has_value());  // current
+  EXPECT_FALSE(t.value_at_frame(kind(), NodeId(1), -1, now).has_value());
+}
+
+TEST_P(QualityKindTest, SymmetryAcrossTwoTables) {
+  // The liar-detection cross-check requires f_BD == f_DB when both sides log
+  // the same encounters.
+  EncounterTable b(Duration::minutes(34));
+  EncounterTable d(Duration::minutes(34));
+  for (const double m : {3.0, 20.0, 41.0, 90.0}) {
+    b.record(NodeId(9), at_min(m));  // B's record of D (id 9)
+    d.record(NodeId(4), at_min(m));  // D's record of B (id 4)
+  }
+  const TimePoint now = at_min(100);
+  const auto decl = b.declared(GetParam(), NodeId(9), now);
+  const auto own = d.value_at_frame(GetParam(), NodeId(4), decl.frame, now);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_DOUBLE_EQ(*own, decl.value);
+}
+
+TEST_P(QualityKindTest, NegativeWarmupTimestampsSupported) {
+  // Pre-window history is recorded at negative times (see Network::warm_up).
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), TimePoint::from_seconds(-7200.0));
+  t.record(NodeId(1), TimePoint::from_seconds(-3600.0));
+  if (kind() == QualityKind::DestinationFrequency) {
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(1)), 2.0);
+  } else {
+    EXPECT_DOUBLE_EQ(t.current(kind(), NodeId(1)), -3600.0);
+    EXPECT_GT(t.current(kind(), NodeId(1)), min_quality(kind()));
+  }
+  // A declaration made just after the window starts still sees the history.
+  const auto d = t.declared(kind(), NodeId(1), at_min(35));
+  EXPECT_EQ(d.frame, 0);
+  EXPECT_GT(d.value, min_quality(kind()));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, QualityKindTest,
+                         ::testing::Values(QualityKind::DestinationFrequency,
+                                           QualityKind::DestinationLastContact),
+                         [](const auto& info) {
+                           return info.param == QualityKind::DestinationFrequency
+                                      ? std::string("Frequency")
+                                      : std::string("LastContact");
+                         });
+
+TEST(EncounterTable, RejectsNonMonotoneRecords) {
+  EncounterTable t(Duration::minutes(34));
+  t.record(NodeId(1), at_min(10));
+  EXPECT_THROW(t.record(NodeId(1), at_min(5)), std::invalid_argument);
+  // Other peers are independent timelines.
+  t.record(NodeId(2), at_min(5));
+}
+
+TEST(EncounterTable, RejectsBadFrameLength) {
+  EXPECT_THROW(EncounterTable(Duration::zero()), std::invalid_argument);
+}
+
+TEST(EncounterTable, FrameOfComputesIndex) {
+  const EncounterTable t(Duration::minutes(10));
+  EXPECT_EQ(t.frame_of(at_min(0)), 0);
+  EXPECT_EQ(t.frame_of(at_min(9.99)), 0);
+  EXPECT_EQ(t.frame_of(at_min(10)), 1);
+  EXPECT_EQ(t.frame_of(at_min(25)), 2);
+}
+
+TEST(EncounterTable, FrequencySnapshotExcludesBoundaryEncounter) {
+  // An encounter exactly at the frame boundary belongs to the next frame.
+  EncounterTable t(Duration::minutes(10));
+  t.record(NodeId(1), at_min(10));  // first instant of frame 1
+  const auto d = t.declared(QualityKind::DestinationFrequency, NodeId(1), at_min(11));
+  EXPECT_EQ(d.frame, 0);
+  EXPECT_DOUBLE_EQ(d.value, 0.0);  // not yet visible in frame 0's snapshot
+}
+
+}  // namespace
+}  // namespace g2g::proto

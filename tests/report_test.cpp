@@ -1,0 +1,55 @@
+#include "g2g/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace g2g::core {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Fmt, Numbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percentages) {
+  EXPECT_EQ(fmt_pct(0.5), "50.0%");
+  EXPECT_EQ(fmt_pct(0.123, 0), "12%");
+  EXPECT_EQ(fmt_pct(1.0), "100.0%");
+}
+
+TEST(Fmt, Minutes) {
+  EXPECT_EQ(fmt_minutes(12.34), "12.3m");
+  EXPECT_EQ(fmt_minutes(0.0, 0), "0m");
+}
+
+}  // namespace
+}  // namespace g2g::core

@@ -1,0 +1,152 @@
+#include "g2g/crypto/schnorr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::crypto {
+namespace {
+
+// Tests run on the small group (128-bit p) to stay fast; a few also exercise
+// the default 256-bit group.
+
+TEST(SchnorrGroup, SmallGroupIsValid) {
+  Rng rng(1);
+  EXPECT_TRUE(SchnorrGroup::small_group().valid(rng));
+}
+
+TEST(SchnorrGroup, DefaultGroupIsValid) {
+  Rng rng(2);
+  const SchnorrGroup& g = SchnorrGroup::default_group();
+  EXPECT_TRUE(g.valid(rng));
+  EXPECT_EQ(g.p.bit_length(), 256u);
+  EXPECT_EQ(g.q.bit_length(), 160u);
+}
+
+TEST(SchnorrGroup, GenerationIsDeterministic) {
+  const SchnorrGroup a = SchnorrGroup::generate(128, 96, 555);
+  const SchnorrGroup b = SchnorrGroup::generate(128, 96, 555);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.g, b.g);
+}
+
+TEST(SchnorrGroup, DifferentSeedsGiveDifferentGroups) {
+  const SchnorrGroup a = SchnorrGroup::generate(128, 96, 1);
+  const SchnorrGroup b = SchnorrGroup::generate(128, 96, 2);
+  EXPECT_NE(a.p, b.p);
+}
+
+TEST(SchnorrGroup, RejectsBadSizes) {
+  EXPECT_THROW((void)SchnorrGroup::generate(300, 96, 1), std::invalid_argument);
+  EXPECT_THROW((void)SchnorrGroup::generate(128, 127, 1), std::invalid_argument);
+}
+
+class SchnorrSmall : public ::testing::Test {
+ protected:
+  const SchnorrGroup& group_ = SchnorrGroup::small_group();
+  Rng rng_{42};
+};
+
+TEST_F(SchnorrSmall, SignVerifyRoundTrip) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("proof of relay for H(m)");
+  const SchnorrSignature sig = schnorr_sign(group_, kp.secret, msg, rng_);
+  EXPECT_TRUE(schnorr_verify(group_, kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrSmall, TamperedMessageRejected) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  Bytes msg = to_bytes("original");
+  const SchnorrSignature sig = schnorr_sign(group_, kp.secret, msg, rng_);
+  msg[0] ^= 1;
+  EXPECT_FALSE(schnorr_verify(group_, kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrSmall, WrongKeyRejected) {
+  const SchnorrKeyPair kp1 = schnorr_keygen(group_, rng_);
+  const SchnorrKeyPair kp2 = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("msg");
+  const SchnorrSignature sig = schnorr_sign(group_, kp1.secret, msg, rng_);
+  EXPECT_FALSE(schnorr_verify(group_, kp2.public_key, msg, sig));
+}
+
+TEST_F(SchnorrSmall, TamperedSignatureComponentsRejected) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("msg");
+  SchnorrSignature sig = schnorr_sign(group_, kp.secret, msg, rng_);
+  SchnorrSignature bad_e = sig;
+  bad_e.e = add_mod(bad_e.e, U256(1), group_.q);
+  EXPECT_FALSE(schnorr_verify(group_, kp.public_key, msg, bad_e));
+  SchnorrSignature bad_s = sig;
+  bad_s.s = add_mod(bad_s.s, U256(1), group_.q);
+  EXPECT_FALSE(schnorr_verify(group_, kp.public_key, msg, bad_s));
+}
+
+TEST_F(SchnorrSmall, OutOfRangeSignatureRejected) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("msg");
+  SchnorrSignature sig = schnorr_sign(group_, kp.secret, msg, rng_);
+  sig.s = group_.q;  // == q is out of range
+  EXPECT_FALSE(schnorr_verify(group_, kp.public_key, msg, sig));
+}
+
+TEST_F(SchnorrSmall, SignatureEncodingRoundTrip) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("msg");
+  const SchnorrSignature sig = schnorr_sign(group_, kp.secret, msg, rng_);
+  const SchnorrSignature decoded = SchnorrSignature::decode(sig.encode());
+  EXPECT_EQ(decoded.e, sig.e);
+  EXPECT_EQ(decoded.s, sig.s);
+  EXPECT_THROW((void)SchnorrSignature::decode(Bytes(63, 0)), DecodeError);
+}
+
+TEST_F(SchnorrSmall, KeysLieInTheSubgroup) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  EXPECT_FALSE(kp.secret.is_zero());
+  EXPECT_LT(kp.secret, group_.q);
+  // Public key has order dividing q: y^q == 1.
+  EXPECT_EQ(pow_mod(kp.public_key, group_.q, group_.p), U256(1));
+}
+
+TEST_F(SchnorrSmall, ManyKeysManyMessages) {
+  for (int i = 0; i < 10; ++i) {
+    const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(i));
+    const SchnorrSignature sig = schnorr_sign(group_, kp.secret, w.bytes(), rng_);
+    EXPECT_TRUE(schnorr_verify(group_, kp.public_key, w.bytes(), sig));
+  }
+}
+
+TEST(SchnorrDh, SharedSecretIsSymmetric) {
+  const SchnorrGroup& g = SchnorrGroup::small_group();
+  Rng rng(9);
+  const SchnorrKeyPair a = schnorr_keygen(g, rng);
+  const SchnorrKeyPair b = schnorr_keygen(g, rng);
+  EXPECT_EQ(dh_shared_secret(g, a.secret, b.public_key),
+            dh_shared_secret(g, b.secret, a.public_key));
+}
+
+TEST(SchnorrDh, DistinctPairsDistinctSecrets) {
+  const SchnorrGroup& g = SchnorrGroup::small_group();
+  Rng rng(10);
+  const SchnorrKeyPair a = schnorr_keygen(g, rng);
+  const SchnorrKeyPair b = schnorr_keygen(g, rng);
+  const SchnorrKeyPair c = schnorr_keygen(g, rng);
+  EXPECT_NE(dh_shared_secret(g, a.secret, b.public_key),
+            dh_shared_secret(g, a.secret, c.public_key));
+}
+
+TEST(SchnorrDefaultGroup, SignVerifyOnDefaultGroup) {
+  const SchnorrGroup& g = SchnorrGroup::default_group();
+  Rng rng(11);
+  const SchnorrKeyPair kp = schnorr_keygen(g, rng);
+  const Bytes msg = to_bytes("full-size group check");
+  const SchnorrSignature sig = schnorr_sign(g, kp.secret, msg, rng);
+  EXPECT_TRUE(schnorr_verify(g, kp.public_key, msg, sig));
+  Bytes tampered = msg;
+  tampered.back() ^= 0x80;
+  EXPECT_FALSE(schnorr_verify(g, kp.public_key, tampered, sig));
+}
+
+}  // namespace
+}  // namespace g2g::crypto

@@ -1,0 +1,136 @@
+#include "g2g/crypto/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/crypto/sealed_box.hpp"
+
+namespace g2g::crypto {
+namespace {
+
+// Parameterized over both suite implementations: the protocol layer must be
+// able to run on either.
+class SuiteTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  SuitePtr make() const {
+    if (std::string(GetParam()) == "schnorr") {
+      return make_schnorr_suite(SchnorrGroup::small_group());
+    }
+    return make_fast_suite(0x5eed);
+  }
+};
+
+TEST_P(SuiteTest, SignVerifyRoundTrip) {
+  const SuitePtr suite = make();
+  Rng rng(1);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("hello");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  EXPECT_EQ(sig.size(), suite->signature_size());
+  EXPECT_TRUE(suite->verify(kp.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, TamperedMessageRejected) {
+  const SuitePtr suite = make();
+  Rng rng(2);
+  const KeyPair kp = suite->keygen(rng);
+  Bytes msg = to_bytes("hello");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  msg[0] ^= 1;
+  EXPECT_FALSE(suite->verify(kp.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, WrongKeyRejected) {
+  const SuitePtr suite = make();
+  Rng rng(3);
+  const KeyPair a = suite->keygen(rng);
+  const KeyPair b = suite->keygen(rng);
+  const Bytes msg = to_bytes("hello");
+  const Bytes sig = suite->sign(a.secret_key, msg);
+  EXPECT_FALSE(suite->verify(b.public_key, msg, sig));
+}
+
+TEST_P(SuiteTest, TamperedSignatureRejected) {
+  const SuitePtr suite = make();
+  Rng rng(4);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("hello");
+  Bytes sig = suite->sign(kp.secret_key, msg);
+  sig[sig.size() / 2] ^= 0x40;
+  EXPECT_FALSE(suite->verify(kp.public_key, msg, sig));
+  EXPECT_FALSE(suite->verify(kp.public_key, msg, Bytes{}));  // wrong size
+}
+
+TEST_P(SuiteTest, SharedSecretSymmetric) {
+  const SuitePtr suite = make();
+  Rng rng(5);
+  const KeyPair a = suite->keygen(rng);
+  const KeyPair b = suite->keygen(rng);
+  EXPECT_EQ(suite->shared_secret(a.secret_key, b.public_key),
+            suite->shared_secret(b.secret_key, a.public_key));
+}
+
+TEST_P(SuiteTest, SharedSecretPairSpecific) {
+  const SuitePtr suite = make();
+  Rng rng(6);
+  const KeyPair a = suite->keygen(rng);
+  const KeyPair b = suite->keygen(rng);
+  const KeyPair c = suite->keygen(rng);
+  EXPECT_NE(suite->shared_secret(a.secret_key, b.public_key),
+            suite->shared_secret(a.secret_key, c.public_key));
+}
+
+TEST_P(SuiteTest, SealedBoxRoundTrip) {
+  const SuitePtr suite = make();
+  Rng rng(7);
+  const KeyPair recipient = suite->keygen(rng);
+  const Bytes plain = to_bytes("S, msg_id, body — sealed to D");
+  const SealedBox box = seal(*suite, rng, recipient.public_key, plain);
+  EXPECT_NE(box.ciphertext, plain);
+  EXPECT_EQ(seal_open(*suite, recipient.secret_key, box), plain);
+}
+
+TEST_P(SuiteTest, SealedBoxWrongRecipientGetsGarbage) {
+  const SuitePtr suite = make();
+  Rng rng(8);
+  const KeyPair recipient = suite->keygen(rng);
+  const KeyPair other = suite->keygen(rng);
+  const Bytes plain = to_bytes("only for the destination");
+  const SealedBox box = seal(*suite, rng, recipient.public_key, plain);
+  EXPECT_NE(seal_open(*suite, other.secret_key, box), plain);
+}
+
+TEST_P(SuiteTest, DistinctKeygens) {
+  const SuitePtr suite = make();
+  Rng rng(9);
+  const KeyPair a = suite->keygen(rng);
+  const KeyPair b = suite->keygen(rng);
+  EXPECT_NE(a.public_key, b.public_key);
+  EXPECT_NE(a.secret_key, b.secret_key);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSuites, SuiteTest, ::testing::Values("schnorr", "fast"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(FastSuite, DifferentSeedsCannotCrossVerify) {
+  // A signature made under one suite seed must not verify under another:
+  // the seed plays the role of the unforgeability assumption.
+  const SuitePtr s1 = make_fast_suite(1);
+  const SuitePtr s2 = make_fast_suite(2);
+  Rng rng(10);
+  const KeyPair kp = s1->keygen(rng);
+  const Bytes sig = s1->sign(kp.secret_key, to_bytes("m"));
+  EXPECT_FALSE(s2->verify(kp.public_key, to_bytes("m"), sig));
+}
+
+TEST(SessionKeys, DerivationBindsTranscript) {
+  const SessionKeys k1 = derive_session_keys(to_bytes("secret"), to_bytes("transcript-a"));
+  const SessionKeys k2 = derive_session_keys(to_bytes("secret"), to_bytes("transcript-b"));
+  EXPECT_NE(k1.enc_key, k2.enc_key);
+  const SessionKeys k3 = derive_session_keys(to_bytes("secret"), to_bytes("transcript-a"));
+  EXPECT_EQ(k1.enc_key, k3.enc_key);
+  EXPECT_EQ(k1.nonce, k3.nonce);
+}
+
+}  // namespace
+}  // namespace g2g::crypto

@@ -1,0 +1,116 @@
+// Timeframe-boundary races in the quality-snapshot mechanism (DESIGN.md §5):
+// the destination's liar check compares a declaration made in one frame
+// against its own snapshot, possibly computed frames later. These tests walk
+// the boundaries where the mechanism could go wrong — and must not.
+#include <gtest/gtest.h>
+
+#include "g2g/proto/quality.hpp"
+
+namespace g2g::proto {
+namespace {
+
+TimePoint at_min(double m) { return TimePoint::from_seconds(m * 60.0); }
+
+class TimeframeRace : public ::testing::TestWithParam<QualityKind> {
+ protected:
+  static constexpr double kFrame = 34.0;  // paper's timeframe, minutes
+  QualityKind kind() const { return GetParam(); }
+};
+
+TEST_P(TimeframeRace, DeclarationJustBeforeFrameEndStillConsistent) {
+  // B declares at the last instant of frame 1; D verifies early in frame 2.
+  EncounterTable b(Duration::minutes(kFrame));
+  EncounterTable d(Duration::minutes(kFrame));
+  for (const double m : {5.0, 30.0, 40.0, 60.0}) {
+    b.record(NodeId(9), at_min(m));
+    d.record(NodeId(4), at_min(m));
+  }
+  const TimePoint declare_at = at_min(2 * kFrame - 0.001);  // end of frame 1
+  const auto decl = b.declared(kind(), NodeId(9), declare_at);
+  EXPECT_EQ(decl.frame, 0);  // frame 1 is still current at that instant
+
+  const TimePoint verify_at = at_min(2 * kFrame + 1.0);
+  const auto own = d.value_at_frame(kind(), NodeId(4), decl.frame, verify_at);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_DOUBLE_EQ(*own, decl.value);
+}
+
+TEST_P(TimeframeRace, DeclarationRightAfterFrameRollConsistent) {
+  // B declares right after the frame boundary: the just-completed frame's
+  // snapshot includes everything before the boundary.
+  EncounterTable b(Duration::minutes(kFrame));
+  EncounterTable d(Duration::minutes(kFrame));
+  b.record(NodeId(9), at_min(kFrame - 0.5));   // just inside frame 0
+  d.record(NodeId(4), at_min(kFrame - 0.5));
+  b.record(NodeId(9), at_min(kFrame + 0.5));   // just inside frame 1
+  d.record(NodeId(4), at_min(kFrame + 0.5));
+
+  const auto decl = b.declared(kind(), NodeId(9), at_min(kFrame + 1.0));
+  EXPECT_EQ(decl.frame, 0);
+  const auto own = d.value_at_frame(kind(), NodeId(4), 0, at_min(kFrame + 2.0));
+  ASSERT_TRUE(own.has_value());
+  EXPECT_DOUBLE_EQ(*own, decl.value);
+  if (kind() == QualityKind::DestinationFrequency) {
+    EXPECT_DOUBLE_EQ(decl.value, 1.0);  // only the pre-boundary encounter
+  }
+}
+
+TEST_P(TimeframeRace, VerificationAtRetentionEdge) {
+  // The declared frame is exactly the oldest retained one (current - 2):
+  // still verifiable. One frame older: not.
+  EncounterTable b(Duration::minutes(kFrame));
+  EncounterTable d(Duration::minutes(kFrame));
+  b.record(NodeId(9), at_min(10));
+  d.record(NodeId(4), at_min(10));
+
+  const auto decl = b.declared(kind(), NodeId(9), at_min(kFrame + 1.0));  // frame 0
+  ASSERT_EQ(decl.frame, 0);
+
+  // Verifier's clock inside frame 2: frame 0 == current-2 -> retained.
+  EXPECT_TRUE(d.value_at_frame(kind(), NodeId(4), 0, at_min(2 * kFrame + 1.0)).has_value());
+  // Verifier's clock inside frame 3: frame 0 dropped.
+  EXPECT_FALSE(d.value_at_frame(kind(), NodeId(4), 0, at_min(3 * kFrame + 1.0)).has_value());
+}
+
+TEST_P(TimeframeRace, AsymmetricObservationWouldBeDetected) {
+  // If the declarer's table genuinely differs from the verifier's (a lie, or
+  // a fabricated encounter), the snapshot values diverge.
+  EncounterTable b(Duration::minutes(kFrame));
+  EncounterTable d(Duration::minutes(kFrame));
+  b.record(NodeId(9), at_min(5));
+  b.record(NodeId(9), at_min(10));  // claims two meetings
+  d.record(NodeId(4), at_min(5));   // destination saw only one
+
+  const auto decl = b.declared(kind(), NodeId(9), at_min(kFrame + 1.0));
+  const auto own = d.value_at_frame(kind(), NodeId(4), decl.frame, at_min(kFrame + 2.0));
+  ASSERT_TRUE(own.has_value());
+  EXPECT_NE(*own, decl.value);
+}
+
+TEST_P(TimeframeRace, WarmupHistoryCrossesZeroBoundary) {
+  // Encounters spanning the negative (warm-up) to positive (window) boundary
+  // land in the right snapshots.
+  EncounterTable t(Duration::minutes(kFrame));
+  t.record(NodeId(1), TimePoint::from_seconds(-60.0));  // warm-up history
+  t.record(NodeId(1), at_min(5));                       // inside frame 0
+
+  const auto decl = t.declared(kind(), NodeId(1), at_min(kFrame + 1.0));
+  EXPECT_EQ(decl.frame, 0);
+  if (kind() == QualityKind::DestinationFrequency) {
+    EXPECT_DOUBLE_EQ(decl.value, 2.0);  // both encounters precede the cutoff
+  } else {
+    EXPECT_DOUBLE_EQ(decl.value, 300.0);  // the later (in-window) one
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, TimeframeRace,
+                         ::testing::Values(QualityKind::DestinationFrequency,
+                                           QualityKind::DestinationLastContact),
+                         [](const auto& info) {
+                           return info.param == QualityKind::DestinationFrequency
+                                      ? std::string("Frequency")
+                                      : std::string("LastContact");
+                         });
+
+}  // namespace
+}  // namespace g2g::proto

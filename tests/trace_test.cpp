@@ -1,0 +1,163 @@
+#include "g2g/trace/contact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "g2g/trace/parser.hpp"
+#include "g2g/trace/stats.hpp"
+
+namespace g2g::trace {
+namespace {
+
+TimePoint at(double s) { return TimePoint::from_seconds(s); }
+
+TEST(ContactTrace, AddNormalizesOrder) {
+  ContactTrace t;
+  t.add(NodeId(5), NodeId(2), at(0), at(10));
+  t.finalize();
+  EXPECT_EQ(t.events()[0].a, NodeId(2));
+  EXPECT_EQ(t.events()[0].b, NodeId(5));
+  EXPECT_EQ(t.node_count(), 6u);
+}
+
+TEST(ContactTrace, RejectsDegenerateContacts) {
+  ContactTrace t;
+  EXPECT_THROW(t.add(NodeId(1), NodeId(1), at(0), at(1)), std::invalid_argument);
+  EXPECT_THROW(t.add(NodeId(1), NodeId(2), at(5), at(5)), std::invalid_argument);
+  EXPECT_THROW(t.add(NodeId(1), NodeId(2), at(5), at(4)), std::invalid_argument);
+  EXPECT_THROW(t.add(NodeId::invalid(), NodeId(2), at(0), at(1)), std::invalid_argument);
+}
+
+TEST(ContactTrace, FinalizeSortsByStart) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(100), at(110));
+  t.add(NodeId(2), NodeId(3), at(50), at(60));
+  t.add(NodeId(0), NodeId(2), at(75), at(80));
+  t.finalize();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.events()[0].start, at(50));
+  EXPECT_EQ(t.events()[1].start, at(75));
+  EXPECT_EQ(t.events()[2].start, at(100));
+}
+
+TEST(ContactTrace, FinalizeCoalescesOverlaps) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(0), at(10));
+  t.add(NodeId(0), NodeId(1), at(5), at(20));   // overlaps
+  t.add(NodeId(0), NodeId(1), at(20), at(30));  // touches
+  t.add(NodeId(0), NodeId(1), at(40), at(50));  // separate
+  t.add(NodeId(0), NodeId(2), at(5), at(15));   // other pair untouched
+  t.finalize();
+  ASSERT_EQ(t.size(), 3u);
+  const auto& merged = t.events()[0];
+  EXPECT_EQ(merged.start, at(0));
+  EXPECT_EQ(merged.end, at(30));
+}
+
+TEST(ContactTrace, StartEndTimes) {
+  ContactTrace t;
+  EXPECT_EQ(t.end_time(), TimePoint::zero());
+  t.add(NodeId(0), NodeId(1), at(10), at(20));
+  t.add(NodeId(0), NodeId(1), at(50), at(60));
+  t.finalize();
+  EXPECT_EQ(t.start_time(), at(10));
+  EXPECT_EQ(t.end_time(), at(60));
+}
+
+TEST(ContactTrace, SliceClipsAndRebases) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(0), at(100));    // spans the window start
+  t.add(NodeId(0), NodeId(2), at(150), at(160));  // inside
+  t.add(NodeId(1), NodeId(2), at(300), at(400));  // after
+  t.finalize();
+
+  const ContactTrace w = t.slice(at(50), at(200));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.events()[0].start, at(0));   // clipped + rebased
+  EXPECT_EQ(w.events()[0].end, at(50));
+  EXPECT_EQ(w.events()[1].start, at(100));
+  EXPECT_EQ(w.events()[1].end, at(110));
+  EXPECT_EQ(w.node_count(), t.node_count());  // node universe preserved
+  EXPECT_THROW((void)t.slice(at(10), at(10)), std::invalid_argument);
+}
+
+TEST(ContactEvent, Helpers) {
+  const ContactEvent e{NodeId(1), NodeId(2), at(0), at(5)};
+  EXPECT_EQ(e.duration(), Duration::seconds(5.0));
+  EXPECT_TRUE(e.involves(NodeId(1)));
+  EXPECT_FALSE(e.involves(NodeId(3)));
+  EXPECT_EQ(e.peer_of(NodeId(1)), NodeId(2));
+  EXPECT_EQ(e.peer_of(NodeId(2)), NodeId(1));
+}
+
+TEST(Parser, RoundTrip) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(1.5), at(2.5));
+  t.add(NodeId(3), NodeId(2), at(10), at(20));
+  t.finalize();
+
+  std::ostringstream out;
+  write_trace(out, t);
+  std::istringstream in(out.str());
+  const ContactTrace parsed = read_trace(in);
+  ASSERT_EQ(parsed.size(), t.size());
+  EXPECT_EQ(parsed.events()[0], t.events()[0]);
+  EXPECT_EQ(parsed.events()[1], t.events()[1]);
+}
+
+TEST(Parser, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n0 1 0.0 5.0\n   # indented comment\n2 3 1.0 2.0\n");
+  const ContactTrace t = read_trace(in);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Parser, ThrowsOnMalformedLine) {
+  std::istringstream in("0 1 0.0 5.0\n0 oops 1 2\n");
+  EXPECT_THROW((void)read_trace(in), std::runtime_error);
+}
+
+TEST(Parser, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)load_trace("/nonexistent/path/to/trace.txt"), std::runtime_error);
+}
+
+TEST(TraceStats, RequiresFinalizedTrace) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(0), at(1));
+  EXPECT_THROW(TraceStats s(t), std::invalid_argument);
+}
+
+TEST(TraceStats, InterContactGaps) {
+  ContactTrace t;
+  t.add(NodeId(0), NodeId(1), at(0), at(10));
+  t.add(NodeId(0), NodeId(1), at(70), at(80));    // gap 60
+  t.add(NodeId(0), NodeId(1), at(200), at(210));  // gap 120
+  t.finalize();
+  const TraceStats s(t);
+  EXPECT_EQ(s.contact_count(), 3u);
+  EXPECT_EQ(s.pair_count(), 1u);
+  EXPECT_EQ(s.inter_contact_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(s.inter_contact_times().mean(), 90.0);
+  EXPECT_DOUBLE_EQ(s.contact_durations().mean(), 10.0);
+}
+
+TEST(TraceStats, RemeetProbabilityCountsCensoring) {
+  ContactTrace t;
+  // Pair (0,1): re-meets after 60s. Pair (2,3): never re-meets, with 1000s of
+  // observable tail. Pair (4,5): last contact right at the end (short tail,
+  // excluded from the at-risk set for large windows).
+  t.add(NodeId(0), NodeId(1), at(0), at(10));
+  t.add(NodeId(0), NodeId(1), at(70), at(80));
+  t.add(NodeId(2), NodeId(3), at(0), at(10));
+  t.add(NodeId(4), NodeId(5), at(1000), at(1010));
+  t.finalize();
+  // Window 100s: pair01 observed remeet (60 <= 100); pair23 censored with
+  // tail 1000 >= 100 counts as a miss; pair01's second contact tail is 930
+  // >= 100, a miss; pair45 tail 0 < 100 not at risk.
+  EXPECT_NEAR(t.end_time().to_seconds(), 1010.0, 1e-9);
+  const TraceStats s(t);
+  EXPECT_NEAR(s.remeet_probability(Duration::seconds(100.0)), 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace g2g::trace

@@ -1,0 +1,223 @@
+#include "g2g/proto/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g2g::proto {
+namespace {
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest() : authority_(suite_, rng_) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      identities_.emplace_back(suite_, NodeId(i), authority_, rng_);
+      roster_.add(identities_.back().certificate());
+    }
+  }
+
+  [[nodiscard]] ProofOfRelay make_por(std::uint32_t giver, std::uint32_t taker,
+                                      bool delegation = false, double fm = 0.0,
+                                      double fq = 0.0, std::uint32_t dprime = 1) {
+    ProofOfRelay por;
+    por.h.fill(0x5a);
+    por.giver = NodeId(giver);
+    por.taker = NodeId(taker);
+    por.at = TimePoint::from_seconds(100.0);
+    por.delegation = delegation;
+    por.declared_dst = NodeId(dprime);
+    por.msg_quality = fm;
+    por.taker_quality = fq;
+    por.quality_frame = 3;
+    por.taker_signature = identities_[taker].sign(por.signed_payload());
+    return por;
+  }
+
+  [[nodiscard]] QualityDeclaration make_decl(std::uint32_t declarer, std::uint32_t dst,
+                                             double value) {
+    QualityDeclaration d;
+    d.declarer = NodeId(declarer);
+    d.dst = NodeId(dst);
+    d.value = value;
+    d.frame = 2;
+    d.at = TimePoint::from_seconds(50.0);
+    d.signature = identities_[declarer].sign(d.signed_payload());
+    return d;
+  }
+
+  crypto::SuitePtr suite_ = crypto::make_fast_suite(0x3117e);
+  Rng rng_{5};
+  crypto::Authority authority_;
+  std::vector<crypto::NodeIdentity> identities_;
+  Roster roster_;
+};
+
+TEST_F(WireTest, PorEncodingRoundTrip) {
+  const ProofOfRelay por = make_por(0, 1, true, 2.0, 5.0);
+  const ProofOfRelay decoded = ProofOfRelay::decode(por.encode());
+  EXPECT_EQ(decoded.h, por.h);
+  EXPECT_EQ(decoded.giver, por.giver);
+  EXPECT_EQ(decoded.taker, por.taker);
+  EXPECT_EQ(decoded.at, por.at);
+  EXPECT_EQ(decoded.delegation, por.delegation);
+  EXPECT_EQ(decoded.declared_dst, por.declared_dst);
+  EXPECT_DOUBLE_EQ(decoded.msg_quality, por.msg_quality);
+  EXPECT_DOUBLE_EQ(decoded.taker_quality, por.taker_quality);
+  EXPECT_EQ(decoded.quality_frame, por.quality_frame);
+  EXPECT_EQ(decoded.taker_signature, por.taker_signature);
+}
+
+TEST_F(WireTest, DeclarationEncodingRoundTrip) {
+  const QualityDeclaration d = make_decl(2, 3, 7.5);
+  const QualityDeclaration decoded = QualityDeclaration::decode(d.encode());
+  EXPECT_EQ(decoded.declarer, d.declarer);
+  EXPECT_EQ(decoded.dst, d.dst);
+  EXPECT_DOUBLE_EQ(decoded.value, d.value);
+  EXPECT_EQ(decoded.frame, d.frame);
+  EXPECT_EQ(decoded.at, d.at);
+  EXPECT_EQ(decoded.signature, d.signature);
+}
+
+TEST_F(WireTest, SignedPayloadExcludesSignature) {
+  ProofOfRelay por = make_por(0, 1);
+  const Bytes payload = por.signed_payload();
+  por.taker_signature[0] ^= 1;
+  EXPECT_EQ(por.signed_payload(), payload);
+}
+
+TEST_F(WireTest, RelayFailurePomVerifies) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(0, 1);
+  EXPECT_TRUE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, RelayFailurePomRejectsForgery) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+
+  // No evidence at all.
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Evidence signed by someone else (culprit mismatch).
+  pom.evidence_accepted = make_por(0, 2);
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Accuser was not the giver of the PoR.
+  pom.evidence_accepted = make_por(3, 1);
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Tampered signature.
+  auto por = make_por(0, 1);
+  por.taker_signature[3] ^= 1;
+  pom.evidence_accepted = por;
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Tampered signed content (the timestamp is covered by the signature).
+  por = make_por(0, 1);
+  por.at = por.at + Duration::seconds(1.0);
+  pom.evidence_accepted = por;
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, QualityLiePomVerifies) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::QualityLie;
+  pom.culprit = NodeId(2);
+  pom.accuser = NodeId(3);
+  pom.evidence_declaration = make_decl(2, 3, 0.0);
+  EXPECT_TRUE(verify_pom(*suite_, roster_, pom));
+
+  // Declarer mismatch.
+  pom.evidence_declaration = make_decl(1, 3, 0.0);
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Tampered value.
+  auto decl = make_decl(2, 3, 0.0);
+  decl.value = 9.0;
+  pom.evidence_declaration = decl;
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, ChainCheatPomVerifies) {
+  // Node 1 accepted from node 0 at declared quality 5 (the incoming PoR,
+  // signed by node 1), then forwarded claiming f_m = 0 (outgoing PoR signed
+  // by node 2): the mismatch is the cheat.
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(0, 1, true, 2.0, 5.0);   // f_AD = 5
+  pom.evidence_forwarded = make_por(1, 2, true, 0.0, 7.0);  // f1_m = 0 != 5
+  EXPECT_TRUE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, ChainCheatPomRejectsConsistentChain) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(0, 1, true, 2.0, 5.0);
+  pom.evidence_forwarded = make_por(1, 2, true, 5.0, 7.0);  // f1_m == f_AD: honest
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, ChainCheatPomRejectsUnrelatedEvidence) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+
+  // Culprit not involved in the incoming PoR.
+  pom.evidence_accepted = make_por(2, 3, true, 2.0, 5.0);
+  pom.evidence_forwarded = make_por(1, 2, true, 0.0, 7.0);
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Different message hashes.
+  auto in = make_por(0, 1, true, 2.0, 5.0);
+  auto out = make_por(1, 2, true, 0.0, 7.0);
+  out.h.fill(0x11);
+  out.taker_signature = identities_[2].sign(out.signed_payload());
+  pom.evidence_accepted = in;
+  pom.evidence_forwarded = out;
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+
+  // Epidemic (non-delegation) PoRs carry no chain.
+  pom.evidence_accepted = make_por(0, 1, false);
+  pom.evidence_forwarded = make_por(1, 2, false);
+  EXPECT_FALSE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, ChainCheatAcceptsCulpritOutgoingEstablisher) {
+  // Second-hop cheat: both PoRs are outgoing PoRs of the culprit.
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(1, 2, true, 5.0, 8.0);   // established f_m = 8
+  pom.evidence_forwarded = make_por(1, 3, true, 2.0, 9.0);  // attached 2 != 8
+  EXPECT_TRUE(verify_pom(*suite_, roster_, pom));
+}
+
+TEST_F(WireTest, PomEncodingProducesReasonableSizes) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(0, 1, true);
+  pom.evidence_forwarded = make_por(1, 2, true);
+  EXPECT_EQ(pom.wire_size(), pom.encode().size());
+  EXPECT_GT(pom.wire_size(), 2 * 64u);
+  EXPECT_LT(pom.wire_size(), 1024u);
+}
+
+TEST_F(WireTest, MinQualityOrdering) {
+  EXPECT_EQ(min_quality(QualityKind::DestinationFrequency), 0.0);
+  EXPECT_EQ(min_quality(QualityKind::DestinationLastContact), kNeverMet);
+  EXPECT_LT(min_quality(QualityKind::DestinationLastContact), -1e17);
+}
+
+}  // namespace
+}  // namespace g2g::proto
