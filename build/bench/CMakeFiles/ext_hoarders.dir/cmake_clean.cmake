@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hoarders.dir/ext_hoarders.cpp.o"
+  "CMakeFiles/ext_hoarders.dir/ext_hoarders.cpp.o.d"
+  "ext_hoarders"
+  "ext_hoarders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hoarders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

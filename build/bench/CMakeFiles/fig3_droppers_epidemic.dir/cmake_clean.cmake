@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_droppers_epidemic.dir/fig3_droppers_epidemic.cpp.o"
+  "CMakeFiles/fig3_droppers_epidemic.dir/fig3_droppers_epidemic.cpp.o.d"
+  "fig3_droppers_epidemic"
+  "fig3_droppers_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_droppers_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

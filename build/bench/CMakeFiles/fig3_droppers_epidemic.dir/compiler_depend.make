@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_droppers_epidemic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_detection_g2g_epidemic.dir/fig4_detection_g2g_epidemic.cpp.o"
+  "CMakeFiles/fig4_detection_g2g_epidemic.dir/fig4_detection_g2g_epidemic.cpp.o.d"
+  "fig4_detection_g2g_epidemic"
+  "fig4_detection_g2g_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_detection_g2g_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_detection_g2g_epidemic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deviations_delegation.dir/fig5_deviations_delegation.cpp.o"
+  "CMakeFiles/fig5_deviations_delegation.dir/fig5_deviations_delegation.cpp.o.d"
+  "fig5_deviations_delegation"
+  "fig5_deviations_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deviations_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_detection_g2g_delegation.dir/fig7_detection_g2g_delegation.cpp.o"
+  "CMakeFiles/fig7_detection_g2g_delegation.dir/fig7_detection_g2g_delegation.cpp.o.d"
+  "fig7_detection_g2g_delegation"
+  "fig7_detection_g2g_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_detection_g2g_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

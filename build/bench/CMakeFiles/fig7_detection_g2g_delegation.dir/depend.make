@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_detection_g2g_delegation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cost_tradeoff.dir/fig8_cost_tradeoff.cpp.o"
+  "CMakeFiles/fig8_cost_tradeoff.dir/fig8_cost_tradeoff.cpp.o.d"
+  "fig8_cost_tradeoff"
+  "fig8_cost_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cost_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

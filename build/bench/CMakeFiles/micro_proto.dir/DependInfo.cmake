@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_proto.cpp" "bench/CMakeFiles/micro_proto.dir/micro_proto.cpp.o" "gcc" "bench/CMakeFiles/micro_proto.dir/micro_proto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/g2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/g2g_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/g2g_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/g2g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/g2g_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/g2g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/g2g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_proto.dir/micro_proto.cpp.o"
+  "CMakeFiles/micro_proto.dir/micro_proto.cpp.o.d"
+  "micro_proto"
+  "micro_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

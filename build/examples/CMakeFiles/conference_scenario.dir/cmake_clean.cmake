@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_scenario.dir/conference_scenario.cpp.o"
+  "CMakeFiles/conference_scenario.dir/conference_scenario.cpp.o.d"
+  "conference_scenario"
+  "conference_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2gsim.dir/g2gsim.cpp.o"
+  "CMakeFiles/g2gsim.dir/g2gsim.cpp.o.d"
+  "g2gsim"
+  "g2gsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2gsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfishness_audit.dir/selfishness_audit.cpp.o"
+  "CMakeFiles/selfishness_audit.dir/selfishness_audit.cpp.o.d"
+  "selfishness_audit"
+  "selfishness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfishness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

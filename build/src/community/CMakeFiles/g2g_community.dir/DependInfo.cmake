@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/community/src/graph.cpp" "src/community/CMakeFiles/g2g_community.dir/src/graph.cpp.o" "gcc" "src/community/CMakeFiles/g2g_community.dir/src/graph.cpp.o.d"
+  "/root/repo/src/community/src/kclique.cpp" "src/community/CMakeFiles/g2g_community.dir/src/kclique.cpp.o" "gcc" "src/community/CMakeFiles/g2g_community.dir/src/kclique.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/g2g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

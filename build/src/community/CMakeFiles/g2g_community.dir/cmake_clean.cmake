@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_community.dir/src/graph.cpp.o"
+  "CMakeFiles/g2g_community.dir/src/graph.cpp.o.d"
+  "CMakeFiles/g2g_community.dir/src/kclique.cpp.o"
+  "CMakeFiles/g2g_community.dir/src/kclique.cpp.o.d"
+  "libg2g_community.a"
+  "libg2g_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_core.dir/src/experiment.cpp.o"
+  "CMakeFiles/g2g_core.dir/src/experiment.cpp.o.d"
+  "CMakeFiles/g2g_core.dir/src/json.cpp.o"
+  "CMakeFiles/g2g_core.dir/src/json.cpp.o.d"
+  "CMakeFiles/g2g_core.dir/src/parallel.cpp.o"
+  "CMakeFiles/g2g_core.dir/src/parallel.cpp.o.d"
+  "CMakeFiles/g2g_core.dir/src/presets.cpp.o"
+  "CMakeFiles/g2g_core.dir/src/presets.cpp.o.d"
+  "CMakeFiles/g2g_core.dir/src/report.cpp.o"
+  "CMakeFiles/g2g_core.dir/src/report.cpp.o.d"
+  "libg2g_core.a"
+  "libg2g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/src/chacha20.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/src/hmac.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/hmac.cpp.o.d"
+  "/root/repo/src/crypto/src/identity.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/identity.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/identity.cpp.o.d"
+  "/root/repo/src/crypto/src/schnorr.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/src/sealed_box.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/sealed_box.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/sealed_box.cpp.o.d"
+  "/root/repo/src/crypto/src/sha256.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/sha256.cpp.o.d"
+  "/root/repo/src/crypto/src/suite.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/suite.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/suite.cpp.o.d"
+  "/root/repo/src/crypto/src/uint256.cpp" "src/crypto/CMakeFiles/g2g_crypto.dir/src/uint256.cpp.o" "gcc" "src/crypto/CMakeFiles/g2g_crypto.dir/src/uint256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

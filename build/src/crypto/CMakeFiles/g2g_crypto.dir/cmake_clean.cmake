@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_crypto.dir/src/chacha20.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/chacha20.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/hmac.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/hmac.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/identity.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/identity.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/schnorr.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/schnorr.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/sealed_box.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/sealed_box.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/sha256.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/sha256.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/suite.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/suite.cpp.o.d"
+  "CMakeFiles/g2g_crypto.dir/src/uint256.cpp.o"
+  "CMakeFiles/g2g_crypto.dir/src/uint256.cpp.o.d"
+  "libg2g_crypto.a"
+  "libg2g_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

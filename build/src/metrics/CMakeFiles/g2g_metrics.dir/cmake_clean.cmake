@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_metrics.dir/src/collector.cpp.o"
+  "CMakeFiles/g2g_metrics.dir/src/collector.cpp.o.d"
+  "libg2g_metrics.a"
+  "libg2g_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/src/delegation.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/delegation.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/delegation.cpp.o.d"
+  "/root/repo/src/proto/src/epidemic.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/epidemic.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/epidemic.cpp.o.d"
+  "/root/repo/src/proto/src/g2g_delegation.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/g2g_delegation.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/g2g_delegation.cpp.o.d"
+  "/root/repo/src/proto/src/g2g_epidemic.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/g2g_epidemic.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/g2g_epidemic.cpp.o.d"
+  "/root/repo/src/proto/src/message.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/message.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/message.cpp.o.d"
+  "/root/repo/src/proto/src/network.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/network.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/network.cpp.o.d"
+  "/root/repo/src/proto/src/node.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/node.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/node.cpp.o.d"
+  "/root/repo/src/proto/src/quality.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/quality.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/quality.cpp.o.d"
+  "/root/repo/src/proto/src/wire.cpp" "src/proto/CMakeFiles/g2g_proto.dir/src/wire.cpp.o" "gcc" "src/proto/CMakeFiles/g2g_proto.dir/src/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/g2g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/g2g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/community/CMakeFiles/g2g_community.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/g2g_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/g2g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_proto.dir/src/delegation.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/delegation.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/epidemic.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/epidemic.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/g2g_delegation.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/g2g_delegation.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/g2g_epidemic.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/g2g_epidemic.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/message.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/message.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/network.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/network.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/node.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/node.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/quality.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/quality.cpp.o.d"
+  "CMakeFiles/g2g_proto.dir/src/wire.cpp.o"
+  "CMakeFiles/g2g_proto.dir/src/wire.cpp.o.d"
+  "libg2g_proto.a"
+  "libg2g_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

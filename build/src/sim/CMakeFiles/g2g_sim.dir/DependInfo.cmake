@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/simulator.cpp" "src/sim/CMakeFiles/g2g_sim.dir/src/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/g2g_sim.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/sim/src/traffic.cpp" "src/sim/CMakeFiles/g2g_sim.dir/src/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/g2g_sim.dir/src/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/g2g_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/g2g_sim.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/g2g_sim.dir/src/traffic.cpp.o"
+  "CMakeFiles/g2g_sim.dir/src/traffic.cpp.o.d"
+  "libg2g_sim.a"
+  "libg2g_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

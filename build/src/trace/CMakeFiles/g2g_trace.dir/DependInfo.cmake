@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/src/contact.cpp" "src/trace/CMakeFiles/g2g_trace.dir/src/contact.cpp.o" "gcc" "src/trace/CMakeFiles/g2g_trace.dir/src/contact.cpp.o.d"
+  "/root/repo/src/trace/src/parser.cpp" "src/trace/CMakeFiles/g2g_trace.dir/src/parser.cpp.o" "gcc" "src/trace/CMakeFiles/g2g_trace.dir/src/parser.cpp.o.d"
+  "/root/repo/src/trace/src/stats.cpp" "src/trace/CMakeFiles/g2g_trace.dir/src/stats.cpp.o" "gcc" "src/trace/CMakeFiles/g2g_trace.dir/src/stats.cpp.o.d"
+  "/root/repo/src/trace/src/synthetic.cpp" "src/trace/CMakeFiles/g2g_trace.dir/src/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/g2g_trace.dir/src/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/g2g_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

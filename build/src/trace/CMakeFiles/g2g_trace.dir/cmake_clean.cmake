@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_trace.dir/src/contact.cpp.o"
+  "CMakeFiles/g2g_trace.dir/src/contact.cpp.o.d"
+  "CMakeFiles/g2g_trace.dir/src/parser.cpp.o"
+  "CMakeFiles/g2g_trace.dir/src/parser.cpp.o.d"
+  "CMakeFiles/g2g_trace.dir/src/stats.cpp.o"
+  "CMakeFiles/g2g_trace.dir/src/stats.cpp.o.d"
+  "CMakeFiles/g2g_trace.dir/src/synthetic.cpp.o"
+  "CMakeFiles/g2g_trace.dir/src/synthetic.cpp.o.d"
+  "libg2g_trace.a"
+  "libg2g_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

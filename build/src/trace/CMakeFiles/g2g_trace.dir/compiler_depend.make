@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for g2g_trace.
+# This may be replaced when dependencies are built.

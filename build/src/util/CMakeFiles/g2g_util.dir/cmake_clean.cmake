@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_util.dir/src/bytes.cpp.o"
+  "CMakeFiles/g2g_util.dir/src/bytes.cpp.o.d"
+  "CMakeFiles/g2g_util.dir/src/log.cpp.o"
+  "CMakeFiles/g2g_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/g2g_util.dir/src/stats.cpp.o"
+  "CMakeFiles/g2g_util.dir/src/stats.cpp.o.d"
+  "libg2g_util.a"
+  "libg2g_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

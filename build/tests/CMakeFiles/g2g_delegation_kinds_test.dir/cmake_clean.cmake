@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2g_delegation_kinds_test.dir/g2g_delegation_kinds_test.cpp.o"
+  "CMakeFiles/g2g_delegation_kinds_test.dir/g2g_delegation_kinds_test.cpp.o.d"
+  "g2g_delegation_kinds_test"
+  "g2g_delegation_kinds_test.pdb"
+  "g2g_delegation_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2g_delegation_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

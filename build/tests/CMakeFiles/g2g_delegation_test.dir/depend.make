@@ -1,0 +1,2 @@
+# Empty dependencies file for g2g_delegation_test.
+# This may be replaced when dependencies are built.

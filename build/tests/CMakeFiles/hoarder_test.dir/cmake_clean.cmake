@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoarder_test.dir/hoarder_test.cpp.o"
+  "CMakeFiles/hoarder_test.dir/hoarder_test.cpp.o.d"
+  "hoarder_test"
+  "hoarder_test.pdb"
+  "hoarder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoarder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

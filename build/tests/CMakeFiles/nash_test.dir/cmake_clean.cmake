@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nash_test.dir/nash_test.cpp.o"
+  "CMakeFiles/nash_test.dir/nash_test.cpp.o.d"
+  "nash_test"
+  "nash_test.pdb"
+  "nash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeframe_race_test.dir/timeframe_race_test.cpp.o"
+  "CMakeFiles/timeframe_race_test.dir/timeframe_race_test.cpp.o.d"
+  "timeframe_race_test"
+  "timeframe_race_test.pdb"
+  "timeframe_race_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeframe_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uint256_test.dir/uint256_test.cpp.o"
+  "CMakeFiles/uint256_test.dir/uint256_test.cpp.o.d"
+  "uint256_test"
+  "uint256_test.pdb"
+  "uint256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uint256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_test.dir/warmup_test.cpp.o"
+  "CMakeFiles/warmup_test.dir/warmup_test.cpp.o.d"
+  "warmup_test"
+  "warmup_test.pdb"
+  "warmup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
