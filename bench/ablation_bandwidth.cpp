@@ -38,5 +38,13 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, opt);
   }
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::G2GEpidemic;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.bandwidth_bytes_per_s = 1024.0 * 1024.0;
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

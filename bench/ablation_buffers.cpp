@@ -39,5 +39,13 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, opt);
   }
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::Epidemic;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.max_buffer_messages = 50;
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

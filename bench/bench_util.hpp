@@ -5,11 +5,13 @@
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "g2g/core/experiment.hpp"
 #include "g2g/core/report.hpp"
+#include "g2g/obs/tracer.hpp"
 
 namespace g2g::bench {
 
@@ -18,6 +20,8 @@ struct Options {
   bool csv = false;    ///< machine-readable output
   std::size_t runs = 2;
   std::uint64_t seed = 1;
+  bool obs = false;        ///< print counters + stage times for one config
+  std::string trace_out;   ///< stream one representative run as JSONL
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -32,8 +36,14 @@ inline Options parse_options(int argc, char** argv) {
       opt.runs = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--seed" && i + 1 < argc) {
       opt.seed = std::stoull(argv[++i]);
+    } else if (arg == "--obs") {
+      opt.obs = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      opt.trace_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--quick] [--csv] [--runs N] [--seed S]\n";
+      std::cout << "usage: " << argv[0]
+                << " [--quick] [--csv] [--runs N] [--seed S] [--obs]"
+                   " [--trace-out FILE]\n";
       std::exit(0);
     }
   }
@@ -51,6 +61,42 @@ inline void emit(const core::Table& table, const Options& opt) {
     table.print(std::cout);
   }
   std::cout << '\n';
+}
+
+/// Observability report: when --obs or --trace-out was given, re-run one
+/// representative config single-threaded with tracing attached and print its
+/// counter registry and stage profile. The parallel sweep itself stays
+/// untraced — one run, one ObsContext, one sink, no interleaving.
+inline void obs_report(core::ExperimentConfig cfg, const Options& opt) {
+  if (!opt.obs && opt.trace_out.empty()) return;
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (!opt.trace_out.empty()) {
+    sink = obs::JsonlSink::open(opt.trace_out);
+    if (!sink) {
+      std::cerr << "error: cannot open " << opt.trace_out << " for writing\n";
+      return;
+    }
+    cfg.trace_sink = sink.get();
+  }
+  const core::ExperimentResult r = core::run_experiment(cfg);
+  if (!opt.csv) {
+    std::cout << "observability report (one run: " << core::to_string(cfg.protocol)
+              << " on " << cfg.scenario.name << ", seed " << cfg.seed << ")\n";
+  }
+  core::Table counters({"counter", "value"});
+  for (const auto& [name, counter] : r.counters.counters()) {
+    if (counter.value() > 0) counters.add_row({name, std::to_string(counter.value())});
+  }
+  emit(counters, opt);
+  core::Table stages({"stage", "seconds"});
+  for (const auto& stage : r.stages.stages()) {
+    stages.add_row({stage.name, core::fmt(stage.seconds, 3)});
+  }
+  emit(stages, opt);
+  if (sink) {
+    std::cerr << "wrote " << sink->lines_written() << " events to " << opt.trace_out
+              << "\n";
+  }
 }
 
 /// Deviant-count sweep matching the paper's x axes (0..~nodes, step 5).

@@ -78,5 +78,14 @@ int main(int argc, char** argv) {
   }
   std::cout << "(hoarders are never evicted by design; their deterrent is the heavy-HMAC\n"
                " energy bill, which the payoff model prices above honest relaying)\n";
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::G2GEpidemic;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.deviation = proto::Behavior::Hoarder;
+    repr.deviant_count = 10;
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

@@ -36,5 +36,14 @@ int main(int argc, char** argv) {
     }
     bench::emit(table, opt);
   }
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::Epidemic;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.deviation = proto::Behavior::Dropper;
+    repr.deviant_count = 10;
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

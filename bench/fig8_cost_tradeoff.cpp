@@ -79,5 +79,12 @@ int main(int argc, char** argv) {
     }
     bench::emit(headline, opt);
   }
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::G2GEpidemic;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

@@ -55,5 +55,14 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   }
   bench::emit(table, opt);
+  {
+    ExperimentConfig repr;
+    repr.protocol = Protocol::G2GDelegationFrequency;
+    repr.scenario = infocom05_scenario(opt.seed);
+    repr.deviation = proto::Behavior::Liar;
+    repr.deviant_count = 10;
+    repr.seed = opt.seed;
+    bench::obs_report(repr, opt);
+  }
   return 0;
 }

@@ -11,11 +11,13 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "g2g/core/experiment.hpp"
 #include "g2g/core/report.hpp"
+#include "g2g/obs/tracer.hpp"
 
 namespace {
 
@@ -34,6 +36,8 @@ struct CliOptions {
   double interarrival_s = 4.0;
   bool csv = false;
   bool schnorr = false;
+  std::optional<std::string> trace_out;  ///< stream events as JSONL to this file
+  bool obs = false;                      ///< print counters + stage profile
 };
 
 int usage(const char* argv0) {
@@ -50,7 +54,10 @@ int usage(const char* argv0) {
       "  --interarrival SECONDS                   traffic mean gap (default 4)\n"
       "  --seed S    --runs N                     repetitions average results\n"
       "  --schnorr                                real public-key suite\n"
-      "  --csv                                    machine-readable output\n",
+      "  --csv                                    machine-readable output\n"
+      "  --trace-out FILE                         stream simulation events (JSONL)\n"
+      "  --obs                                    print protocol counters and\n"
+      "                                           pipeline stage times\n",
       argv0);
   return 2;
 }
@@ -103,6 +110,10 @@ int main(int argc, char** argv) {
       opt.csv = true;
     } else if (arg == "--schnorr") {
       opt.schnorr = true;
+    } else if (arg == "--trace-out") {
+      opt.trace_out = next();
+    } else if (arg == "--obs") {
+      opt.obs = true;
     } else {
       return usage(argv[0]);
     }
@@ -127,7 +138,19 @@ int main(int argc, char** argv) {
   if (opt.ttl_min) cfg.delta1_override = Duration::minutes(*opt.ttl_min);
   if (opt.schnorr) cfg.suite = crypto::make_schnorr_suite();
 
-  const AggregateResult agg = run_repeated(cfg, std::max<std::size_t>(1, opt.runs));
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (opt.trace_out) {
+    sink = obs::JsonlSink::open(*opt.trace_out);
+    if (!sink) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", opt.trace_out->c_str());
+      return 1;
+    }
+    cfg.trace_sink = sink.get();
+  }
+
+  ExperimentResult last;
+  const AggregateResult agg =
+      run_repeated(cfg, std::max<std::size_t>(1, opt.runs), opt.obs ? &last : nullptr);
 
   Table table({"metric", "mean", "min", "max"});
   table.add_row({"success rate", fmt_pct(agg.success_rate.mean()),
@@ -154,6 +177,27 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  if (opt.obs) {
+    // Counters and stage times of the final run (seed = seed + runs - 1).
+    Table counters({"counter", "value"});
+    for (const auto& [name, counter] : last.counters.counters()) {
+      if (counter.value() > 0) counters.add_row({name, std::to_string(counter.value())});
+    }
+    Table stages({"stage", "seconds"});
+    for (const auto& stage : last.stages.stages()) {
+      stages.add_row({stage.name, fmt(stage.seconds, 3)});
+    }
+    if (!opt.csv) std::printf("\nprotocol counters (last run)\n");
+    opt.csv ? counters.print_csv(std::cout) : counters.print(std::cout);
+    if (!opt.csv) std::printf("\npipeline stages (last run)\n");
+    opt.csv ? stages.print_csv(std::cout) : stages.print(std::cout);
+  }
+  if (sink) {
+    std::fprintf(stderr, "wrote %llu events to %s\n",
+                 static_cast<unsigned long long>(sink->lines_written()),
+                 opt.trace_out->c_str());
   }
   return 0;
 }

@@ -10,6 +10,9 @@
 #include "g2g/core/presets.hpp"
 #include "g2g/crypto/suite.hpp"
 #include "g2g/metrics/collector.hpp"
+#include "g2g/obs/context.hpp"
+#include "g2g/obs/stage.hpp"
+#include "g2g/obs/tracer.hpp"
 #include "g2g/proto/node.hpp"
 #include "g2g/util/stats.hpp"
 
@@ -65,6 +68,15 @@ struct ExperimentConfig {
   std::size_t max_buffer_messages = 0;
   /// Radio bandwidth in bytes/second (0 = unlimited, the paper's assumption).
   double bandwidth_bytes_per_s = 0.0;
+
+  /// Observability. Tracing never perturbs the simulation: a traced run is
+  /// bit-identical to an untraced one (tests/obs_test.cpp).
+  /// Stream every simulation event to this sink (e.g. an obs::JsonlSink);
+  /// non-owning, must outlive the run. nullptr = no streaming.
+  obs::EventSink* trace_sink = nullptr;
+  /// Keep the last N events in memory and snapshot them into
+  /// ExperimentResult::events. 0 = off.
+  std::size_t trace_ring = 0;
 };
 
 struct ExperimentResult {
@@ -86,6 +98,11 @@ struct ExperimentResult {
   metrics::Collector collector;
   std::vector<NodeId> deviants;
   std::size_t community_count = 0;
+
+  // Observability snapshots.
+  obs::Registry counters;         ///< protocol counters + histograms of the run
+  obs::StageProfile stages;       ///< wall-clock pipeline stage times
+  std::vector<obs::Event> events; ///< ring contents (only if trace_ring > 0)
 };
 
 /// Run one experiment. Deterministic in config.seed.
@@ -100,7 +117,10 @@ struct AggregateResult {
   RunningStats detection_minutes;
   std::size_t false_positives = 0;
 };
-[[nodiscard]] AggregateResult run_repeated(ExperimentConfig config, std::size_t runs);
+/// `last` (optional) receives the final run's full result — counters and
+/// stage profile included — for observability reports over a sweep.
+[[nodiscard]] AggregateResult run_repeated(ExperimentConfig config, std::size_t runs,
+                                           ExperimentResult* last = nullptr);
 
 /// Per-node payoff in the paper's sense: strictly positive for participants,
 /// decreasing in energy and memory cost, zero if the node was evicted or its

@@ -18,6 +18,15 @@ namespace g2g::core {
 /// Serialize an aggregate (the mean/min/max rollup used by the benches).
 [[nodiscard]] std::string to_json(const AggregateResult& aggregate);
 
+/// Serialize a counter-registry snapshot: {"counters":{...},"histograms":{...}}.
+/// Deterministic (name-sorted maps, integer counts).
+[[nodiscard]] std::string to_json(const obs::Registry& registry);
+
+/// Serialize a wall-clock stage profile: [{"name":...,"seconds":...},...].
+/// NOT deterministic across runs — it measures the host, not the simulation —
+/// so it is kept out of to_json(ExperimentResult).
+[[nodiscard]] std::string to_json(const obs::StageProfile& stages);
+
 /// Escape a string for embedding in JSON (quotes not included).
 [[nodiscard]] std::string json_escape(const std::string& s);
 

@@ -62,10 +62,15 @@ struct RunInputs {
 
 template <typename NodeT>
 void run_network(const trace::ContactTrace& window, proto::NetworkConfig net_config,
-                 const RunInputs& in, metrics::Collector& collector) {
+                 const RunInputs& in, metrics::Collector& collector,
+                 obs::StageProfile& stages) {
   proto::Network<NodeT> network(window, std::move(net_config), *in.behaviors, collector);
-  if (in.full_trace != nullptr) network.warm_up(in.full_trace->events(), in.window_start);
-  network.schedule_traffic(*in.demands);
+  {
+    obs::StageTimer timer(stages, "warm_up");
+    if (in.full_trace != nullptr) network.warm_up(in.full_trace->events(), in.window_start);
+    network.schedule_traffic(*in.demands);
+  }
+  obs::StageTimer timer(stages, "simulation");
   network.run();
 }
 
@@ -73,20 +78,30 @@ void run_network(const trace::ContactTrace& window, proto::NetworkConfig net_con
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   Rng rng(config.seed * 0x9e3779b97f4a7c15ULL + 17);
+  ExperimentResult result;
+
+  // The run's observability bundle: counters always, tracing only on request.
+  obs::ObsContext obs;
+  if (config.trace_sink != nullptr) obs.tracer.add_sink(config.trace_sink);
+  if (config.trace_ring > 0) obs.tracer.enable_ring(config.trace_ring);
 
   // 1. The trace substrate (full multi-day trace).
+  obs::StageTimer trace_timer(result.stages, "trace_gen");
   trace::SyntheticConfig trace_config = config.scenario.trace_config;
   trace_config.seed = trace_config.seed * 1000003ULL + config.seed;
   const trace::SyntheticTrace synthetic = trace::generate_trace(trace_config);
+  trace_timer.stop();
 
   // 2. Community detection on the full trace (k-clique percolation, as the
   //    paper does with the Palla et al. algorithm).
+  obs::StageTimer community_timer(result.stages, "communities");
   const community::ContactGraph graph(
       synthetic.trace,
       community::ContactGraphConfig::for_span(synthetic.trace.end_time() -
                                               synthetic.trace.start_time()));
   community::CommunityMap communities =
       community::k_clique_communities(graph, config.scenario.kclique_k);
+  community_timer.stop();
 
   // 3. The experiment window.
   const TimePoint w0 = config.scenario.window_start;
@@ -116,9 +131,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   net_config.message_body_size = config.message_body_size;
   net_config.instant_pom_broadcast = config.instant_pom_broadcast;
   net_config.bandwidth_bytes_per_s = config.bandwidth_bytes_per_s;
+  net_config.obs = &obs;
 
   // 5. Deviants.
-  ExperimentResult result;
   Rng deviant_rng = rng.fork(0xDE71A47);
   result.deviants = pick_deviants(deviant_rng, window.node_count(), config.deviant_count);
   std::vector<proto::BehaviorConfig> behaviors(window.node_count());
@@ -141,22 +156,27 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                          config.warm_up_tables ? &synthetic.trace : nullptr, w0};
   switch (config.protocol) {
     case Protocol::Epidemic:
-      run_network<proto::EpidemicNode>(window, net_config, inputs, result.collector);
+      run_network<proto::EpidemicNode>(window, net_config, inputs, result.collector,
+                                       result.stages);
       break;
     case Protocol::G2GEpidemic:
-      run_network<proto::G2GEpidemicNode>(window, net_config, inputs, result.collector);
+      run_network<proto::G2GEpidemicNode>(window, net_config, inputs, result.collector,
+                                          result.stages);
       break;
     case Protocol::DelegationFrequency:
     case Protocol::DelegationLastContact:
-      run_network<proto::DelegationNode>(window, net_config, inputs, result.collector);
+      run_network<proto::DelegationNode>(window, net_config, inputs, result.collector,
+                                         result.stages);
       break;
     case Protocol::G2GDelegationFrequency:
     case Protocol::G2GDelegationLastContact:
-      run_network<proto::G2GDelegationNode>(window, net_config, inputs, result.collector);
+      run_network<proto::G2GDelegationNode>(window, net_config, inputs, result.collector,
+                                            result.stages);
       break;
   }
 
   // 8. Extract.
+  obs::StageTimer extract_timer(result.stages, "extraction");
   result.generated = result.collector.generated_count();
   result.delivered = result.collector.delivered_count();
   result.success_rate = result.collector.success_rate();
@@ -182,14 +202,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       ++result.false_positives;
     }
   }
+  extract_timer.stop();
+
+  // Snapshot the run's observability state. The collector was detached from
+  // the ObsContext when the network was destroyed, so the copies in `result`
+  // never dangle.
+  result.counters = obs.registry;
+  if (config.trace_ring > 0) result.events = obs.tracer.ring();
   return result;
 }
 
-AggregateResult run_repeated(ExperimentConfig config, std::size_t runs) {
+AggregateResult run_repeated(ExperimentConfig config, std::size_t runs,
+                             ExperimentResult* last) {
   AggregateResult agg;
   for (std::size_t i = 0; i < runs; ++i) {
     config.seed = config.seed + (i == 0 ? 0 : 1);
-    const ExperimentResult r = run_experiment(config);
+    ExperimentResult r = run_experiment(config);
     agg.success_rate.add(r.success_rate);
     if (!r.delay_seconds.empty()) agg.avg_delay_s.add(r.delay_seconds.mean());
     agg.avg_replicas.add(r.avg_replicas);
@@ -200,6 +228,7 @@ AggregateResult run_repeated(ExperimentConfig config, std::size_t runs) {
       }
     }
     agg.false_positives += r.false_positives;
+    if (last != nullptr && i + 1 == runs) *last = std::move(r);
   }
   return agg;
 }

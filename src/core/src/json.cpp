@@ -107,7 +107,59 @@ std::string to_json(const ExperimentResult& r) {
   }
   o << "]";
 
+  // The counter snapshot is deterministic; the wall-clock stage profile is
+  // not, so it is serialized separately (to_json(obs::StageProfile)).
+  o << ",\"obs\":" << to_json(r.counters);
+
   o << "}";
+  return o.str();
+}
+
+std::string to_json(const obs::Registry& registry) {
+  std::ostringstream o;
+  o << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) o << ",";
+    first = false;
+    o << "\"" << json_escape(name) << "\":" << counter.value();
+  }
+  o << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!first) o << ",";
+    first = false;
+    o << "\"" << json_escape(name) << "\":{\"count\":" << hist.count()
+      << ",\"sum\":" << num(hist.sum()) << ",\"buckets\":[";
+    const auto& edges = hist.edges();
+    const auto& buckets = hist.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (i > 0) o << ",";
+      o << "{\"le\":";
+      if (i < edges.size()) {
+        o << num(edges[i]);
+      } else {
+        o << "null";  // overflow bucket
+      }
+      o << ",\"n\":" << buckets[i] << "}";
+    }
+    o << "]}";
+  }
+  o << "}}";
+  return o.str();
+}
+
+std::string to_json(const obs::StageProfile& stages) {
+  std::ostringstream o;
+  o << "[";
+  bool first = true;
+  for (const auto& stage : stages.stages()) {
+    if (!first) o << ",";
+    first = false;
+    o << "{\"name\":\"" << json_escape(stage.name)
+      << "\",\"seconds\":" << num(stage.seconds) << "}";
+  }
+  o << "]";
   return o.str();
 }
 

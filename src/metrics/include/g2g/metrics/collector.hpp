@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "g2g/obs/context.hpp"
 #include "g2g/util/ids.hpp"
 #include "g2g/util/stats.hpp"
 #include "g2g/util/time.hpp"
@@ -55,6 +56,13 @@ struct DetectionEvent {
 
 class Collector {
  public:
+  // -- observability ---------------------------------------------------------
+  /// Mirror every lifecycle/detection record into `obs` (events + counters).
+  /// The context must outlive the run; pass nullptr to detach (required
+  /// before the owning run's ObsContext goes away, since Collectors are
+  /// copied into results).
+  void attach_obs(obs::ObsContext* obs) { obs_ = obs; }
+
   // -- message lifecycle -----------------------------------------------------
   void message_generated(MessageId id, NodeId src, NodeId dst, TimePoint at);
   void message_relayed(MessageId id, NodeId from, NodeId to, TimePoint at);
@@ -65,7 +73,7 @@ class Collector {
   [[nodiscard]] const NodeCosts& costs(NodeId n) const;
 
   // -- misbehaviour ----------------------------------------------------------
-  void detection(const DetectionEvent& e) { detections_.push_back(e); }
+  void detection(const DetectionEvent& e);
   void node_evicted(NodeId n, TimePoint at);
 
   // -- results ---------------------------------------------------------------
@@ -90,6 +98,9 @@ class Collector {
     TimePoint created;
     std::optional<TimePoint> delivered;
     std::uint32_t replicas = 0;
+    /// Time of the most recent relay hop (== created until the first hop);
+    /// drives the per-hop delay histogram.
+    TimePoint last_hop;
   };
   [[nodiscard]] const std::map<MessageId, MessageRecord>& messages() const {
     return messages_;
@@ -101,6 +112,7 @@ class Collector {
   std::vector<DetectionEvent> detections_;
   std::map<NodeId, TimePoint> evictions_;
   std::uint64_t total_relays_ = 0;
+  obs::ObsContext* obs_ = nullptr;
 };
 
 }  // namespace g2g::metrics

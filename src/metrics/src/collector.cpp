@@ -7,22 +7,52 @@ namespace g2g::metrics {
 
 void Collector::message_generated(MessageId id, NodeId src, NodeId dst, TimePoint at) {
   const auto [it, inserted] =
-      messages_.emplace(id, MessageRecord{src, dst, at, std::nullopt, 0});
+      messages_.emplace(id, MessageRecord{src, dst, at, std::nullopt, 0, at});
   if (!inserted) throw std::logic_error("duplicate message id");
   (void)it;
+  if (obs_ != nullptr) {
+    obs_->counters.generated->add();
+    obs_->tracer.emit(
+        {at, obs::EventKind::MessageGenerated, src, dst, id.value(), 0});
+  }
 }
 
-void Collector::message_relayed(MessageId id, NodeId /*from*/, NodeId /*to*/, TimePoint) {
+void Collector::message_relayed(MessageId id, NodeId from, NodeId to, TimePoint at) {
   const auto it = messages_.find(id);
   if (it == messages_.end()) throw std::logic_error("relay of unknown message");
   ++it->second.replicas;
   ++total_relays_;
+  const Duration hop = at - it->second.last_hop;
+  it->second.last_hop = at;
+  if (obs_ != nullptr) {
+    obs_->counters.relays->add();
+    obs_->counters.hop_delay_s->observe(hop.to_seconds());
+    obs_->tracer.emit(
+        {at, obs::EventKind::MessageRelayed, from, to, id.value(), hop.count()});
+  }
 }
 
 void Collector::message_delivered(MessageId id, TimePoint at) {
   const auto it = messages_.find(id);
   if (it == messages_.end()) throw std::logic_error("delivery of unknown message");
-  if (!it->second.delivered.has_value()) it->second.delivered = at;
+  if (it->second.delivered.has_value()) return;  // keep the first time
+  it->second.delivered = at;
+  const Duration delay = at - it->second.created;
+  if (obs_ != nullptr) {
+    obs_->counters.deliveries->add();
+    obs_->counters.delivery_delay_s->observe(delay.to_seconds());
+    obs_->tracer.emit({at, obs::EventKind::MessageDelivered, it->second.src,
+                       it->second.dst, id.value(), delay.count()});
+  }
+}
+
+void Collector::detection(const DetectionEvent& e) {
+  detections_.push_back(e);
+  if (obs_ != nullptr) {
+    obs_->counters.detections->add();
+    obs_->tracer.emit({e.at, obs::EventKind::Detection, e.detector, e.culprit, 0,
+                       static_cast<std::int64_t>(e.method)});
+  }
 }
 
 NodeCosts& Collector::costs(NodeId n) { return costs_[n]; }

@@ -1,0 +1,70 @@
+// Wall-clock profiling of experiment pipeline stages.
+//
+// A StageProfile is an ordered list of (name, seconds) entries; a StageTimer
+// measures one scope with std::chrono::steady_clock and records itself on
+// destruction. Stage times are the only non-deterministic quantities the obs
+// layer produces — they measure the host machine, not the simulation.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace g2g::obs {
+
+class StageProfile {
+ public:
+  struct Stage {
+    std::string name;
+    double seconds = 0.0;
+  };
+
+  void add(std::string name, double seconds) {
+    stages_.push_back({std::move(name), seconds});
+  }
+
+  [[nodiscard]] const std::vector<Stage>& stages() const { return stages_; }
+  [[nodiscard]] bool empty() const { return stages_.empty(); }
+  /// Seconds recorded under `name` (summed if recorded more than once).
+  [[nodiscard]] double seconds(const std::string& name) const;
+  [[nodiscard]] double total() const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// RAII scope timer; records into the profile when destroyed (or on stop()).
+class StageTimer {
+ public:
+  StageTimer(StageProfile& profile, std::string name)
+      : profile_(&profile),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Null timer: profiling optional without branching at every call site.
+  StageTimer(StageProfile* profile, std::string name)
+      : profile_(profile),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~StageTimer() { stop(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Record now instead of at scope exit; idempotent.
+  void stop() {
+    if (profile_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    profile_->add(std::move(name_),
+                  std::chrono::duration<double>(elapsed).count());
+    profile_ = nullptr;
+  }
+
+ private:
+  StageProfile* profile_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace g2g::obs

@@ -1,0 +1,19 @@
+#include "g2g/obs/stage.hpp"
+
+namespace g2g::obs {
+
+double StageProfile::seconds(const std::string& name) const {
+  double total = 0.0;
+  for (const auto& s : stages_) {
+    if (s.name == name) total += s.seconds;
+  }
+  return total;
+}
+
+double StageProfile::total() const {
+  double total = 0.0;
+  for (const auto& s : stages_) total += s.seconds;
+  return total;
+}
+
+}  // namespace g2g::obs

@@ -37,13 +37,20 @@ struct NetworkConfig {
   /// Radio bandwidth in bytes/second; a contact can carry at most
   /// duration * bandwidth bytes. 0 = unlimited (the paper's assumption).
   double bandwidth_bytes_per_s = 0.0;
+  /// Observability bundle to record into (tracer + counters). The context
+  /// must outlive the network; nullptr = the network owns a private one
+  /// (counters always collected, tracing disabled).
+  obs::ObsContext* obs = nullptr;
 };
 
 class NetworkBase : public sim::ContactListener, public Env {
  public:
   NetworkBase(const trace::ContactTrace& trace, NetworkConfig config,
               metrics::Collector& collector);
-  ~NetworkBase() override = default;
+  // The collector records into this network's ObsContext; detach so a
+  // collector that outlives the network (results keep copies) never touches
+  // a dead context.
+  ~NetworkBase() override { collector_->attach_obs(nullptr); }
 
   // Env ----------------------------------------------------------------------
   [[nodiscard]] TimePoint now() const final { return sim_.now(); }
@@ -54,6 +61,8 @@ class NetworkBase : public sim::ContactListener, public Env {
     return !config_.communities.same_community(a, b);
   }
   [[nodiscard]] std::size_t node_count() const final { return node_count_; }
+  [[nodiscard]] obs::ObsContext& obs() final { return *obs_; }
+  [[nodiscard]] std::uint64_t msg_ref(const MessageHash& h) const final;
   void notify_delivered(const MessageHash& h, NodeId dst) final;
   void notify_relayed(const MessageHash& h, NodeId from, NodeId to) final;
   void notify_detection(NodeId culprit, NodeId detector, metrics::DetectionMethod method,
@@ -93,6 +102,11 @@ class NetworkBase : public sim::ContactListener, public Env {
   void register_node(ProtocolNode* node);
   [[nodiscard]] crypto::NodeIdentity make_identity(NodeId n);
 
+  /// Observability hooks for the typed contact() implementations.
+  void record_contact_up(NodeId a, NodeId b, Duration contact_duration);
+  void record_session(NodeId a, NodeId b, bool opened);
+  void record_contact_down(NodeId a, NodeId b, std::size_t bytes_used);
+
   NetworkConfig config_;
   std::size_t node_count_;
   Rng rng_;
@@ -113,6 +127,9 @@ class NetworkBase : public sim::ContactListener, public Env {
   std::unique_ptr<crypto::Authority> authority_;
   std::vector<ProtocolNode*> generic_nodes_;
   const trace::ContactTrace* trace_;
+  /// Private fallback when config.obs is null (counters still collected).
+  std::unique_ptr<obs::ObsContext> owned_obs_;
+  obs::ObsContext* obs_ = nullptr;
 };
 
 template <typename NodeT>
@@ -140,14 +157,24 @@ class Network final : public NetworkBase {
   void inject(NodeId src, const SealedMessage& m) override { node(src).generate(m); }
 
   void contact(TimePoint t, NodeId a, NodeId b, Duration contact_duration) override {
+    record_contact_up(a, b, contact_duration);
     NodeT& x = node(a);
     NodeT& y = node(b);
     // A blacklisted node gets no session at all — that is the eviction.
-    if (!x.accepts_session_with(b) || !y.accepts_session_with(a)) return;
+    if (!x.accepts_session_with(b) || !y.accepts_session_with(a)) {
+      record_session(a, b, false);
+      return;
+    }
     Session s(*this, x, y, contact_budget(contact_duration));
-    if (!open_session(s, x, y)) return;
+    if (!open_session(s, x, y)) {
+      record_session(a, b, false);
+      record_contact_down(a, b, s.bytes_used());
+      return;
+    }
+    record_session(a, b, true);
     (void)t;
     NodeT::run_contact(s, x, y);
+    record_contact_down(a, b, s.bytes_used());
   }
 
   std::vector<std::unique_ptr<NodeT>> nodes_;

@@ -12,6 +12,7 @@
 
 #include "g2g/crypto/identity.hpp"
 #include "g2g/metrics/collector.hpp"
+#include "g2g/obs/context.hpp"
 #include "g2g/proto/message.hpp"
 #include "g2g/proto/wire.hpp"
 #include "g2g/util/rng.hpp"
@@ -85,6 +86,15 @@ class Env {
   [[nodiscard]] virtual bool outsiders(NodeId a, NodeId b) const = 0;
   [[nodiscard]] virtual std::size_t node_count() const = 0;
 
+  /// The run's observability bundle (tracer + counter registry). The default
+  /// is a shared process-wide context with tracing disabled, so lightweight
+  /// test Envs need not provide one; NetworkBase overrides with a per-run
+  /// context (a requirement for parallel sweeps).
+  [[nodiscard]] virtual obs::ObsContext& obs();
+  /// Trace reference for a message hash: the MessageId where the Env knows
+  /// the mapping, otherwise the hash's first 8 bytes.
+  [[nodiscard]] virtual std::uint64_t msg_ref(const MessageHash& h) const;
+
   virtual void notify_delivered(const MessageHash& h, NodeId dst) = 0;
   virtual void notify_relayed(const MessageHash& h, NodeId from, NodeId to) = 0;
   virtual void notify_detection(NodeId culprit, NodeId detector,
@@ -113,10 +123,13 @@ class Session {
   [[nodiscard]] Env& env() { return env_; }
 
   /// Account an unsigned transfer of `bytes` from `from` to the other side.
-  void transfer(ProtocolNode& from, std::size_t bytes);
+  /// `kind` feeds the per-wire-message-kind byte counters.
+  void transfer(ProtocolNode& from, std::size_t bytes,
+                obs::WireKind kind = obs::WireKind::Other);
   /// Account a signed control message: bytes + one signature by `from`,
   /// one verification by the receiver.
-  void signed_control(ProtocolNode& from, std::size_t bytes);
+  void signed_control(ProtocolNode& from, std::size_t bytes,
+                      obs::WireKind kind = obs::WireKind::Other);
 
   /// True once the contact's byte budget is spent; protocol loops stop
   /// starting new exchanges.
@@ -178,6 +191,15 @@ class ProtocolNode {
   /// Whether the node's behaviour says to deviate in a session with `peer`.
   [[nodiscard]] bool deviates_with(NodeId peer) const;
   [[nodiscard]] metrics::NodeCosts& costs();
+
+  /// Observability helpers: one branch when tracing is off, plain counter
+  /// increments otherwise. `this` node is the event's primary actor.
+  void trace_event(obs::EventKind kind, NodeId peer, std::uint64_t ref = 0,
+                   std::int64_t value = 0) {
+    obs::Tracer& t = env_.obs().tracer;
+    if (t.enabled()) t.emit({env_.now(), kind, id(), peer, ref, value});
+  }
+  [[nodiscard]] obs::ProtocolCounters& counters() { return env_.obs().counters; }
   /// Issue a PoM: record it locally (accuser blacklists immediately), notify
   /// metrics, and leave it for gossip.
   void issue_pom(ProofOfMisbehavior pom, metrics::DetectionMethod method,

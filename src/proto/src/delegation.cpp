@@ -44,7 +44,8 @@ void DelegationNode::offer_all(Session& s, DelegationNode& taker) {
   // A hoarder free-rides: it only spends transmit energy on its own traffic.
   const bool hoarding =
       behavior().kind == Behavior::Hoarder && deviates_with(taker.id());
-  s.transfer(*this, buffer_.size() * sizeof(MessageHash));  // summary vector
+  s.transfer(*this, buffer_.size() * sizeof(MessageHash),
+             obs::WireKind::SummaryVector);  // summary vector
   std::vector<MessageHash> offered;
   offered.reserve(buffer_.size());
   for (const auto& [h, e] : buffer_) {
@@ -61,17 +62,17 @@ void DelegationNode::offer_all(Session& s, DelegationNode& taker) {
 
     if (e.msg.dst == taker.id()) {
       // Direct delivery, regardless of quality.
-      s.transfer(*this, e.bytes);
+      s.transfer(*this, e.bytes, obs::WireKind::Payload);
       taker.receive(s, *this, e.msg, e.fm, e.expires);
       continue;
     }
 
     // Quality query (tiny unsigned exchange in the vanilla protocol).
-    s.transfer(*this, 40);
-    s.transfer(taker, 16);
+    s.transfer(*this, 40, obs::WireKind::FqRqst);
+    s.transfer(taker, 16, obs::WireKind::QualityDecl);
     const double q = taker.declare_quality(e.msg.dst, id());
     if (q > e.fm) {
-      s.transfer(*this, e.bytes);
+      s.transfer(*this, e.bytes, obs::WireKind::Payload);
       // "...creates a replica of the message, labels both messages with the
       // forwarding quality of node B, and forwards one of the two replicas."
       e.fm = q;

@@ -28,7 +28,7 @@ void EpidemicNode::offer_all(Session& s, EpidemicNode& taker) {
   const bool hoarding =
       behavior().kind == Behavior::Hoarder && deviates_with(taker.id());
   // Summary-vector exchange: one hash per carried message.
-  s.transfer(*this, buffer_.size() * sizeof(MessageHash));
+  s.transfer(*this, buffer_.size() * sizeof(MessageHash), obs::WireKind::SummaryVector);
   // Snapshot hashes first: receive() on the peer can trigger no mutation on
   // this node, but keep iteration robust anyway.
   std::vector<MessageHash> offered;
@@ -42,7 +42,7 @@ void EpidemicNode::offer_all(Session& s, EpidemicNode& taker) {
     const auto it = buffer_.find(h);
     if (it == buffer_.end()) continue;
     if (taker.seen_.contains(h)) continue;
-    s.transfer(*this, it->second.bytes);
+    s.transfer(*this, it->second.bytes, obs::WireKind::Payload);
     taker.receive(s, *this, it->second.msg, it->second.expires);
   }
 }

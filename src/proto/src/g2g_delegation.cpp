@@ -120,11 +120,17 @@ void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
     // "When the destination of m is B, D' is chosen as a random node
     // different from B" — B must not learn it is the destination.
     const NodeId dprime = to_dst ? random_decoy(taker.id()) : real_dst;
+    const std::uint64_t ref = env_.msg_ref(h);
 
     // Step 8: FQ_RQST.
-    s.signed_control(*this, wire::fq_rqst(sig));
+    counters().handshakes_started->add();
+    trace_event(obs::EventKind::FqRqst, taker.id(), ref);
+    s.signed_control(*this, wire::fq_rqst(sig), obs::WireKind::FqRqst);
     const auto decl = taker.respond_fq(s, *this, h, dprime);
-    if (!decl.has_value()) continue;  // taker already handled the message
+    if (!decl.has_value()) {
+      counters().handshakes_declined->add();
+      continue;  // taker already handled the message
+    }
 
     // Verify the declaration signature (it may be stored as evidence).
     count_verification();
@@ -133,7 +139,10 @@ void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
         taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime &&
         identity().suite().verify(taker_cert->public_key, decl->signed_payload(),
                                   decl->signature);
-    if (!decl_ok) continue;
+    if (!decl_ok) {
+      counters().handshakes_aborted->add();
+      continue;
+    }
 
     // A cheater advertises (and labels the message with) a zeroed quality so
     // any candidate qualifies and it gets rid of the message quickly.
@@ -143,6 +152,7 @@ void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
     if (!to_dst && decl->value <= effective_fm + kQualityEps) {
       // Failed candidate. The source archives the last two declarations for
       // the test by the destination.
+      counters().handshakes_declined->add();
       if (hold.is_source) {
         hold.failed_candidates.push_back(*decl);
         while (hold.failed_candidates.size() > 2) hold.failed_candidates.pop_front();
@@ -157,7 +167,10 @@ void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
     }
     std::size_t attach_bytes = 0;
     for (const auto& a : attachments) attach_bytes += a.wire_size();
-    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes + attach_bytes));
+    trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
+                static_cast<std::int64_t>(hold.msg_bytes + attach_bytes));
+    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes + attach_bytes),
+                     obs::WireKind::RelayData);
     const double sent_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
 
     // Step 11: PoR back from the taker.
@@ -173,17 +186,26 @@ void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
     por.quality_frame = decl->frame;
     taker.count_signature();
     por.taker_signature = taker.identity().sign(por.signed_payload());
-    s.transfer(taker, por.wire_size());
+    taker.counters().pors_issued->add();
+    taker.trace_event(obs::EventKind::HsPorSigned, id(), ref);
+    taker.trace_event(obs::EventKind::PorIssued, id(), ref);
+    s.transfer(taker, por.wire_size(), obs::WireKind::Por);
 
     count_verification();
-    if (!identity().suite().verify(taker_cert->public_key, por.signed_payload(),
-                                   por.taker_signature)) {
+    const bool por_ok = identity().suite().verify(
+        taker_cert->public_key, por.signed_payload(), por.taker_signature);
+    trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
+    if (!por_ok) {
+      counters().handshakes_aborted->add();
       continue;
     }
+    counters().pors_verified->add();
     hold.pors.push_back(por);
 
     // Step 12: KEY.
-    s.signed_control(*this, wire::key_reveal(sig));
+    counters().handshakes_completed->add();
+    trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
+    s.signed_control(*this, wire::key_reveal(sig), obs::WireKind::KeyReveal);
     env_.notify_relayed(h, id(), taker.id());
 
     // "Label both messages with the forwarding quality of node B" — only on a
@@ -207,7 +229,8 @@ std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
                                                                 NodeId dst) {
   if (handled_.contains(h)) {
     const std::size_t sig = identity().suite().signature_size();
-    s.signed_control(*this, wire::relay_ok(sig));  // decline notice
+    trace_event(obs::EventKind::HsRelayOk, giver.id(), env_.msg_ref(h), 0);
+    s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);  // decline notice
     return std::nullopt;
   }
   QualityDeclaration decl;
@@ -224,7 +247,9 @@ std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
   }
   count_signature();
   decl.signature = identity().sign(decl.signed_payload());
-  s.transfer(*this, decl.wire_size());
+  trace_event(obs::EventKind::FqResp, giver.id(), env_.msg_ref(h),
+              static_cast<std::int64_t>(decl.value * 1e6));
+  s.transfer(*this, decl.wire_size(), obs::WireKind::QualityDecl);
   return decl;
 }
 
@@ -277,18 +302,27 @@ void G2GDelegationNode::check_attachments(Session& s,
     if (cert == nullptr ||
         !identity().suite().verify(cert->public_key, decl.signed_payload(),
                                    decl.signature)) {
+      trace_event(obs::EventKind::TestByDestination, decl.declarer, 0, 2);
       continue;
     }
     // f_BD must equal f_DB for the declared timeframe — both nodes log the
     // same symmetric encounters.
     const auto own = table_.value_at_frame(config().quality_kind, decl.declarer, decl.frame, now);
-    if (!own.has_value()) continue;  // frame no longer retained: unverifiable
+    if (!own.has_value()) {
+      // Frame no longer retained: unverifiable.
+      trace_event(obs::EventKind::TestByDestination, decl.declarer, 0, 2);
+      continue;
+    }
     if (quality_mismatch(*own, decl.value)) {
+      counters().quality_lies->add();
+      trace_event(obs::EventKind::TestByDestination, decl.declarer, 0, 0);
       ProofOfMisbehavior pom;
       pom.kind = ProofOfMisbehavior::Kind::QualityLie;
       pom.culprit = decl.declarer;
       pom.evidence_declaration = decl;
       issue_pom(std::move(pom), metrics::DetectionMethod::TestByDestination, now - decl.at);
+    } else {
+      trace_event(obs::EventKind::TestByDestination, decl.declarer, 0, 1);
     }
   }
 }
@@ -312,12 +346,16 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
       // answer with a storage proof, and there is no chain to check.
     }
 
+    const std::uint64_t ref = env_.msg_ref(t.h);
+    counters().tests_by_sender->add();
     const Bytes seed = random_seed(env_.rng());
-    s.signed_control(*this, wire::por_rqst(sig));
+    s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
     const TestResponse resp = peer.respond_test(s, t.h, seed);
 
     // Chain check runs over every PoR the relay presents.
     if (!resp.pors.empty() && !chain_check(t, resp.pors, real_dst, now)) {
+      counters().tests_failed->add();
+      trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
       continue;  // cheat detected; PoM already issued
     }
 
@@ -326,13 +364,19 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
       for (const auto& por : resp.pors) {
         count_verification();
         const auto* cert = env_.roster().find(por.taker);
-        if (por.h != t.h || por.giver != peer.id() || cert == nullptr ||
-            !identity().suite().verify(cert->public_key, por.signed_payload(),
-                                       por.taker_signature)) {
-          all_ok = false;
-        }
+        const bool ok = por.h == t.h && por.giver == peer.id() && cert != nullptr &&
+                        identity().suite().verify(cert->public_key,
+                                                  por.signed_payload(),
+                                                  por.taker_signature);
+        trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
+        if (ok) counters().pors_verified->add();
+        else all_ok = false;
       }
-      if (all_ok) continue;
+      if (all_ok) {
+        counters().tests_passed->add();
+        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
+        continue;
+      }
     }
 
     if (resp.stored_hmac.has_value()) {
@@ -341,12 +385,19 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
         count_heavy_hmac();
         const crypto::Digest expect = crypto::heavy_hmac(
             it->second.msg.encode(), seed, config().heavy_hmac_iterations);
-        if (crypto::digest_equal(expect, *resp.stored_hmac)) continue;
+        if (crypto::digest_equal(expect, *resp.stored_hmac)) {
+          counters().tests_passed->add();
+          trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
+          continue;
+        }
       } else {
+        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
         continue;
       }
     }
 
+    counters().tests_failed->add();
+    trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
     ProofOfMisbehavior pom;
     pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
     pom.culprit = peer.id();
@@ -359,6 +410,11 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
 bool G2GDelegationNode::chain_check(const PendingTest& t,
                                     const std::vector<ProofOfRelay>& pors, NodeId real_dst,
                                     TimePoint now) {
+  const std::uint64_t ref = env_.msg_ref(t.h);
+  const auto record_cheat = [&] {
+    counters().chain_cheats->add();
+    trace_event(obs::EventKind::ChainCheck, t.relay, ref, 0);
+  };
   // Presented PoRs in relay order.
   std::vector<ProofOfRelay> ordered = pors;
   std::sort(ordered.begin(), ordered.end(),
@@ -382,6 +438,7 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
     if (claims_decoy && por.taker != real_dst) {
       // The relay pretended its taker was the destination (decoy on a
       // non-destination): a way to dump the message regardless of quality.
+      record_cheat();
       ProofOfMisbehavior pom;
       pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
       pom.culprit = t.relay;
@@ -395,6 +452,7 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
 
     // f_m attached on forward must match the quality the chain established.
     if (quality_mismatch(por.msg_quality, expected_fm)) {
+      record_cheat();
       ProofOfMisbehavior pom;
       pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
       pom.culprit = t.relay;
@@ -407,6 +465,7 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
     if (!is_delivery) {
       // Delegation discipline: the taker must actually be better.
       if (por.taker_quality <= por.msg_quality + kQualityEps) {
+        record_cheat();
         ProofOfMisbehavior pom;
         pom.kind = ProofOfMisbehavior::Kind::ChainCheat;
         pom.culprit = t.relay;
@@ -420,6 +479,7 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
       establisher = por;
     }
   }
+  trace_event(obs::EventKind::ChainCheck, t.relay, ref, 1);
   return true;
 }
 
@@ -431,14 +491,17 @@ G2GDelegationNode::TestResponse G2GDelegationNode::respond_test(Session& s,
   if (it == hold_.end()) return resp;
   const Hold& hold = it->second;
   resp.pors = hold.pors;
-  for (const auto& por : resp.pors) s.transfer(*this, por.wire_size());
+  for (const auto& por : resp.pors) s.transfer(*this, por.wire_size(), obs::WireKind::Por);
   if (hold.pors.size() < config().relay_fanout) {
     if (hold.has_msg) {
       count_heavy_hmac();
+      counters().storage_challenges->add();
+      trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
+                  env_.msg_ref(h), config().heavy_hmac_iterations);
       resp.stored_hmac =
           crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
       const std::size_t sig = identity().suite().signature_size();
-      s.signed_control(*this, wire::stored_resp(sig));
+      s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);
     }
   }
   return resp;

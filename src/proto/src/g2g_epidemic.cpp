@@ -95,15 +95,24 @@ void G2GEpidemicNode::giver_pass(Session& s, G2GEpidemicNode& taker) {
     const auto it = hold_.find(h);
     if (it == hold_.end() || !it->second.has_msg) continue;
     Hold& hold = it->second;
+    const std::uint64_t ref = env_.msg_ref(h);
 
     // Step 1: RELAY_RQST.
-    s.signed_control(*this, wire::relay_rqst(sig));
+    counters().handshakes_started->add();
+    trace_event(obs::EventKind::HsRelayRqst, taker.id(), ref);
+    s.signed_control(*this, wire::relay_rqst(sig), obs::WireKind::RelayRqst);
     // Steps 2/3/4: the taker answers, the message travels, the PoR returns.
     const auto por = taker.accept_relay(s, *this, h);
-    if (!por.has_value()) continue;  // taker declined (already handled)
+    if (!por.has_value()) {
+      counters().handshakes_declined->add();
+      continue;  // taker declined (already handled)
+    }
 
     // Step 3 accounting: E_k(m).
-    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes));
+    trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
+                static_cast<std::int64_t>(hold.msg_bytes));
+    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes),
+                     obs::WireKind::RelayData);
 
     // Verify the PoR before revealing the key.
     count_verification();
@@ -113,11 +122,18 @@ void G2GEpidemicNode::giver_pass(Session& s, G2GEpidemicNode& taker) {
         por->taker == taker.id() &&
         identity().suite().verify(taker_cert->public_key, por->signed_payload(),
                                   por->taker_signature);
-    if (!por_ok) continue;  // never happens with conforming takers
+    trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
+    if (!por_ok) {
+      counters().handshakes_aborted->add();
+      continue;  // never happens with conforming takers
+    }
+    counters().pors_verified->add();
 
     hold.pors.push_back(*por);
     // Step 5: KEY.
-    s.signed_control(*this, wire::key_reveal(sig));
+    counters().handshakes_completed->add();
+    trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
+    s.signed_control(*this, wire::key_reveal(sig), obs::WireKind::KeyReveal);
     env_.notify_relayed(h, id(), taker.id());
     taker.complete_relay(s, *this, hold.msg, hold.expires);
 
@@ -134,14 +150,17 @@ void G2GEpidemicNode::giver_pass(Session& s, G2GEpidemicNode& taker) {
 std::optional<ProofOfRelay> G2GEpidemicNode::accept_relay(Session& s, G2GEpidemicNode& giver,
                                                           const MessageHash& h) {
   const std::size_t sig = identity().suite().signature_size();
+  const std::uint64_t ref = env_.msg_ref(h);
   if (handled_.contains(h)) {
     // "node B informs S that it should not be chosen as a relay" — and it
     // answers honestly, because it cannot know whether it is the destination.
-    s.signed_control(*this, wire::relay_ok(sig));
+    trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 0);
+    s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);
     return std::nullopt;
   }
   // Step 2: RELAY_OK.
-  s.signed_control(*this, wire::relay_ok(sig));
+  trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 1);
+  s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);
 
   // Step 4: sign the PoR. (The encrypted message of step 3 has arrived; the
   // giver accounts its bytes.)
@@ -152,7 +171,10 @@ std::optional<ProofOfRelay> G2GEpidemicNode::accept_relay(Session& s, G2GEpidemi
   por.at = s.now();
   count_signature();
   por.taker_signature = identity().sign(por.signed_payload());
-  s.transfer(*this, por.wire_size());
+  counters().pors_issued->add();
+  trace_event(obs::EventKind::HsPorSigned, giver.id(), ref);
+  trace_event(obs::EventKind::PorIssued, giver.id(), ref);
+  s.transfer(*this, por.wire_size(), obs::WireKind::Por);
   return por;
 }
 
@@ -206,8 +228,10 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
     if (now > t.relayed_at + config().delta2) continue;  // window closed
     t.done = true;
 
+    const std::uint64_t ref = env_.msg_ref(t.h);
+    counters().tests_by_sender->add();
     const Bytes seed = random_seed(env_.rng());
-    s.signed_control(*this, wire::por_rqst(sig));
+    s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
     const TestResponse resp = peer.respond_test(s, t.h, seed);
 
     // Either two valid PoRs...
@@ -216,13 +240,19 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
       for (const auto& por : resp.pors) {
         count_verification();
         const auto* cert = env_.roster().find(por.taker);
-        if (por.h != t.h || por.giver != peer.id() || cert == nullptr ||
-            !identity().suite().verify(cert->public_key, por.signed_payload(),
-                                       por.taker_signature)) {
-          all_ok = false;
-        }
+        const bool ok = por.h == t.h && por.giver == peer.id() && cert != nullptr &&
+                        identity().suite().verify(cert->public_key,
+                                                  por.signed_payload(),
+                                                  por.taker_signature);
+        trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
+        if (ok) counters().pors_verified->add();
+        else all_ok = false;
       }
-      if (all_ok) continue;  // test passed
+      if (all_ok) {
+        counters().tests_passed->add();
+        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
+        continue;  // test passed: the relay showed its PoRs
+      }
     }
 
     // ...or a storage proof the source can recompute (it still has m).
@@ -232,13 +262,20 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
         count_heavy_hmac();
         const crypto::Digest expect = crypto::heavy_hmac(
             it->second.msg.encode(), seed, config().heavy_hmac_iterations);
-        if (crypto::digest_equal(expect, *resp.stored_hmac)) continue;  // passed
+        if (crypto::digest_equal(expect, *resp.stored_hmac)) {
+          counters().tests_passed->add();
+          trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
+          continue;  // passed: the relay still stores the message
+        }
       } else {
+        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
         continue;  // source can no longer verify; give the benefit of the doubt
       }
     }
 
     // Failure: broadcastable proof of misbehaviour — the PoR the relay signed.
+    counters().tests_failed->add();
+    trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
     ProofOfMisbehavior pom;
     pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
     pom.culprit = peer.id();
@@ -259,16 +296,19 @@ G2GEpidemicNode::TestResponse G2GEpidemicNode::respond_test(Session& s, const Me
   const Hold& hold = it->second;
   if (hold.pors.size() >= config().relay_fanout) {
     resp.pors = hold.pors;
-    for (const auto& por : resp.pors) s.transfer(*this, por.wire_size());
+    for (const auto& por : resp.pors) s.transfer(*this, por.wire_size(), obs::WireKind::Por);
     return resp;
   }
   if (hold.has_msg) {
     count_heavy_hmac();
+    counters().storage_challenges->add();
+    trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
+                env_.msg_ref(h), config().heavy_hmac_iterations);
     resp.stored_hmac =
         crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
     resp.pors = hold.pors;  // show what we have (0 or 1)
     const std::size_t sig = identity().suite().signature_size();
-    s.signed_control(*this, wire::stored_resp(sig));
+    s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);
     return resp;
   }
   return resp;  // dropper: no PoRs, no message

@@ -2,7 +2,24 @@
 
 #include <stdexcept>
 
+#include "g2g/util/log.hpp"
+
 namespace g2g::proto {
+
+namespace {
+/// Adapts the discrete-event clock to the logger so lines emitted during a
+/// run carry the sim-time.
+class SimLogClock final : public LogClock {
+ public:
+  explicit SimLogClock(const sim::Simulator& sim) : sim_(sim) {}
+  [[nodiscard]] std::int64_t now_micros() const override {
+    return sim_.now().micros();
+  }
+
+ private:
+  const sim::Simulator& sim_;
+};
+}  // namespace
 
 NetworkBase::NetworkBase(const trace::ContactTrace& trace, NetworkConfig config,
                          metrics::Collector& collector)
@@ -15,6 +32,13 @@ NetworkBase::NetworkBase(const trace::ContactTrace& trace, NetworkConfig config,
   if (!trace.finalized()) throw std::invalid_argument("trace must be finalized");
   if (node_count_ < 2) throw std::invalid_argument("need at least 2 nodes");
   if (!config_.suite) config_.suite = crypto::make_fast_suite();
+  if (config_.obs != nullptr) {
+    obs_ = config_.obs;
+  } else {
+    owned_obs_ = std::make_unique<obs::ObsContext>();
+    obs_ = owned_obs_.get();
+  }
+  collector_->attach_obs(obs_);
 
   Rng auth_rng = rng_.fork(0xA117);
   authority_ = std::make_unique<crypto::Authority>(config_.suite, auth_rng);
@@ -42,6 +66,37 @@ crypto::NodeIdentity NetworkBase::make_identity(NodeId n) {
 }
 
 void NetworkBase::register_node(ProtocolNode* node) { generic_nodes_.push_back(node); }
+
+std::uint64_t NetworkBase::msg_ref(const MessageHash& h) const {
+  const auto it = hash_to_id_.find(h);
+  return it != hash_to_id_.end() ? it->second.value() : Env::msg_ref(h);
+}
+
+void NetworkBase::record_contact_up(NodeId a, NodeId b, Duration contact_duration) {
+  obs_->counters.contacts->add();
+  const bool bounded = contact_duration != Duration::max();
+  if (bounded) obs_->counters.contact_duration_s->observe(contact_duration.to_seconds());
+  if (obs_->tracer.enabled()) {
+    obs_->tracer.emit({now(), obs::EventKind::ContactUp, a, b, 0,
+                       bounded ? contact_duration.count() : -1});
+  }
+}
+
+void NetworkBase::record_session(NodeId a, NodeId b, bool opened) {
+  (opened ? obs_->counters.sessions_opened : obs_->counters.sessions_refused)->add();
+  if (obs_->tracer.enabled()) {
+    obs_->tracer.emit({now(),
+                       opened ? obs::EventKind::SessionOpen : obs::EventKind::SessionRefused,
+                       a, b, 0, 0});
+  }
+}
+
+void NetworkBase::record_contact_down(NodeId a, NodeId b, std::size_t bytes_used) {
+  if (obs_->tracer.enabled()) {
+    obs_->tracer.emit({now(), obs::EventKind::ContactDown, a, b, 0,
+                       static_cast<std::int64_t>(bytes_used)});
+  }
+}
 
 void NetworkBase::notify_delivered(const MessageHash& h, NodeId /*dst*/) {
   const auto it = hash_to_id_.find(h);
@@ -94,6 +149,8 @@ void NetworkBase::schedule_traffic(const std::vector<sim::TrafficDemand>& demand
 }
 
 void NetworkBase::run() {
+  const SimLogClock clock(sim_);
+  const ScopedLogClock scoped(&clock);
   sim_.run();
   const TimePoint end =
       config_.horizon == TimePoint::zero() ? trace_->end_time() : config_.horizon;
@@ -115,7 +172,12 @@ void NetworkBase::gossip_poms(Session& s, ProtocolNode& from, ProtocolNode& to) 
   const std::vector<ProofOfMisbehavior> known = from.known_poms();
   for (const auto& pom : known) {
     if (to.blacklisted(pom.culprit)) continue;  // peer already knows
-    s.transfer(from, pom.wire_size());
+    s.transfer(from, pom.wire_size(), obs::WireKind::Pom);
+    obs_->counters.poms_gossiped->add();
+    if (obs_->tracer.enabled()) {
+      obs_->tracer.emit({now(), obs::EventKind::PomGossip, from.id(), to.id(),
+                         pom.culprit.value(), 0});
+    }
     (void)to.learn_pom(pom);
   }
 }

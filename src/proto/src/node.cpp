@@ -13,6 +13,21 @@ const char* to_string(Behavior b) {
   return "?";
 }
 
+obs::ObsContext& Env::obs() {
+  // Shared fallback for lightweight test Envs; tracing stays disabled and the
+  // counters are only ever driven from single-threaded unit tests.
+  static obs::ObsContext fallback;
+  return fallback;
+}
+
+std::uint64_t Env::msg_ref(const MessageHash& h) const {
+  std::uint64_t ref = 0;
+  for (std::size_t i = 0; i < 8 && i < h.size(); ++i) {
+    ref |= static_cast<std::uint64_t>(h[i]) << (8 * i);
+  }
+  return ref;
+}
+
 Session::Session(Env& env, ProtocolNode& a, ProtocolNode& b, std::size_t byte_budget)
     : env_(env), a_(a), b_(b), budget_(byte_budget) {
   // Mutual authentication: exchange certificates, verify them, agree a
@@ -25,23 +40,25 @@ Session::Session(Env& env, ProtocolNode& a, ProtocolNode& b, std::size_t byte_bu
     n->count_verification();  // peer certificate check
     n->count_session();
     used_ += cert_bytes;
+    env_.obs().counters.count_wire(obs::WireKind::Certificate, cert_bytes);
   }
 }
 
 TimePoint Session::now() const { return env_.now(); }
 
-void Session::transfer(ProtocolNode& from, std::size_t bytes) {
+void Session::transfer(ProtocolNode& from, std::size_t bytes, obs::WireKind kind) {
   ProtocolNode& to = peer_of(from);
   from.count_sent(bytes);
   to.count_received(bytes);
   used_ += bytes;
+  env_.obs().counters.count_wire(kind, bytes);
 }
 
-void Session::signed_control(ProtocolNode& from, std::size_t bytes) {
+void Session::signed_control(ProtocolNode& from, std::size_t bytes, obs::WireKind kind) {
   ProtocolNode& to = peer_of(from);
   from.count_signature();
   to.count_verification();
-  transfer(from, bytes);
+  transfer(from, bytes, kind);
 }
 
 ProtocolNode& Session::peer_of(const ProtocolNode& n) { return &n == &a_ ? b_ : a_; }
@@ -61,7 +78,10 @@ bool ProtocolNode::learn_pom(const ProofOfMisbehavior& pom) {
   if (pom.culprit == id()) return false;  // nodes do not blacklist themselves
   if (blacklist_.contains(pom.culprit)) return false;
   count_verification();
-  if (!verify_pom(identity_.suite(), env_.roster(), pom)) return false;
+  const bool ok = verify_pom(identity_.suite(), env_.roster(), pom);
+  trace_event(obs::EventKind::PomLearned, pom.culprit, 0, ok ? 1 : 0);
+  if (!ok) return false;
+  counters().poms_learned->add();
   blacklist_.insert(pom.culprit);
   poms_.push_back(pom);
   return true;
@@ -91,6 +111,13 @@ void ProtocolNode::buffer_changed(std::int64_t delta) {
       static_cast<double>(buffer_bytes_) * (now - last_buffer_change_).to_seconds();
   buffer_bytes_ += delta;
   last_buffer_change_ = now;
+  if (delta > 0) {
+    counters().buffer_adds->add();
+    trace_event(obs::EventKind::BufferAdd, NodeId::invalid(), 0, delta);
+  } else if (delta < 0) {
+    counters().buffer_drops->add();
+    trace_event(obs::EventKind::BufferEvict, NodeId::invalid(), 0, delta);
+  }
 }
 
 bool ProtocolNode::deviates_with(NodeId peer) const {
@@ -106,6 +133,11 @@ void ProtocolNode::issue_pom(ProofOfMisbehavior pom, metrics::DetectionMethod me
   pom.accuser = id();
   pom.at = env_.now();
   blacklist_.insert(pom.culprit);
+  counters().poms_issued->add();
+  counters().evictions->add();
+  trace_event(obs::EventKind::PomIssued, pom.culprit, 0,
+              static_cast<std::int64_t>(pom.kind));
+  trace_event(obs::EventKind::Eviction, pom.culprit);
   env_.collector().node_evicted(pom.culprit, env_.now());
   env_.notify_detection(pom.culprit, id(), method, after_delta1);
   poms_.push_back(std::move(pom));

@@ -2,6 +2,7 @@
 // benches and examples raise it explicitly when narrating runs.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -9,12 +10,42 @@ namespace g2g {
 
 enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. The level is
+/// atomic: core::run_parallel workers read it concurrently with possible
+/// writes from the driving thread.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emit a single log line (thread-compatible: the library is single-threaded
-/// by design; the simulator owns all state).
+/// Source of the current simulation time, for prefixing log lines emitted
+/// while a run is active. Thread-local so parallel sweeps each see their own
+/// simulator's clock.
+class LogClock {
+ public:
+  virtual ~LogClock() = default;
+  [[nodiscard]] virtual std::int64_t now_micros() const = 0;
+};
+
+/// Install `clock` for the calling thread (nullptr clears). While set,
+/// log_line prefixes every line with the sim-time, e.g. "[1h02m03.5s]".
+void set_log_clock(const LogClock* clock);
+[[nodiscard]] const LogClock* log_clock();
+
+/// RAII installer; restores the previously-installed clock on destruction.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const LogClock* clock) : prev_(log_clock()) {
+    set_log_clock(clock);
+  }
+  ~ScopedLogClock() { set_log_clock(prev_); }
+  ScopedLogClock(const ScopedLogClock&) = delete;
+  ScopedLogClock& operator=(const ScopedLogClock&) = delete;
+
+ private:
+  const LogClock* prev_;
+};
+
+/// Emit a single log line as one fprintf call, so lines from concurrent
+/// sweep workers never interleave mid-line.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

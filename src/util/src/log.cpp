@@ -1,5 +1,6 @@
 #include "g2g/util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 #include "g2g/util/time.hpp"
@@ -7,7 +8,8 @@
 namespace g2g {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+thread_local const LogClock* t_clock = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,11 +24,23 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_clock(const LogClock* clock) { t_clock = clock; }
+const LogClock* log_clock() { return t_clock; }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  // One fprintf per line: concurrent sweep workers must not interleave.
+  if (t_clock != nullptr) {
+    const std::string t = to_string(Duration(t_clock->now_micros()));
+    std::fprintf(stderr, "[%s][%s] %s\n", level_name(level), t.c_str(),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 std::string to_string(Duration d) {

@@ -42,6 +42,40 @@ TEST(Log, DefaultLevelSuppressesInfo) {
   SUCCEED();
 }
 
+class FixedClock final : public LogClock {
+ public:
+  explicit FixedClock(std::int64_t us) : us_(us) {}
+  [[nodiscard]] std::int64_t now_micros() const override { return us_; }
+
+ private:
+  std::int64_t us_;
+};
+
+TEST(Log, ClockInstallAndScopedRestore) {
+  EXPECT_EQ(log_clock(), nullptr);
+  const FixedClock outer(1000000);
+  const FixedClock inner(2000000);
+  {
+    const ScopedLogClock a(&outer);
+    EXPECT_EQ(log_clock(), &outer);
+    {
+      const ScopedLogClock b(&inner);
+      EXPECT_EQ(log_clock(), &inner);
+    }
+    EXPECT_EQ(log_clock(), &outer);  // restored, not cleared
+  }
+  EXPECT_EQ(log_clock(), nullptr);
+}
+
+TEST(Log, EmitsWithClockInstalled) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);  // formatting path only, no output
+  const FixedClock clock(3723500000);  // 1h02m03.5s
+  const ScopedLogClock scoped(&clock);
+  log_error("prefixed line");
+  SUCCEED();
+}
+
 TEST(Ids, StringsAndHashing) {
   EXPECT_EQ(to_string(NodeId(3)), "n3");
   EXPECT_EQ(to_string(MessageId(9)), "m9");

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "g2g/core/experiment.hpp"
+#include "g2g/obs/context.hpp"
+
 namespace g2g::metrics {
 namespace {
 
@@ -75,6 +78,70 @@ TEST(Collector, CostsAreZeroInitializedAndMutable) {
   const Collector& cc = c;
   EXPECT_EQ(cc.costs(NodeId(7)).signatures, 2u);
   EXPECT_EQ(cc.costs(NodeId(99)).signatures, 0u);  // const lookup of unknown node
+}
+
+TEST(Collector, InstrumentedCallsFeedTheObsContext) {
+  obs::ObsContext obs;
+  obs::CountingSink sink;
+  obs.tracer.add_sink(&sink);
+  Collector c;
+  c.attach_obs(&obs);
+
+  c.message_generated(MessageId(1), NodeId(0), NodeId(5), at(10));
+  c.message_relayed(MessageId(1), NodeId(0), NodeId(2), at(30));
+  c.message_relayed(MessageId(1), NodeId(2), NodeId(5), at(100));
+  c.message_delivered(MessageId(1), at(100));
+  c.detection(DetectionEvent{NodeId(3), NodeId(0), at(100),
+                             DetectionMethod::TestBySender, Duration::minutes(5)});
+
+  EXPECT_EQ(obs.registry.value("msg.generated"), 1u);
+  EXPECT_EQ(obs.registry.value("msg.relayed"), 2u);
+  EXPECT_EQ(obs.registry.value("msg.delivered"), 1u);
+  EXPECT_EQ(obs.registry.value("detect.detections"), 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::MessageGenerated), 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::MessageRelayed), 2u);
+  EXPECT_EQ(sink.count(obs::EventKind::MessageDelivered), 1u);
+  EXPECT_EQ(sink.count(obs::EventKind::Detection), 1u);
+  const obs::Histogram* delay = obs.registry.find_histogram("msg.delivery_delay_s");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->count(), 1u);
+  EXPECT_DOUBLE_EQ(delay->sum(), 90.0);
+
+  // Detaching stops instrumentation; the collector keeps working.
+  c.attach_obs(nullptr);
+  c.message_generated(MessageId(2), NodeId(1), NodeId(6), at(200));
+  EXPECT_EQ(c.generated_count(), 2u);
+  EXPECT_EQ(obs.registry.value("msg.generated"), 1u);
+}
+
+// The registry and the collector are updated by independent code paths (the
+// protocol layer vs. the network's delivery hooks); a full seeded run proves
+// they agree on the totals.
+TEST(Collector, AgreesWithCounterRegistryOnSeededG2GRun) {
+  core::ExperimentConfig cfg;
+  cfg.protocol = core::Protocol::G2GEpidemic;
+  cfg.scenario = core::infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 16;
+  cfg.scenario.trace_config.duration = Duration::days(2);
+  cfg.scenario.window_start = TimePoint::from_seconds(8.0 * 3600.0);
+  cfg.sim_window = Duration::hours(2);
+  cfg.traffic_window = Duration::hours(1);
+  cfg.mean_interarrival = Duration::seconds(30.0);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = 4;
+  cfg.seed = 11;
+  const core::ExperimentResult r = core::run_experiment(cfg);
+
+  EXPECT_GT(r.collector.total_relays(), 0u);
+  EXPECT_GT(r.collector.detections().size(), 0u);
+  EXPECT_EQ(r.counters.value("msg.relayed"), r.collector.total_relays());
+  EXPECT_EQ(r.counters.value("msg.generated"), r.collector.generated_count());
+  EXPECT_EQ(r.counters.value("msg.delivered"), r.collector.delivered_count());
+  EXPECT_EQ(r.counters.value("detect.detections"), r.collector.detections().size());
+  // Every detection issues one PoM and one (possibly repeat) eviction; the
+  // collector's eviction map dedups per node.
+  EXPECT_EQ(r.counters.value("pom.evictions"), r.collector.detections().size());
+  EXPECT_EQ(r.collector.evictions().size(), r.collector.detected_nodes().size());
 }
 
 TEST(NodeCosts, EnergyModelWeighting) {

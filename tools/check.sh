@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: build and run the test suite in a normal tree, then again
+# under AddressSanitizer + UBSan (the G2G_SANITIZE preset).
+#
+#   tools/check.sh            # both passes
+#   tools/check.sh --fast     # normal pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+run_pass() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "== pass 1: normal build =="
+run_pass build
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "ok (fast: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "== pass 2: ASan + UBSan =="
+run_pass build-asan -DG2G_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "ok"
