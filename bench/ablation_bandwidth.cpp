@@ -18,20 +18,29 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: bandwidth-limited contacts ==\n"
             << "   (budget per contact = duration x bandwidth; 0 = unlimited)\n\n";
 
+  const std::vector<double> bandwidths{0.0, 50000.0, 5000.0, 1000.0, 250.0};
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
-    Table table({"scenario", "bandwidth", "Epidemic success", "G2G Epidemic success",
-                 "Epidemic cost", "G2G cost"});
-    for (const double bw : {0.0, 50000.0, 5000.0, 1000.0, 250.0}) {
+    std::vector<SweepCell> cells;
+    for (const double bw : bandwidths) {
       ExperimentConfig cfg;
       cfg.scenario = scen;
       cfg.bandwidth_bytes_per_s = bw;
       cfg.seed = opt.seed;
+      cfg = bench::with_options(std::move(cfg), opt);
 
       cfg.protocol = Protocol::Epidemic;
-      const AggregateResult epi = run_repeated_parallel(cfg, runs);
+      cells.push_back({cfg, runs});
       cfg.protocol = Protocol::G2GEpidemic;
-      const AggregateResult g2g = run_repeated_parallel(cfg, runs);
+      cells.push_back({cfg, runs});
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(cells, opt.threads);
 
+    Table table({"scenario", "bandwidth", "Epidemic success", "G2G Epidemic success",
+                 "Epidemic cost", "G2G cost"});
+    for (std::size_t i = 0; i < bandwidths.size(); ++i) {
+      const double bw = bandwidths[i];
+      const AggregateResult& epi = aggs[2 * i];
+      const AggregateResult& g2g = aggs[2 * i + 1];
       table.add_row({scen.name, bw == 0.0 ? "unlimited" : fmt(bw / 1000.0, 2) + " kB/s",
                      fmt_pct(epi.success_rate.mean()), fmt_pct(g2g.success_rate.mean()),
                      fmt(epi.avg_replicas.mean(), 1), fmt(g2g.avg_replicas.mean(), 1)});

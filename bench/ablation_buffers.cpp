@@ -18,22 +18,29 @@ int main(int argc, char** argv) {
   std::cout << "== Extension: finite relay buffers (vanilla protocols) ==\n"
             << "   (0 = unlimited, the paper's assumption)\n\n";
 
+  const std::vector<std::size_t> caps{0, 400, 200, 100, 50, 25};
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
-    Table table({"scenario", "buffer cap", "Epidemic success", "Epidemic cost",
-                 "Delegation success", "Delegation cost"});
-    for (const std::size_t cap : {std::size_t{0}, std::size_t{400}, std::size_t{200},
-                                  std::size_t{100}, std::size_t{50}, std::size_t{25}}) {
+    std::vector<SweepCell> cells;
+    for (const std::size_t cap : caps) {
       ExperimentConfig cfg;
       cfg.scenario = scen;
       cfg.max_buffer_messages = cap;
       cfg.seed = opt.seed;
+      cfg = bench::with_options(std::move(cfg), opt);
 
       cfg.protocol = Protocol::Epidemic;
-      const AggregateResult epi = run_repeated_parallel(cfg, runs);
+      cells.push_back({cfg, runs});
       cfg.protocol = Protocol::DelegationLastContact;
-      const AggregateResult del = run_repeated_parallel(cfg, runs);
+      cells.push_back({cfg, runs});
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(cells, opt.threads);
 
-      table.add_row({scen.name, cap == 0 ? "unlimited" : std::to_string(cap),
+    Table table({"scenario", "buffer cap", "Epidemic success", "Epidemic cost",
+                 "Delegation success", "Delegation cost"});
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const AggregateResult& epi = aggs[2 * i];
+      const AggregateResult& del = aggs[2 * i + 1];
+      table.add_row({scen.name, caps[i] == 0 ? "unlimited" : std::to_string(caps[i]),
                      fmt_pct(epi.success_rate.mean()), fmt(epi.avg_replicas.mean(), 1),
                      fmt_pct(del.success_rate.mean()), fmt(del.avg_replicas.mean(), 1)});
     }

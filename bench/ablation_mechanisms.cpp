@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       cfg.deviant_count = 10;
       cfg.delta2_factor = factor;
       cfg.seed = opt.seed;
+      cfg = bench::with_options(std::move(cfg), opt);
       double mem = 0.0;
       AggregateResult agg;
       for (std::size_t i = 0; i < runs; ++i) {
@@ -53,16 +54,22 @@ int main(int argc, char** argv) {
 
   {
     std::cout << "-- Relay fanout: forwarding duty per relay --\n";
-    Table table({"fanout", "success", "cost (replicas)", "avg delay"});
-    for (const std::size_t fanout : {std::size_t{1}, std::size_t{2}, std::size_t{3},
-                                     std::size_t{4}}) {
+    const std::vector<std::size_t> fanouts{1, 2, 3, 4};
+    std::vector<SweepCell> cells;
+    for (const std::size_t fanout : fanouts) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GEpidemic;
       cfg.scenario = scen;
       cfg.relay_fanout = fanout;
       cfg.seed = opt.seed;
-      const AggregateResult agg = run_repeated_parallel(cfg, runs);
-      table.add_row({std::to_string(fanout), fmt_pct(agg.success_rate.mean()),
+      cells.push_back({bench::with_options(std::move(cfg), opt), runs});
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(cells, opt.threads);
+
+    Table table({"fanout", "success", "cost (replicas)", "avg delay"});
+    for (std::size_t i = 0; i < fanouts.size(); ++i) {
+      const AggregateResult& agg = aggs[i];
+      table.add_row({std::to_string(fanouts[i]), fmt_pct(agg.success_rate.mean()),
                      fmt(agg.avg_replicas.mean(), 2),
                      fmt_minutes(agg.avg_delay_s.mean() / 60.0)});
     }
@@ -83,7 +90,7 @@ int main(int argc, char** argv) {
         AggregateResult agg;
         for (std::size_t i = 0; i < runs; ++i) {
           cfg.seed = opt.seed + i;
-          ExperimentConfig run_cfg = cfg;
+          ExperimentConfig run_cfg = bench::with_options(cfg, opt);
           run_cfg.per_holder_ttl = !global;
           const ExperimentResult r = run_experiment(run_cfg);
           agg.success_rate.add(r.success_rate);
@@ -100,7 +107,7 @@ int main(int argc, char** argv) {
 
   {
     std::cout << "-- PoM dissemination: epidemic gossip vs instant broadcast --\n";
-    Table table({"dissemination", "post-eviction success", "detection rate"});
+    std::vector<SweepCell> cells;
     for (const bool instant : {false, true}) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GEpidemic;
@@ -109,7 +116,13 @@ int main(int argc, char** argv) {
       cfg.deviant_count = 15;
       cfg.instant_pom_broadcast = instant;
       cfg.seed = opt.seed;
-      const AggregateResult agg = run_repeated_parallel(cfg, runs);
+      cells.push_back({bench::with_options(std::move(cfg), opt), runs});
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(cells, opt.threads);
+
+    Table table({"dissemination", "post-eviction success", "detection rate"});
+    for (int instant = 0; instant < 2; ++instant) {
+      const AggregateResult& agg = aggs[static_cast<std::size_t>(instant)];
       table.add_row({instant ? "instant (oracle)" : "gossip (default)",
                      fmt_pct(agg.success_rate.mean()), fmt_pct(agg.detection_rate.mean())});
     }

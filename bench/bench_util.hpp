@@ -11,6 +11,7 @@
 
 #include "g2g/core/experiment.hpp"
 #include "g2g/core/report.hpp"
+#include "g2g/crypto/fastpath.hpp"
 #include "g2g/obs/tracer.hpp"
 
 namespace g2g::bench {
@@ -22,6 +23,10 @@ struct Options {
   std::uint64_t seed = 1;
   bool obs = false;        ///< print counters + stage times for one config
   std::string trace_out;   ///< stream one representative run as JSONL
+  /// Disable the crypto fast path (SHA-NI, heavy-HMAC chain reuse, Schnorr
+  /// tables, verification cache) and measure the reference implementations.
+  bool no_fastpath = false;
+  std::size_t threads = 0;  ///< sweep worker threads (0 = hardware)
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -40,14 +45,26 @@ inline Options parse_options(int argc, char** argv) {
       opt.obs = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       opt.trace_out = argv[++i];
+    } else if (arg == "--no-fastpath") {
+      opt.no_fastpath = true;
+      crypto::set_fast_path(false);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--quick] [--csv] [--runs N] [--seed S] [--obs]"
-                   " [--trace-out FILE]\n";
+                   " [--trace-out FILE] [--no-fastpath] [--threads N]\n";
       std::exit(0);
     }
   }
   return opt;
+}
+
+/// Apply the fast-path option to a config (the global toggle is set at parse
+/// time; this covers the per-run verification cache).
+inline core::ExperimentConfig with_options(core::ExperimentConfig cfg, const Options& opt) {
+  cfg.crypto_fast_path = !opt.no_fastpath;
+  return cfg;
 }
 
 inline std::vector<core::Scenario> both_scenarios(std::uint64_t seed) {
@@ -69,6 +86,7 @@ inline void emit(const core::Table& table, const Options& opt) {
 /// untraced — one run, one ObsContext, one sink, no interleaving.
 inline void obs_report(core::ExperimentConfig cfg, const Options& opt) {
   if (!opt.obs && opt.trace_out.empty()) return;
+  cfg = with_options(std::move(cfg), opt);
   std::unique_ptr<obs::JsonlSink> sink;
   if (!opt.trace_out.empty()) {
     sink = obs::JsonlSink::open(opt.trace_out);

@@ -23,18 +23,34 @@ int main(int argc, char** argv) {
 
   std::cout << "== Extension: hoarders vs droppers under G2G Epidemic ==\n\n";
 
+  const std::vector<std::size_t> deviant_counts{5, 15, 30};
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
+    // The dropper baseline only needs the standard aggregates, so all three
+    // counts go through one sweep; the hoarder runs need per-node collector
+    // costs and stay on run_experiment.
+    std::vector<SweepCell> dropper_cells;
+    for (const std::size_t n : deviant_counts) {
+      ExperimentConfig cfg;
+      cfg.protocol = Protocol::G2GEpidemic;
+      cfg.scenario = scen;
+      cfg.deviant_count = n;
+      cfg.deviation = proto::Behavior::Dropper;
+      cfg.seed = opt.seed;
+      dropper_cells.push_back({bench::with_options(std::move(cfg), opt), runs});
+    }
+    const std::vector<AggregateResult> dropper_aggs = run_sweep(dropper_cells, opt.threads);
+
     Table table({"scenario", "deviants", "dropper delivery", "hoarder delivery",
                  "hoarder HMACs/node", "faithful HMACs/node", "evicted hoarders"});
-    for (const std::size_t n : {std::size_t{5}, std::size_t{15}, std::size_t{30}}) {
+    for (std::size_t ci = 0; ci < deviant_counts.size(); ++ci) {
+      const std::size_t n = deviant_counts[ci];
+      const AggregateResult& droppers = dropper_aggs[ci];
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GEpidemic;
       cfg.scenario = scen;
       cfg.deviant_count = n;
       cfg.seed = opt.seed;
-
-      cfg.deviation = proto::Behavior::Dropper;
-      const AggregateResult droppers = run_repeated_parallel(cfg, runs);
+      cfg = bench::with_options(std::move(cfg), opt);
 
       cfg.deviation = proto::Behavior::Hoarder;
       double hoarder_hmacs = 0.0;

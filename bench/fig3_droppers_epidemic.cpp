@@ -16,23 +16,30 @@ int main(int argc, char** argv) {
   std::cout << "== Fig. 3: effect of message droppers on Epidemic Forwarding ==\n\n";
 
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
-    Table table({"scenario", "droppers", "delivery% (plain)", "delivery% (w/ outsiders)"});
-    for (const std::size_t n :
-         bench::dropper_counts(scen.trace_config.nodes, opt.quick)) {
+    const std::vector<std::size_t> counts =
+        bench::dropper_counts(scen.trace_config.nodes, opt.quick);
+    std::vector<SweepCell> cells;
+    for (const std::size_t n : counts) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::Epidemic;
       cfg.scenario = scen;
       cfg.deviation = proto::Behavior::Dropper;
       cfg.deviant_count = n;
       cfg.seed = opt.seed;
+      cfg = bench::with_options(std::move(cfg), opt);
 
       cfg.with_outsiders = false;
-      const AggregateResult plain = run_repeated_parallel(cfg, opt.runs);
+      cells.push_back({cfg, opt.runs});
       cfg.with_outsiders = true;
-      const AggregateResult outsiders = run_repeated_parallel(cfg, opt.runs);
+      cells.push_back({cfg, opt.runs});
+    }
+    const std::vector<AggregateResult> agg = run_sweep(cells, opt.threads);
 
-      table.add_row({scen.name, std::to_string(n), fmt_pct(plain.success_rate.mean()),
-                     fmt_pct(outsiders.success_rate.mean())});
+    Table table({"scenario", "droppers", "delivery% (plain)", "delivery% (w/ outsiders)"});
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      table.add_row({scen.name, std::to_string(counts[i]),
+                     fmt_pct(agg[2 * i].success_rate.mean()),
+                     fmt_pct(agg[2 * i + 1].success_rate.mean())});
     }
     bench::emit(table, opt);
   }

@@ -17,23 +17,34 @@ int main(int argc, char** argv) {
             << "   (detection time measured after the Delta1/TTL of the message)\n\n";
 
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
-    Table table({"scenario", "droppers", "detect% (plain)", "avg time (plain)",
-                 "detect% (outsiders)", "avg time (outsiders)"});
-    for (const std::size_t n :
-         bench::dropper_counts(scen.trace_config.nodes, opt.quick, /*include_zero=*/false)) {
+    // Whole-figure sweep: every (dropper count, outsiders, seed) run goes
+    // through one work-stealing pool instead of per-cell round-robins.
+    const std::vector<std::size_t> counts =
+        bench::dropper_counts(scen.trace_config.nodes, opt.quick, /*include_zero=*/false);
+    std::vector<SweepCell> cells;
+    for (const std::size_t n : counts) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GEpidemic;
       cfg.scenario = scen;
       cfg.deviation = proto::Behavior::Dropper;
       cfg.deviant_count = n;
       cfg.seed = opt.seed;
+      cfg = bench::with_options(std::move(cfg), opt);
 
       cfg.with_outsiders = false;
-      const AggregateResult plain = run_repeated_parallel(cfg, opt.runs);
+      cells.push_back({cfg, opt.runs});
       cfg.with_outsiders = true;
-      const AggregateResult outsiders = run_repeated_parallel(cfg, opt.runs);
+      cells.push_back({cfg, opt.runs});
+    }
+    const std::vector<AggregateResult> agg = run_sweep(cells, opt.threads);
 
-      table.add_row({scen.name, std::to_string(n), fmt_pct(plain.detection_rate.mean()),
+    Table table({"scenario", "droppers", "detect% (plain)", "avg time (plain)",
+                 "detect% (outsiders)", "avg time (outsiders)"});
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const AggregateResult& plain = agg[2 * i];
+      const AggregateResult& outsiders = agg[2 * i + 1];
+      table.add_row({scen.name, std::to_string(counts[i]),
+                     fmt_pct(plain.detection_rate.mean()),
                      fmt_minutes(plain.detection_minutes.mean()),
                      fmt_pct(outsiders.detection_rate.mean()),
                      fmt_minutes(outsiders.detection_minutes.mean())});

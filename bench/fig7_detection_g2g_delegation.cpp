@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
                  "cheaters", "cheaters(out)"});
     std::vector<std::size_t> counts = opt.quick ? std::vector<std::size_t>{10, 30}
                                                 : std::vector<std::size_t>{5, 10, 20, 30};
+    std::vector<SweepCell> sweep;
     for (const std::size_t n : counts) {
-      std::vector<std::string> cells{scen.name, std::to_string(n)};
       for (const proto::Behavior behavior :
            {proto::Behavior::Dropper, proto::Behavior::Liar, proto::Behavior::Cheater}) {
         for (const bool outsiders : {false, true}) {
@@ -33,11 +33,21 @@ int main(int argc, char** argv) {
           cfg.deviant_count = n;
           cfg.with_outsiders = outsiders;
           cfg.seed = opt.seed;
-          const AggregateResult agg = run_repeated_parallel(cfg, opt.quick ? 1 : opt.runs);
-          cells.push_back(agg.detection_minutes.count() == 0
-                              ? "-"
-                              : fmt_minutes(agg.detection_minutes.mean()));
+          cfg = bench::with_options(std::move(cfg), opt);
+          sweep.push_back({cfg, opt.quick ? 1 : opt.runs});
         }
+      }
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(sweep, opt.threads);
+
+    std::size_t k = 0;
+    for (const std::size_t n : counts) {
+      std::vector<std::string> cells{scen.name, std::to_string(n)};
+      for (int column = 0; column < 6; ++column) {
+        const AggregateResult& agg = aggs[k++];
+        cells.push_back(agg.detection_minutes.count() == 0
+                            ? "-"
+                            : fmt_minutes(agg.detection_minutes.mean()));
       }
       table.add_row(std::move(cells));
     }

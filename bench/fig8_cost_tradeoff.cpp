@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
       opt.quick ? std::vector<double>{15.0, 45.0} : std::vector<double>{10.0, 20.0, 30.0, 45.0};
 
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
-    Table table({"scenario", "protocol", "ttl", "cost (replicas)", "success rate",
-                 "avg delay"});
+    const std::size_t runs = opt.quick ? 1 : opt.runs;
+    // All TTL points for all six protocols plus the headline row configs go
+    // through one pool.
+    std::vector<SweepCell> cells;
     for (const Protocol p : protocols) {
       for (const double ttl : ttl_minutes) {
         ExperimentConfig cfg;
@@ -39,7 +41,24 @@ int main(int argc, char** argv) {
         cfg.scenario = scen;
         cfg.delta1_override = Duration::minutes(ttl);
         cfg.seed = opt.seed;
-        const AggregateResult agg = run_repeated_parallel(cfg, opt.quick ? 1 : opt.runs);
+        cells.push_back({bench::with_options(std::move(cfg), opt), runs});
+      }
+    }
+    for (const Protocol p : protocols) {
+      ExperimentConfig cfg;
+      cfg.protocol = p;
+      cfg.scenario = scen;
+      cfg.seed = opt.seed;
+      cells.push_back({bench::with_options(std::move(cfg), opt), runs});
+    }
+    const std::vector<AggregateResult> aggs = run_sweep(cells, opt.threads);
+
+    Table table({"scenario", "protocol", "ttl", "cost (replicas)", "success rate",
+                 "avg delay"});
+    std::size_t k = 0;
+    for (const Protocol p : protocols) {
+      for (const double ttl : ttl_minutes) {
+        const AggregateResult& agg = aggs[k++];
         table.add_row({scen.name, to_string(p), fmt(ttl, 0) + "m",
                        fmt(agg.avg_replicas.mean(), 2), fmt_pct(agg.success_rate.mean()),
                        fmt_minutes(agg.avg_delay_s.mean() / 60.0)});
@@ -53,11 +72,7 @@ int main(int argc, char** argv) {
     double vanilla_epi_cost = 0.0;
     double vanilla_del_cost[2] = {0.0, 0.0};  // [LastContact, Frequency]
     for (const Protocol p : protocols) {
-      ExperimentConfig cfg;
-      cfg.protocol = p;
-      cfg.scenario = scen;
-      cfg.seed = opt.seed;
-      const AggregateResult agg = run_repeated_parallel(cfg, opt.quick ? 1 : opt.runs);
+      const AggregateResult& agg = aggs[k++];
       const double cost = agg.avg_replicas.mean();
       std::string rel = "-";
       if (p == Protocol::Epidemic) {

@@ -3,11 +3,13 @@
 // the sealed-box message encryption.
 #include <benchmark/benchmark.h>
 
+#include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/hmac.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/crypto/sealed_box.hpp"
 #include "g2g/crypto/sha256.hpp"
 #include "g2g/crypto/suite.hpp"
+#include "g2g/crypto/verify_cache.hpp"
 
 namespace {
 
@@ -20,6 +22,16 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+// Same workload with the hardware fast path disabled: the portable scalar
+// compression function. The ratio to BM_Sha256 is the SHA-NI win.
+void BM_Sha256Scalar(benchmark::State& state) {
+  const FastPathScope scope(false);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256Scalar)->Arg(64)->Arg(1024)->Arg(65536);
 
 void BM_HmacSha256(benchmark::State& state) {
   const Bytes key = to_bytes("session key material");
@@ -35,6 +47,17 @@ void BM_HeavyHmac(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(heavy_hmac(msg, seed, iterations));
 }
 BENCHMARK(BM_HeavyHmac)->Arg(256)->Arg(1024)->Arg(4096);
+
+// The literal seed implementation (fresh Writer-based HMAC per chain link),
+// kept as the differential-test reference. The ratio to BM_HeavyHmac is the
+// storage-proof fast-path win (pad-state reuse + one-shot finalization).
+void BM_HeavyHmacReference(benchmark::State& state) {
+  const Bytes msg(512, 0x11);
+  const Bytes seed = to_bytes("challenge-seed");
+  const auto iterations = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(heavy_hmac_reference(msg, seed, iterations));
+}
+BENCHMARK(BM_HeavyHmacReference)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_SchnorrSign(benchmark::State& state) {
   const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());
@@ -54,6 +77,32 @@ void BM_SchnorrVerify(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
 }
 BENCHMARK(BM_SchnorrVerify);
+
+// Square-and-multiply g^x (no fixed-base table). The ratio to
+// BM_SchnorrVerify is the precomputed-table win on the g^s half.
+void BM_SchnorrVerifyNoTable(benchmark::State& state) {
+  const FastPathScope scope(false);
+  const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());
+  Rng rng(2);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_SchnorrVerifyNoTable);
+
+// Memoized repeat verification, the common case inside a simulation run
+// (the same PoR certificate is re-checked at every audit).
+void BM_CachedVerifyHit(benchmark::State& state) {
+  const auto suite = make_caching_suite(make_fast_suite());
+  Rng rng(7);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));  // warm the entry
+  for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_CachedVerifyHit);
 
 void BM_FastSuiteSign(benchmark::State& state) {
   const SuitePtr suite = make_fast_suite();

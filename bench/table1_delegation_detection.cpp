@@ -33,11 +33,8 @@ int main(int argc, char** argv) {
       {proto::Behavior::Cheater, true, "Cheaters with outsiders"},
   };
 
-  Table table({"deviation", "infocom05 rate", "infocom05 time", "cambridge06 rate",
-               "cambridge06 time", "false accusations"});
+  std::vector<SweepCell> sweep;
   for (const auto& row : rows) {
-    std::vector<std::string> cells{row.label};
-    std::size_t false_positives = 0;
     for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GDelegationLastContact;
@@ -46,7 +43,20 @@ int main(int argc, char** argv) {
       cfg.deviant_count = 10;
       cfg.with_outsiders = row.outsiders;
       cfg.seed = opt.seed;
-      const AggregateResult agg = run_repeated_parallel(cfg, opt.quick ? 1 : opt.runs + 1);
+      sweep.push_back({bench::with_options(std::move(cfg), opt),
+                       opt.quick ? 1 : opt.runs + 1});
+    }
+  }
+  const std::vector<AggregateResult> aggs = run_sweep(sweep, opt.threads);
+
+  Table table({"deviation", "infocom05 rate", "infocom05 time", "cambridge06 rate",
+               "cambridge06 time", "false accusations"});
+  std::size_t k = 0;
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.label};
+    std::size_t false_positives = 0;
+    for (int scenario = 0; scenario < 2; ++scenario) {
+      const AggregateResult& agg = aggs[k++];
       cells.push_back(fmt_pct(agg.detection_rate.mean()));
       cells.push_back(fmt_minutes(agg.detection_minutes.mean()));
       false_positives += agg.false_positives;

@@ -22,6 +22,12 @@ namespace g2g::core {
 /// Deterministic (name-sorted maps, integer counts).
 [[nodiscard]] std::string to_json(const obs::Registry& registry);
 
+/// Registry serialization with control over the fastpath.* cache counters.
+/// to_json(ExperimentResult) excludes them (they describe how a run was
+/// computed, not what it computed — the cache-on/off bit-identity guard
+/// depends on that); to_json(Registry) includes them for obs reports.
+[[nodiscard]] std::string registry_json(const obs::Registry& registry, bool include_fastpath);
+
 /// Serialize a wall-clock stage profile: [{"name":...,"seconds":...},...].
 /// NOT deterministic across runs — it measures the host, not the simulation —
 /// so it is kept out of to_json(ExperimentResult).

@@ -1,9 +1,23 @@
 // Parallel sweep execution.
 //
-// Individual experiments are strictly single-threaded and deterministic;
-// a sweep over configurations (a figure's x axis, a seed ensemble) is
-// embarrassingly parallel. run_parallel farms the configs over a thread
-// pool and returns results in input order.
+// Individual experiments are strictly single-threaded and deterministic; a
+// sweep over configurations (a figure's x axis, a seed ensemble) is
+// embarrassingly parallel. The pool shards the index space into contiguous
+// per-worker slices with atomic cursors; a worker that drains its own shard
+// steals from the most-loaded remaining shard (ties broken by a per-shard
+// RNG stream), so a handful of slow cells cannot idle the rest of the
+// machine. Reduction is chunked: each run is folded into a compact summary
+// as soon as it finishes, and summaries are reduced sequentially in index
+// order — results are bit-identical regardless of the steal pattern, and a
+// million-run sweep never holds a million full ExperimentResults.
+//
+// Failure semantics: a throwing run never abandons work. Every index is
+// still executed (claimed indices are always run — the pre-2 behaviour of
+// returning default-constructed results for claimed-but-skipped indices is
+// regression-tested away in tests/parallel_test.cpp), each failure is
+// recorded against its index, and after all workers join the error with the
+// LOWEST index is rethrown — deterministic no matter which worker hit it
+// first.
 #pragma once
 
 #include <functional>
@@ -13,16 +27,36 @@
 
 namespace g2g::core {
 
-/// Run every config, using up to `threads` worker threads (0 = hardware
-/// concurrency). Results are positionally aligned with `configs`. Exceptions
-/// from any run are rethrown on the calling thread after all workers join.
+/// Run body(i) for every i in [0, count) on up to `threads` workers
+/// (0 = hardware concurrency) using the work-stealing shard pool. All
+/// indices run even if some throw; afterwards the exception with the lowest
+/// index is rethrown on the calling thread.
+void sharded_for(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& body);
+
+/// Run every config; results are positionally aligned with `configs`.
+/// All configs run even if some throw; the lowest-index error is rethrown.
 [[nodiscard]] std::vector<ExperimentResult> run_parallel(
     const std::vector<ExperimentConfig>& configs, std::size_t threads = 0);
 
 /// Convenience: run `base` under seeds seed, seed+1, ..., seed+runs-1 in
-/// parallel and aggregate exactly like run_repeated.
+/// parallel and aggregate exactly like run_repeated (bit-identical: the
+/// per-run summaries are reduced in seed order).
 [[nodiscard]] AggregateResult run_repeated_parallel(const ExperimentConfig& base,
                                                     std::size_t runs,
                                                     std::size_t threads = 0);
+
+/// One cell of a figure sweep: a config repeated over `runs` seeds.
+struct SweepCell {
+  ExperimentConfig config;
+  std::size_t runs = 1;
+};
+
+/// Run a whole figure's worth of cells through one pool: every (cell, seed)
+/// pair becomes one unit of work, so parallelism is total-runs wide instead
+/// of runs-per-cell wide. Aggregates are positionally aligned with `cells`
+/// and identical to calling run_repeated on each cell.
+[[nodiscard]] std::vector<AggregateResult> run_sweep(const std::vector<SweepCell>& cells,
+                                                     std::size_t threads = 0);
 
 }  // namespace g2g::core

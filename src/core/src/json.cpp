@@ -108,18 +108,22 @@ std::string to_json(const ExperimentResult& r) {
   o << "]";
 
   // The counter snapshot is deterministic; the wall-clock stage profile is
-  // not, so it is serialized separately (to_json(obs::StageProfile)).
-  o << ",\"obs\":" << to_json(r.counters);
+  // not, so it is serialized separately (to_json(obs::StageProfile)). The
+  // fastpath.* cache counters are excluded for the same reason: they reflect
+  // how the run was computed (cache on/off), not what it computed, and this
+  // serialization is the bit-identity oracle for cache-on vs cache-off runs.
+  o << ",\"obs\":" << registry_json(r.counters, /*include_fastpath=*/false);
 
   o << "}";
   return o.str();
 }
 
-std::string to_json(const obs::Registry& registry) {
+std::string registry_json(const obs::Registry& registry, bool include_fastpath) {
   std::ostringstream o;
   o << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : registry.counters()) {
+    if (!include_fastpath && name.rfind("fastpath.", 0) == 0) continue;
     if (!first) o << ",";
     first = false;
     o << "\"" << json_escape(name) << "\":" << counter.value();
@@ -147,6 +151,10 @@ std::string to_json(const obs::Registry& registry) {
   }
   o << "}}";
   return o.str();
+}
+
+std::string to_json(const obs::Registry& registry) {
+  return registry_json(registry, /*include_fastpath=*/true);
 }
 
 std::string to_json(const obs::StageProfile& stages) {

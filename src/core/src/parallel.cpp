@@ -1,68 +1,190 @@
 #include "g2g/core/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "g2g/util/rng.hpp"
+
 namespace g2g::core {
 
-std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& configs,
-                                           std::size_t threads) {
+namespace {
+
+struct Shard {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+/// Compact per-run record: everything run_repeated's aggregation reads from
+/// an ExperimentResult, in a few dozen bytes. Folding into these as runs
+/// finish is what keeps huge sweeps memory-light.
+struct RunSummary {
+  double success_rate = 0.0;
+  bool has_delay = false;
+  double delay_mean_s = 0.0;
+  double avg_replicas = 0.0;
+  std::size_t deviant_count = 0;
+  double detection_rate = 0.0;
+  bool has_detection_minutes = false;
+  double detection_minutes_mean = 0.0;
+  std::size_t false_positives = 0;
+};
+
+RunSummary summarize(const ExperimentResult& r) {
+  RunSummary s;
+  s.success_rate = r.success_rate;
+  s.has_delay = !r.delay_seconds.empty();
+  if (s.has_delay) s.delay_mean_s = r.delay_seconds.mean();
+  s.avg_replicas = r.avg_replicas;
+  s.deviant_count = r.deviant_count;
+  s.detection_rate = r.detection_rate;
+  s.has_detection_minutes = !r.detection_minutes_after_delta1.empty();
+  if (s.has_detection_minutes) {
+    s.detection_minutes_mean = r.detection_minutes_after_delta1.mean();
+  }
+  s.false_positives = r.false_positives;
+  return s;
+}
+
+void fold(AggregateResult& agg, const RunSummary& s) {
+  agg.success_rate.add(s.success_rate);
+  if (s.has_delay) agg.avg_delay_s.add(s.delay_mean_s);
+  agg.avg_replicas.add(s.avg_replicas);
+  if (s.deviant_count > 0) {
+    agg.detection_rate.add(s.detection_rate);
+    if (s.has_detection_minutes) agg.detection_minutes.add(s.detection_minutes_mean);
+  }
+  agg.false_positives += s.false_positives;
+}
+
+}  // namespace
+
+void sharded_for(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  threads = std::min(threads, std::max<std::size_t>(1, configs.size()));
+  threads = std::min(threads, count);
 
-  std::vector<ExperimentResult> results(configs.size());
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
+  // Contiguous shards: worker s owns [s*count/T, (s+1)*count/T). Contiguity
+  // keeps each worker on a coherent slice of the sweep until stealing starts.
+  std::vector<Shard> shards(threads);
+  for (std::size_t s = 0; s < threads; ++s) {
+    shards[s].next.store(count * s / threads, std::memory_order_relaxed);
+    shards[s].end = count * (s + 1) / threads;
+  }
+
   std::mutex error_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
 
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= configs.size() || failed.load()) return;
-      try {
-        results[i] = run_experiment(configs[i]);
-      } catch (...) {
-        const std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true);
-        return;
-      }
+  const auto run_index = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      errors.emplace_back(i, std::current_exception());
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  const auto worker = [&](std::size_t self) {
+    // Drain the owned shard first.
+    for (;;) {
+      const std::size_t i = shards[self].next.fetch_add(1);
+      if (i >= shards[self].end) break;
+      run_index(i);
+    }
+    // Steal: prefer the most-loaded victim; break ties with a per-shard RNG
+    // stream so concurrent thieves spread out instead of convoying.
+    Rng steal_rng(0x57EA1BA5EULL ^ self);
+    for (;;) {
+      std::size_t victim = threads;
+      std::size_t victim_left = 0;
+      std::size_t ties = 0;
+      for (std::size_t s = 0; s < threads; ++s) {
+        if (s == self) continue;
+        const std::size_t cursor = shards[s].next.load(std::memory_order_relaxed);
+        const std::size_t left = cursor < shards[s].end ? shards[s].end - cursor : 0;
+        if (left > victim_left) {
+          victim = s;
+          victim_left = left;
+          ties = 1;
+        } else if (left != 0 && left == victim_left) {
+          // Reservoir pick among equally-loaded victims.
+          ++ties;
+          if (steal_rng.below(ties) == 0) victim = s;
+        }
+      }
+      if (victim == threads) return;  // nothing left anywhere
+      const std::size_t i = shards[victim].next.fetch_add(1);
+      if (i >= shards[victim].end) continue;  // lost the race; rescan
+      run_index(i);
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+
+  if (!errors.empty()) {
+    // Every index ran; rethrow the failure of the lowest index so the caller
+    // sees the same error no matter how the work was interleaved.
+    const auto lowest =
+        std::min_element(errors.begin(), errors.end(),
+                         [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+std::vector<ExperimentResult> run_parallel(const std::vector<ExperimentConfig>& configs,
+                                           std::size_t threads) {
+  std::vector<ExperimentResult> results(configs.size());
+  sharded_for(configs.size(), threads,
+              [&](std::size_t i) { results[i] = run_experiment(configs[i]); });
   return results;
 }
 
 AggregateResult run_repeated_parallel(const ExperimentConfig& base, std::size_t runs,
                                       std::size_t threads) {
-  std::vector<ExperimentConfig> configs(std::max<std::size_t>(1, runs), base);
-  for (std::size_t i = 0; i < configs.size(); ++i) configs[i].seed = base.seed + i;
-  const auto results = run_parallel(configs, threads);
+  const SweepCell cell{base, std::max<std::size_t>(1, runs)};
+  return run_sweep({cell}, threads).front();
+}
 
-  AggregateResult agg;
-  for (const auto& r : results) {
-    agg.success_rate.add(r.success_rate);
-    if (!r.delay_seconds.empty()) agg.avg_delay_s.add(r.delay_seconds.mean());
-    agg.avg_replicas.add(r.avg_replicas);
-    if (r.deviant_count > 0) {
-      agg.detection_rate.add(r.detection_rate);
-      if (!r.detection_minutes_after_delta1.empty()) {
-        agg.detection_minutes.add(r.detection_minutes_after_delta1.mean());
-      }
+std::vector<AggregateResult> run_sweep(const std::vector<SweepCell>& cells,
+                                       std::size_t threads) {
+  // Flatten every (cell, seed) pair into one global index space so the pool
+  // is total-runs wide; per-run summaries land at their flat index and are
+  // reduced per cell in seed order afterwards (deterministic regardless of
+  // which worker ran what).
+  std::vector<std::size_t> cell_of;
+  std::vector<std::size_t> run_of;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::size_t runs = std::max<std::size_t>(1, cells[c].runs);
+    for (std::size_t r = 0; r < runs; ++r) {
+      cell_of.push_back(c);
+      run_of.push_back(r);
     }
-    agg.false_positives += r.false_positives;
   }
-  return agg;
+
+  std::vector<RunSummary> summaries(cell_of.size());
+  sharded_for(cell_of.size(), threads, [&](std::size_t i) {
+    ExperimentConfig config = cells[cell_of[i]].config;
+    config.seed += run_of[i];
+    summaries[i] = summarize(run_experiment(config));
+  });
+
+  std::vector<AggregateResult> aggregates(cells.size());
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    fold(aggregates[cell_of[i]], summaries[i]);
+  }
+  return aggregates;
 }
 
 }  // namespace g2g::core

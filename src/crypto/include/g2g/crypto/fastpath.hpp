@@ -1,0 +1,48 @@
+// Global crypto fast-path switch.
+//
+// The fast path never changes any digest, signature, or verdict — every
+// accelerated routine is bit-identical to its reference implementation (the
+// differential suite in tests/crypto_fastpath_diff_test.cpp enforces this).
+// The switch exists so benchmarks can measure the reference path
+// (`--no-fastpath`) and so the differential tests can drive both sides of
+// each comparison from one process.
+//
+// Covered by the switch:
+//  - SHA-256 compression: SHA-NI hardware rounds vs the scalar FIPS 180-4 loop
+//  - heavy_hmac: precomputed-pad-state chain vs heavy_hmac_reference
+//  - Schnorr: fixed-base window tables vs square-and-multiply pow_mod
+//
+// NOT covered: the per-run verification cache (CachingSuite), which is gated
+// per experiment via ExperimentConfig::crypto_fast_path so cache-on/off runs
+// can be compared for bit-identical results.
+#pragma once
+
+namespace g2g::crypto {
+
+/// Turn the process-wide fast path on or off. Thread-safe; takes effect on
+/// the next crypto call. Returns the previous value.
+bool set_fast_path(bool on);
+
+/// True when accelerated implementations should be used. Defaults to true;
+/// the environment variable G2G_FASTPATH=0 disables it at startup.
+[[nodiscard]] bool fast_path_enabled();
+
+/// True when this CPU exposes the SHA-NI extensions (detection is cached).
+[[nodiscard]] bool sha_ni_available();
+
+/// True when SHA-256 will actually use the hardware rounds right now.
+[[nodiscard]] bool sha_accelerated();
+
+/// RAII toggle for tests: forces the fast path on/off for a scope.
+class FastPathScope {
+ public:
+  explicit FastPathScope(bool on) : prev_(set_fast_path(on)) {}
+  ~FastPathScope() { set_fast_path(prev_); }
+  FastPathScope(const FastPathScope&) = delete;
+  FastPathScope& operator=(const FastPathScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace g2g::crypto

@@ -8,7 +8,9 @@
 // simulation-grade, NOT production-secure (see DESIGN.md).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "g2g/crypto/sha256.hpp"
 #include "g2g/crypto/uint256.hpp"
@@ -60,5 +62,50 @@ struct SchnorrSignature {
 /// g^(x_a * x_b); the result feeds the session-key KDF (chacha20.hpp).
 [[nodiscard]] U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret,
                                     const U256& peer_public);
+
+/// Precomputed fixed-base exponentiation (4-bit windows):
+/// table[w][d] = base^(d * 16^w) mod m, so pow(e) is one modular multiply per
+/// non-zero hex digit of e — ~n/4 multiplies for an n-bit exponent instead of
+/// the ~n squarings + ~n/2 multiplies of square-and-multiply. Exact: the
+/// result is bit-identical to pow_mod(base, e, m).
+class FixedBaseTable {
+ public:
+  FixedBaseTable() = default;
+  /// Builds windows covering exponents up to `exp_bits` bits.
+  FixedBaseTable(const U256& base, const U256& modulus, std::size_t exp_bits);
+
+  /// base^exponent mod m. The exponent must fit in the built windows
+  /// (exponent.bit_length() <= exp_bits).
+  [[nodiscard]] U256 pow(const U256& exponent) const;
+  [[nodiscard]] std::size_t exp_bits() const { return 4 * windows_.size(); }
+  [[nodiscard]] bool empty() const { return windows_.empty(); }
+
+ private:
+  U256 modulus_;
+  std::vector<std::array<U256, 16>> windows_;
+};
+
+/// Per-group precomputation for the hot Schnorr operations: a fixed-base
+/// table for g sized to exponents mod q (keygen's g^x, sign's g^k, verify's
+/// g^s are all bounded by q). Produces byte-identical keys/signatures/
+/// verdicts to the free functions above — the table only changes how the
+/// power is computed. When the global fast path is off, every operation
+/// falls back to the reference pow_mod route.
+class SchnorrEngine {
+ public:
+  explicit SchnorrEngine(const SchnorrGroup& group);
+
+  [[nodiscard]] const SchnorrGroup& group() const { return group_; }
+  [[nodiscard]] SchnorrKeyPair keygen(Rng& rng) const;
+  [[nodiscard]] SchnorrSignature sign(const U256& secret, BytesView message, Rng& rng) const;
+  [[nodiscard]] bool verify(const U256& public_key, BytesView message,
+                            const SchnorrSignature& sig) const;
+
+ private:
+  [[nodiscard]] U256 pow_g(const U256& exponent) const;
+
+  SchnorrGroup group_;
+  FixedBaseTable g_table_;
+};
 
 }  // namespace g2g::crypto

@@ -24,6 +24,9 @@ class Sha256 {
 
  private:
   void compress(const std::uint8_t block[64]);
+  // Processes `count` consecutive 64-byte blocks; dispatches to the SHA-NI
+  // hardware rounds when available (bit-identical to the scalar loop).
+  void compress_many(const std::uint8_t* blocks, std::size_t count);
 
   std::array<std::uint32_t, 8> state_{};
   std::uint64_t length_ = 0;  // total bytes fed

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "g2g/crypto/chacha20.hpp"
@@ -28,6 +29,14 @@ struct KeyPair {
   Bytes public_key;
 };
 
+/// One verification job for Suite::verify_batch. The views must stay valid for
+/// the duration of the call.
+struct VerifyRequest {
+  BytesView public_key;
+  BytesView message;
+  BytesView signature;
+};
+
 /// Abstract signature + key-agreement suite (stateless, shareable).
 class Suite {
  public:
@@ -37,6 +46,20 @@ class Suite {
   [[nodiscard]] virtual Bytes sign(BytesView secret_key, BytesView message) const = 0;
   [[nodiscard]] virtual bool verify(BytesView public_key, BytesView message,
                                     BytesView signature) const = 0;
+  /// Verify a batch of signatures, writing one verdict per request.
+  /// `verdicts` must have room for `requests.size()` entries. The default
+  /// simply loops over verify(); overrides use the batch shape to amortize
+  /// work (the caching suite answers repeats from its memo and forwards only
+  /// the misses in one inner call). Note the e = H(r || m) Schnorr form used
+  /// here commits to the challenge, so verdicts can never be combined into a
+  /// single randomized multi-exponentiation — this seam is where an
+  /// (R, s)-form scheme could plug true batch verification in.
+  virtual void verify_batch(std::span<const VerifyRequest> requests, bool* verdicts) const {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      verdicts[i] = verify(requests[i].public_key, requests[i].message,
+                           requests[i].signature);
+    }
+  }
   /// Key agreement: both endpoints derive the same secret from
   /// (my secret, peer public). Feeds the session-key KDF.
   [[nodiscard]] virtual Bytes shared_secret(BytesView my_secret_key,

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "g2g/crypto/fastpath.hpp"
+
 namespace g2g::crypto {
 
 namespace {
@@ -20,6 +22,10 @@ std::array<std::uint8_t, kBlockSize> normalize_key(BytesView key) {
 }  // namespace
 
 Digest hmac_sha256(BytesView key, BytesView data) {
+  return HmacKey(key).mac(data);
+}
+
+HmacKey::HmacKey(BytesView key) {
   const auto k = normalize_key(key);
   std::array<std::uint8_t, kBlockSize> ipad{};
   std::array<std::uint8_t, kBlockSize> opad{};
@@ -27,20 +33,42 @@ Digest hmac_sha256(BytesView key, BytesView data) {
     ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
   }
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
-  inner.update(data);
+  inner_.update(BytesView(ipad.data(), ipad.size()));
+  outer_.update(BytesView(opad.data(), opad.size()));
+}
+
+Digest HmacKey::mac(BytesView data) const {
+  return mac(data, BytesView());
+}
+
+Digest HmacKey::mac(BytesView a, BytesView b) const {
+  Sha256 inner = inner_;  // copy of the post-ipad state
+  inner.update(a);
+  inner.update(b);
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_;  // copy of the post-opad state
   outer.update(digest_view(inner_digest));
   return outer.finish();
 }
 
 Digest heavy_hmac(BytesView message, BytesView seed, std::uint32_t iterations) {
+  if (!fast_path_enabled()) return heavy_hmac_reference(message, seed, iterations);
   // Hash the message once so each iteration touches a fixed-size state; the
   // cost knob is the iteration count, independent of message length.
+  const Digest m_digest = sha256(message);
+  const HmacKey key(seed);
+  Digest h = key.mac(message);
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    h = key.mac(digest_view(h), digest_view(m_digest));
+  }
+  return h;
+}
+
+Digest heavy_hmac_reference(BytesView message, BytesView seed, std::uint32_t iterations) {
+  // Original straight-line chain: re-derives the HMAC pads and allocates the
+  // concatenation buffer every iteration. Kept as the differential oracle for
+  // heavy_hmac (tests/crypto_fastpath_diff_test.cpp).
   const Digest m_digest = sha256(message);
   Digest h = hmac_sha256(seed, message);
   for (std::uint32_t i = 0; i < iterations; ++i) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "g2g/crypto/fastpath.hpp"
+
 namespace g2g::crypto {
 
 namespace {
@@ -129,6 +131,66 @@ bool schnorr_verify(const SchnorrGroup& group, const U256& public_key, BytesView
 
 U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret, const U256& peer_public) {
   return pow_mod(peer_public, my_secret, group.p);
+}
+
+FixedBaseTable::FixedBaseTable(const U256& base, const U256& modulus, std::size_t exp_bits)
+    : modulus_(modulus) {
+  windows_.resize((exp_bits + 3) / 4);
+  U256 cur = mod(base, modulus_);  // base^(16^w) as w advances
+  for (auto& window : windows_) {
+    window[0] = U256(1);
+    window[1] = cur;
+    for (int d = 2; d < 16; ++d) window[d] = mul_mod(window[d - 1], cur, modulus_);
+    cur = mul_mod(window[15], cur, modulus_);
+  }
+}
+
+U256 FixedBaseTable::pow(const U256& exponent) const {
+  U256 result(1);
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    // A 4-bit window never straddles a 64-bit limb.
+    const std::size_t bit = 4 * w;
+    const unsigned digit = static_cast<unsigned>(exponent.limb[bit / 64] >> (bit % 64)) & 0xF;
+    if (digit != 0) result = mul_mod(result, windows_[w][digit], modulus_);
+  }
+  return result;
+}
+
+SchnorrEngine::SchnorrEngine(const SchnorrGroup& group)
+    : group_(group), g_table_(group.g, group.p, group.q.bit_length()) {}
+
+U256 SchnorrEngine::pow_g(const U256& exponent) const {
+  if (fast_path_enabled() && exponent.bit_length() <= g_table_.exp_bits()) {
+    return g_table_.pow(exponent);
+  }
+  return pow_mod(group_.g, exponent, group_.p);
+}
+
+SchnorrKeyPair SchnorrEngine::keygen(Rng& rng) const {
+  // Same RNG draws as schnorr_keygen so keys are reproducible either way.
+  bool borrow = false;
+  const U256 x = add_mod(random_below(rng, sub(group_.q, U256(1), borrow)), U256(1), group_.q);
+  return SchnorrKeyPair{x, pow_g(x)};
+}
+
+SchnorrSignature SchnorrEngine::sign(const U256& secret, BytesView message, Rng& rng) const {
+  bool borrow = false;
+  const U256 k = add_mod(random_below(rng, sub(group_.q, U256(1), borrow)), U256(1), group_.q);
+  const U256 r = pow_g(k);
+  const U256 e = challenge(group_, r, message);
+  const U256 s = sub_mod(k, mul_mod(secret, e, group_.q), group_.q);
+  return SchnorrSignature{e, s};
+}
+
+bool SchnorrEngine::verify(const U256& public_key, BytesView message,
+                           const SchnorrSignature& sig) const {
+  if (sig.e >= group_.q || sig.s >= group_.q) return false;
+  // g^s from the table (s < q by the check above); y^e stays generic since
+  // the base varies per signer.
+  const U256 gs = pow_g(sig.s);
+  const U256 ye = pow_mod(public_key, sig.e, group_.p);
+  const U256 r = mul_mod(gs, ye, group_.p);
+  return challenge(group_, r, message) == sig.e;
 }
 
 }  // namespace g2g::crypto

@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#include "g2g/crypto/fastpath.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define G2G_HAVE_SHA_NI 1
+#include <immintrin.h>
+#endif
+
 namespace g2g::crypto {
 
 namespace {
@@ -22,6 +29,68 @@ constexpr std::array<std::uint32_t, 64> kK = {
 constexpr std::uint32_t rotr(std::uint32_t x, int n) {
   return (x >> n) | (x << (32 - n));
 }
+
+#if defined(G2G_HAVE_SHA_NI)
+// Hardware compression via the SHA-NI extension. The x86 instructions work on
+// a transposed state layout — ABEF/CDGH in two vectors — so the state words
+// are repacked on entry and exit; the digest is bit-identical to the scalar
+// rounds below.
+__attribute__((target("sha,sse4.1"))) void compress_blocks_shani(std::uint32_t* state,
+                                                                 const std::uint8_t* data,
+                                                                 std::size_t count) {
+  const __m128i kByteswap = _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));     // DCBA
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));  // HGFE
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);                                             // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);                                       // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);                               // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);                                    // CDGH
+
+  while (count-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    // msg[] holds the most recent four W groups; each turn of the second loop
+    // rewrites the oldest with W[4g..4g+3] via the SHA-NI schedule helpers.
+    __m128i msg[4];
+    for (int g = 0; g < 4; ++g) {
+      msg[g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * g)), kByteswap);
+      __m128i wk = _mm_add_epi32(
+          msg[g], _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+    for (int g = 4; g < 16; ++g) {
+      const __m128i m0 = msg[g & 3];
+      const __m128i m1 = msg[(g + 1) & 3];
+      const __m128i m2 = msg[(g + 2) & 3];
+      const __m128i m3 = msg[(g + 3) & 3];
+      __m128i w = _mm_add_epi32(_mm_sha256msg1_epu32(m0, m1), _mm_alignr_epi8(m3, m2, 4));
+      w = _mm_sha256msg2_epu32(w, m3);
+      msg[g & 3] = w;
+      __m128i wk =
+          _mm_add_epi32(w, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+      wk = _mm_shuffle_epi32(wk, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, wk);
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);                                      // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);                                   // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);                                // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);                                   // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+#endif  // G2G_HAVE_SHA_NI
 
 }  // namespace
 
@@ -76,6 +145,16 @@ void Sha256::compress(const std::uint8_t block[64]) {
   state_[7] += h;
 }
 
+void Sha256::compress_many(const std::uint8_t* blocks, std::size_t count) {
+#if defined(G2G_HAVE_SHA_NI)
+  if (sha_accelerated()) {
+    compress_blocks_shani(state_.data(), blocks, count);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) compress(blocks + 64 * i);
+}
+
 void Sha256::update(BytesView data) {
   length_ += data.size();
   std::size_t pos = 0;
@@ -85,13 +164,14 @@ void Sha256::update(BytesView data) {
     buffered_ += take;
     pos = take;
     if (buffered_ == 64) {
-      compress(buffer_.data());
+      compress_many(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (pos + 64 <= data.size()) {
-    compress(data.data() + pos);
-    pos += 64;
+  const std::size_t whole = (data.size() - pos) / 64;
+  if (whole > 0) {
+    compress_many(data.data() + pos, whole);
+    pos += whole * 64;
   }
   if (pos < data.size()) {
     std::memcpy(buffer_.data(), data.data() + pos, data.size() - pos);
@@ -101,14 +181,16 @@ void Sha256::update(BytesView data) {
 
 Digest Sha256::finish() {
   const std::uint64_t bit_len = length_ * 8;
-  const std::uint8_t pad_byte = 0x80;
-  update(BytesView(&pad_byte, 1));
-  const std::uint8_t zero = 0x00;
-  while (buffered_ != 56) update(BytesView(&zero, 1));
-
-  std::uint8_t len_be[8];
+  // One-shot padding: 0x80, zeros up to the length field, then the big-endian
+  // bit count — one or two compressions, never a per-byte update loop.
+  std::array<std::uint8_t, 128> pad{};
+  std::memcpy(pad.data(), buffer_.data(), buffered_);
+  pad[buffered_] = 0x80;
+  const std::size_t pad_blocks = (buffered_ < 56) ? 1 : 2;
+  std::uint8_t* len_be = pad.data() + 64 * pad_blocks - 8;
   for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
-  update(BytesView(len_be, 8));
+  compress_many(pad.data(), pad_blocks);
+  buffered_ = 0;
 
   Digest out{};
   for (int i = 0; i < 8; ++i) {

@@ -12,10 +12,13 @@ namespace {
 
 class SchnorrSuite final : public Suite {
  public:
-  explicit SchnorrSuite(const SchnorrGroup& group) : group_(group) {}
+  // The engine carries the per-group fixed-base tables for g; every key,
+  // signature, and verdict it produces is byte-identical to the free
+  // schnorr_* functions (the differential suite pins this down).
+  explicit SchnorrSuite(const SchnorrGroup& group) : engine_(group) {}
 
   KeyPair keygen(Rng& rng) const override {
-    const SchnorrKeyPair kp = schnorr_keygen(group_, rng);
+    const SchnorrKeyPair kp = engine_.keygen(rng);
     return KeyPair{kp.secret.to_bytes_be(), kp.public_key.to_bytes_be()};
   }
 
@@ -25,17 +28,17 @@ class SchnorrSuite final : public Suite {
     const Digest nd = hmac_sha256(secret_key, message);
     Rng nonce_rng(U256::from_bytes_be(digest_view(nd)).limb[0] ^
                   U256::from_bytes_be(digest_view(nd)).limb[2]);
-    return schnorr_sign(group_, U256::from_bytes_be(secret_key), message, nonce_rng).encode();
+    return engine_.sign(U256::from_bytes_be(secret_key), message, nonce_rng).encode();
   }
 
   bool verify(BytesView public_key, BytesView message, BytesView signature) const override {
     if (signature.size() != 64 || public_key.size() != 32) return false;
-    return schnorr_verify(group_, U256::from_bytes_be(public_key), message,
+    return engine_.verify(U256::from_bytes_be(public_key), message,
                           SchnorrSignature::decode(signature));
   }
 
   Bytes shared_secret(BytesView my_secret_key, BytesView peer_public_key) const override {
-    const U256 s = dh_shared_secret(group_, U256::from_bytes_be(my_secret_key),
+    const U256 s = dh_shared_secret(engine_.group(), U256::from_bytes_be(my_secret_key),
                                     U256::from_bytes_be(peer_public_key));
     return s.to_bytes_be();
   }
@@ -44,7 +47,7 @@ class SchnorrSuite final : public Suite {
   std::string name() const override { return "schnorr-zp"; }
 
  private:
-  SchnorrGroup group_;
+  SchnorrEngine engine_;
 };
 
 class FastSuite final : public Suite {

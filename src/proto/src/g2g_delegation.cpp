@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "g2g/crypto/hmac.hpp"
 
@@ -360,14 +363,33 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
     }
 
     if (resp.pors.size() >= config().relay_fanout) {
-      bool all_ok = true;
-      for (const auto& por : resp.pors) {
+      // Same batch-audit shape as the epidemic path: structural checks up
+      // front, one verify_batch for the rest, then verdicts unpacked in the
+      // original order so counters and trace events are unchanged.
+      std::vector<Bytes> payloads;
+      std::vector<crypto::VerifyRequest> requests;
+      std::vector<std::size_t> request_of(resp.pors.size(), SIZE_MAX);
+      payloads.reserve(resp.pors.size());
+      requests.reserve(resp.pors.size());
+      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
+        const auto& por = resp.pors[i];
         count_verification();
         const auto* cert = env_.roster().find(por.taker);
-        const bool ok = por.h == t.h && por.giver == peer.id() && cert != nullptr &&
-                        identity().suite().verify(cert->public_key,
-                                                  por.signed_payload(),
-                                                  por.taker_signature);
+        if (por.h == t.h && por.giver == peer.id() && cert != nullptr) {
+          request_of[i] = requests.size();
+          payloads.push_back(por.signed_payload());
+          requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
+                              BytesView(por.taker_signature)});
+        }
+      }
+      const auto verdicts = std::make_unique<bool[]>(requests.size());
+      identity().suite().verify_batch(
+          std::span<const crypto::VerifyRequest>(requests.data(), requests.size()),
+          verdicts.get());
+      bool all_ok = true;
+      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
+        const auto& por = resp.pors[i];
+        const bool ok = request_of[i] != SIZE_MAX && verdicts[request_of[i]];
         trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
         if (ok) counters().pors_verified->add();
         else all_ok = false;

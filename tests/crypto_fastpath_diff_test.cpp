@@ -1,0 +1,346 @@
+// Differential tests pinning the crypto fast path to its reference
+// implementations. Every accelerated routine (SHA-NI compression, the
+// precomputed-pad heavy HMAC chain, the fixed-base Schnorr tables, the
+// per-run verification cache) must be bit-identical to the straight-line
+// code it replaces: golden vectors anchor both sides to the standards, and
+// randomized corpora compare fast vs reference over thousands of inputs.
+// The final tests close the loop end to end: a full experiment serializes to
+// byte-identical JSON with the fast path (and the cache) on or off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "g2g/core/experiment.hpp"
+#include "g2g/core/json.hpp"
+#include "g2g/crypto/fastpath.hpp"
+#include "g2g/crypto/hmac.hpp"
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/crypto/sha256.hpp"
+#include "g2g/crypto/suite.hpp"
+#include "g2g/crypto/uint256.hpp"
+#include "g2g/crypto/verify_cache.hpp"
+
+namespace g2g::crypto {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next() & 0xff);
+  return out;
+}
+
+std::string hex(const Digest& d) {
+  static const char* k = "0123456789abcdef";
+  std::string out;
+  for (const std::uint8_t b : d) {
+    out.push_back(k[b >> 4]);
+    out.push_back(k[b & 0xf]);
+  }
+  return out;
+}
+
+// -- SHA-256 ------------------------------------------------------------------
+
+TEST(FastPathDiff, Sha256GoldenVectorsHoldOnBothPaths) {
+  const struct {
+    const char* msg;
+    const char* digest;
+  } vectors[] = {
+      {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+      {"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+  };
+  for (const bool fast : {true, false}) {
+    const FastPathScope scope(fast);
+    for (const auto& v : vectors) {
+      EXPECT_EQ(hex(sha256(to_bytes(v.msg))), v.digest) << "fast=" << fast;
+    }
+  }
+}
+
+TEST(FastPathDiff, Sha256FastMatchesReferenceOnRandomCorpus) {
+  Rng rng(0x5a5a5a);
+  // Lengths chosen to hit every padding branch: empty, sub-block, the 55/56/
+  // 63/64 one-vs-two-pad-block boundaries, multi-block, and long runs that
+  // exercise the multi-block hardware loop.
+  std::vector<std::size_t> lengths{0, 1, 3, 55, 56, 57, 63, 64, 65, 127, 128, 1000};
+  for (int i = 0; i < 40; ++i) lengths.push_back(static_cast<std::size_t>(rng.next() % 4096));
+  for (const std::size_t n : lengths) {
+    const Bytes data = random_bytes(rng, n);
+    Digest fast;
+    Digest ref;
+    {
+      const FastPathScope scope(true);
+      fast = sha256(data);
+    }
+    {
+      const FastPathScope scope(false);
+      ref = sha256(data);
+    }
+    EXPECT_EQ(fast, ref) << "length " << n;
+  }
+}
+
+TEST(FastPathDiff, Sha256ChunkedUpdatesMatchOneShot) {
+  Rng rng(0xC0FFEE);
+  const Bytes data = random_bytes(rng, 3000);
+  for (const bool fast : {true, false}) {
+    const FastPathScope scope(fast);
+    const Digest oneshot = sha256(data);
+    for (int trial = 0; trial < 20; ++trial) {
+      Sha256 ctx;
+      std::size_t off = 0;
+      while (off < data.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.next() % 257, data.size() - off);
+        ctx.update(BytesView(data.data() + off, chunk));
+        off += chunk;
+      }
+      EXPECT_EQ(ctx.finish(), oneshot) << "fast=" << fast << " trial " << trial;
+    }
+  }
+}
+
+// -- HMAC and the heavy HMAC chain --------------------------------------------
+
+TEST(FastPathDiff, HmacRfc4231GoldenVectorHoldsOnBothPaths) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = to_bytes("Hi There");
+  for (const bool fast : {true, false}) {
+    const FastPathScope scope(fast);
+    EXPECT_EQ(hex(hmac_sha256(key, data)),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+        << "fast=" << fast;
+    EXPECT_EQ(HmacKey(key).mac(data), hmac_sha256(key, data)) << "fast=" << fast;
+  }
+}
+
+TEST(FastPathDiff, HmacKeyMatchesOneShotOnRandomCorpus) {
+  Rng rng(0x44AC);
+  for (int i = 0; i < 60; ++i) {
+    // Keys straddling the block size hit the hashed-key branch.
+    const Bytes key = random_bytes(rng, rng.next() % 96);
+    const Bytes a = random_bytes(rng, rng.next() % 300);
+    const Bytes b = random_bytes(rng, rng.next() % 300);
+    const HmacKey hk(key);
+    EXPECT_EQ(hk.mac(a), hmac_sha256(key, a));
+    Bytes ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    EXPECT_EQ(hk.mac(a, b), hmac_sha256(key, ab));
+  }
+}
+
+TEST(FastPathDiff, HeavyHmacMatchesReference) {
+  Rng rng(0x11EA);
+  for (const std::uint32_t iterations : {1u, 2u, 3u, 64u, 257u, 1024u}) {
+    const Bytes msg = random_bytes(rng, 1 + rng.next() % 700);
+    const Bytes seed = random_bytes(rng, 1 + rng.next() % 48);
+    const Digest ref = heavy_hmac_reference(msg, seed, iterations);
+    {
+      const FastPathScope scope(true);
+      EXPECT_EQ(heavy_hmac(msg, seed, iterations), ref) << iterations;
+    }
+    {
+      const FastPathScope scope(false);
+      EXPECT_EQ(heavy_hmac(msg, seed, iterations), ref) << iterations;
+    }
+  }
+}
+
+// -- Schnorr: fixed-base tables and the engine --------------------------------
+
+TEST(FastPathDiff, FixedBaseTableMatchesPowMod) {
+  const SchnorrGroup& group = SchnorrGroup::small_group();
+  const FixedBaseTable table(group.g, group.p, group.q.bit_length());
+  Rng rng(0x7AB1E);
+  for (int i = 0; i < 50; ++i) {
+    const U256 e = random_below(rng, group.q);
+    EXPECT_EQ(table.pow(e), pow_mod(group.g, e, group.p)) << e.to_hex();
+  }
+  // Edge exponents.
+  EXPECT_EQ(table.pow(U256{}), pow_mod(group.g, U256{}, group.p));
+  EXPECT_EQ(table.pow(U256(1)), mod(group.g, group.p));
+}
+
+TEST(FastPathDiff, SchnorrEngineMatchesFreeFunctions) {
+  const SchnorrGroup& group = SchnorrGroup::small_group();
+  const SchnorrEngine engine(group);
+  const Bytes msg = to_bytes("proof of relay, hop 3");
+  for (const bool fast : {true, false}) {
+    const FastPathScope scope(fast);
+    // Identical RNG draws => identical keys and signatures, bit for bit.
+    Rng rng_a(42);
+    Rng rng_b(42);
+    const SchnorrKeyPair kp_engine = engine.keygen(rng_a);
+    const SchnorrKeyPair kp_free = schnorr_keygen(group, rng_b);
+    EXPECT_EQ(kp_engine.secret, kp_free.secret) << "fast=" << fast;
+    EXPECT_EQ(kp_engine.public_key, kp_free.public_key) << "fast=" << fast;
+
+    const SchnorrSignature sig_engine = engine.sign(kp_engine.secret, msg, rng_a);
+    const SchnorrSignature sig_free = schnorr_sign(group, kp_free.secret, msg, rng_b);
+    EXPECT_EQ(sig_engine.e, sig_free.e) << "fast=" << fast;
+    EXPECT_EQ(sig_engine.s, sig_free.s) << "fast=" << fast;
+
+    EXPECT_TRUE(engine.verify(kp_engine.public_key, msg, sig_engine));
+    EXPECT_TRUE(schnorr_verify(group, kp_engine.public_key, msg, sig_engine));
+
+    // Tampered inputs must fail identically through both routes.
+    const Bytes other = to_bytes("proof of relay, hop 4");
+    EXPECT_FALSE(engine.verify(kp_engine.public_key, other, sig_engine));
+    EXPECT_FALSE(schnorr_verify(group, kp_engine.public_key, other, sig_engine));
+    SchnorrSignature bad = sig_engine;
+    bad.s.limb[0] ^= 1;
+    EXPECT_EQ(engine.verify(kp_engine.public_key, msg, bad),
+              schnorr_verify(group, kp_engine.public_key, msg, bad));
+  }
+}
+
+TEST(FastPathDiff, SchnorrSuiteSignaturesIdenticalFastOnAndOff) {
+  const SuitePtr suite = make_schnorr_suite(SchnorrGroup::small_group());
+  Rng rng_on(9);
+  Rng rng_off(9);
+  KeyPair kp_on;
+  KeyPair kp_off;
+  Bytes sig_on;
+  Bytes sig_off;
+  const Bytes msg = to_bytes("por certificate");
+  {
+    const FastPathScope scope(true);
+    kp_on = suite->keygen(rng_on);
+    sig_on = suite->sign(kp_on.secret_key, msg);
+  }
+  {
+    const FastPathScope scope(false);
+    kp_off = suite->keygen(rng_off);
+    sig_off = suite->sign(kp_off.secret_key, msg);
+  }
+  EXPECT_EQ(kp_on.public_key, kp_off.public_key);
+  EXPECT_EQ(kp_on.secret_key, kp_off.secret_key);
+  EXPECT_EQ(sig_on, sig_off);
+  // Cross-verify: a signature made on one path verifies on the other.
+  {
+    const FastPathScope scope(false);
+    EXPECT_TRUE(suite->verify(kp_on.public_key, msg, sig_on));
+  }
+  {
+    const FastPathScope scope(true);
+    EXPECT_TRUE(suite->verify(kp_off.public_key, msg, sig_off));
+  }
+}
+
+// -- The verification cache ---------------------------------------------------
+
+TEST(FastPathDiff, CachingSuiteVerdictsMatchInnerSuite) {
+  const auto cached = make_caching_suite(make_fast_suite());
+  const SuitePtr plain = make_fast_suite();
+  Rng rng(31);
+  const KeyPair kp = cached->keygen(rng);
+  const Bytes msg = to_bytes("message body");
+  const Bytes sig = cached->sign(kp.secret_key, msg);
+  Bytes bad_sig = sig;
+  bad_sig[0] ^= 1;
+
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(cached->verify(kp.public_key, msg, sig));
+    EXPECT_FALSE(cached->verify(kp.public_key, msg, bad_sig));
+    EXPECT_EQ(cached->verify(kp.public_key, msg, sig),
+              plain->verify(kp.public_key, msg, sig));
+  }
+  // Two distinct entries (good + bad) across 9 verify calls: 2 misses, the
+  // other 7 answered from the memo.
+  EXPECT_EQ(cached->stats().verify_misses, 2u);
+  EXPECT_EQ(cached->stats().verify_hits, 7u);
+
+  const KeyPair peer = cached->keygen(rng);
+  const Bytes s1 = cached->shared_secret(kp.secret_key, peer.public_key);
+  const Bytes s2 = cached->shared_secret(kp.secret_key, peer.public_key);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, plain->shared_secret(kp.secret_key, peer.public_key));
+  EXPECT_EQ(cached->stats().secret_misses, 1u);
+  EXPECT_EQ(cached->stats().secret_hits, 1u);
+}
+
+TEST(FastPathDiff, CachingSuiteBatchMatchesLoop) {
+  const auto cached = make_caching_suite(make_fast_suite());
+  const SuitePtr plain = make_fast_suite();
+  Rng rng(77);
+  std::vector<KeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> sigs;
+  for (int i = 0; i < 12; ++i) {
+    keys.push_back(cached->keygen(rng));
+    msgs.push_back(random_bytes(rng, 40));
+    Bytes sig = cached->sign(keys.back().secret_key, msgs.back());
+    if (i % 4 == 3) sig[1] ^= 0x80;  // sprinkle invalid signatures
+    sigs.push_back(std::move(sig));
+  }
+  // Mix of fresh entries and repeats (every request appears twice).
+  std::vector<VerifyRequest> requests;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      requests.push_back({keys[i].public_key, msgs[i], sigs[i]});
+    }
+  }
+  std::vector<char> batch(requests.size(), 0);
+  cached->verify_batch(requests, reinterpret_cast<bool*>(batch.data()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(batch[i]),
+              plain->verify(requests[i].public_key, requests[i].message,
+                            requests[i].signature))
+        << i;
+  }
+  EXPECT_EQ(cached->stats().verify_misses, keys.size());
+  EXPECT_EQ(cached->stats().verify_hits, keys.size());
+}
+
+// -- End to end: the serialized experiment is the oracle ----------------------
+
+core::ExperimentConfig diff_config() {
+  core::ExperimentConfig cfg;
+  cfg.protocol = core::Protocol::G2GEpidemic;
+  cfg.scenario = core::infocom05_scenario();
+  cfg.scenario.trace_config.nodes = 16;
+  cfg.scenario.trace_config.duration = Duration::days(2);
+  cfg.scenario.window_start = TimePoint::from_seconds(8.0 * 3600.0);
+  cfg.sim_window = Duration::hours(2);
+  cfg.traffic_window = Duration::hours(1);
+  cfg.mean_interarrival = Duration::seconds(30.0);
+  cfg.deviation = proto::Behavior::Dropper;
+  cfg.deviant_count = 4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(FastPathDiff, ExperimentJsonBitIdenticalWithCacheOnAndOff) {
+  core::ExperimentConfig with_cache = diff_config();
+  with_cache.crypto_fast_path = true;
+  core::ExperimentConfig without_cache = diff_config();
+  without_cache.crypto_fast_path = false;
+  const std::string a = core::to_json(core::run_experiment(with_cache));
+  const std::string b = core::to_json(core::run_experiment(without_cache));
+  EXPECT_EQ(a, b);
+  // The cache counters exist in the obs registry but are excluded from the
+  // result JSON precisely so this comparison stays byte-exact.
+  EXPECT_EQ(a.find("fastpath."), std::string::npos);
+}
+
+TEST(FastPathDiff, ExperimentJsonBitIdenticalWithGlobalFastPathOnAndOff) {
+  std::string fast;
+  std::string reference;
+  {
+    const FastPathScope scope(true);
+    fast = core::to_json(core::run_experiment(diff_config()));
+  }
+  {
+    const FastPathScope scope(false);
+    reference = core::to_json(core::run_experiment(diff_config()));
+  }
+  EXPECT_EQ(fast, reference);
+}
+
+}  // namespace
+}  // namespace g2g::crypto

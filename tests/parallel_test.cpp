@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 namespace g2g::core {
 namespace {
 
@@ -59,6 +63,63 @@ TEST(Parallel, PropagatesExceptions) {
   ExperimentConfig bad = tiny(Protocol::Epidemic, 1);
   bad.scenario.trace_config.nodes = 1;  // invalid
   EXPECT_THROW((void)run_parallel({bad}, 2), std::invalid_argument);
+}
+
+// Regression: a failing config must not poison its neighbours. The old pool
+// set a shared failure flag that let workers claim an index via fetch_add and
+// then return without running it, leaving default-constructed results for
+// innocent configs; and "first error wins" depended on thread timing.
+TEST(Parallel, FailingConfigDoesNotAbandonOtherIndices) {
+  std::atomic<int> executed{0};
+  EXPECT_THROW(sharded_for(16, 4,
+                           [&executed](std::size_t i) {
+                             executed.fetch_add(1);
+                             if (i % 5 == 2) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+  // Every index ran, including the ones after a failure in the same shard.
+  EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(Parallel, LowestIndexErrorIsRethrownDeterministically) {
+  for (int trial = 0; trial < 10; ++trial) {
+    try {
+      sharded_for(12, 4, [](std::size_t i) {
+        if (i == 3 || i == 7 || i == 11) {
+          throw std::runtime_error("fail at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      // No matter which worker finishes first, index 3's error surfaces.
+      EXPECT_STREQ(e.what(), "fail at 3");
+    }
+  }
+}
+
+TEST(Parallel, SweepMatchesPerCellRepeatedRuns) {
+  std::vector<SweepCell> cells;
+  cells.push_back({tiny(Protocol::Epidemic, 5), 2});
+  cells.push_back({tiny(Protocol::G2GEpidemic, 5), 3});
+  cells.push_back({tiny(Protocol::G2GEpidemic, 9), 1});
+  const std::vector<AggregateResult> sweep = run_sweep(cells, 4);
+  ASSERT_EQ(sweep.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const AggregateResult seq = run_repeated(cells[i].config, cells[i].runs);
+    EXPECT_EQ(sweep[i].success_rate.count(), seq.success_rate.count()) << i;
+    EXPECT_NEAR(sweep[i].success_rate.mean(), seq.success_rate.mean(), 1e-12) << i;
+    EXPECT_NEAR(sweep[i].avg_replicas.mean(), seq.avg_replicas.mean(), 1e-12) << i;
+    EXPECT_EQ(sweep[i].false_positives, seq.false_positives) << i;
+  }
+}
+
+TEST(Parallel, SweepPropagatesLowestCellError) {
+  ExperimentConfig bad = tiny(Protocol::Epidemic, 1);
+  bad.scenario.trace_config.nodes = 1;  // invalid
+  const std::vector<SweepCell> cells{{tiny(Protocol::Epidemic, 2), 1},
+                                     {bad, 2},
+                                     {tiny(Protocol::Epidemic, 3), 1}};
+  EXPECT_THROW((void)run_sweep(cells, 3), std::invalid_argument);
 }
 
 TEST(Parallel, RepeatedParallelMatchesSequentialAggregate) {

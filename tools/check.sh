@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
-# Full local check: build and run the test suite in a normal tree, then again
-# under AddressSanitizer + UBSan (the G2G_SANITIZE preset).
+# Local check driver. Tiers (see docs/TESTING.md):
 #
-#   tools/check.sh            # both passes
-#   tools/check.sh --fast     # normal pass only
+#   tools/check.sh --label fast   # unit tier only: ctest -L fast, seconds
+#   tools/check.sh --fast         # full suite, normal build only
+#   tools/check.sh                # full suite twice: normal + ASan/UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+ctest_args=()
+if [[ "${1:-}" == "--label" ]]; then
+  ctest_args=(-L "${2:?usage: tools/check.sh --label <label>}")
+  shift 2
+fi
 
 run_pass() {
   local dir=$1
   shift
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$jobs"
-  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
 }
+
+if [[ ${#ctest_args[@]} -gt 0 ]]; then
+  echo "== label-restricted pass: ${ctest_args[*]} =="
+  run_pass build
+  echo "ok (label tier)"
+  exit 0
+fi
 
 echo "== pass 1: normal build =="
 run_pass build
