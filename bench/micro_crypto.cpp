@@ -91,6 +91,78 @@ void BM_SchnorrVerifyNoTable(benchmark::State& state) {
 }
 BENCHMARK(BM_SchnorrVerifyNoTable);
 
+void BM_SchnorrRsSign(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_rs_suite(SchnorrGroup::default_group());
+  Rng rng(1);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  for (auto _ : state) benchmark::DoNotOptimize(suite->sign(kp.secret_key, msg));
+}
+BENCHMARK(BM_SchnorrRsSign);
+
+void BM_SchnorrRsVerify(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_rs_suite(SchnorrGroup::default_group());
+  Rng rng(2);
+  const KeyPair kp = suite->keygen(rng);
+  const Bytes msg = to_bytes("proof of relay payload");
+  const Bytes sig = suite->sign(kp.secret_key, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_SchnorrRsVerify);
+
+// One batch of `n` distinct (key, message, signature) triples through the
+// (R,s) suite's randomized-linear-combination verify_batch. Per-signature
+// time = total / n; compare with BM_SchnorrBatchPerSig at the same arg.
+void BM_SchnorrRsBatchVerify(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_rs_suite(SchnorrGroup::default_group());
+  Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<KeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(suite->keygen(rng));
+    msgs.push_back(Bytes(40, static_cast<std::uint8_t>(i)));
+    sigs.push_back(suite->sign(keys[i].secret_key, msgs[i]));
+  }
+  std::vector<VerifyRequest> requests;
+  for (std::size_t i = 0; i < n; ++i) requests.push_back({keys[i].public_key, msgs[i], sigs[i]});
+  std::vector<char> verdicts(n);
+  for (auto _ : state) {
+    suite->verify_batch(requests, reinterpret_cast<bool*>(verdicts.data()));
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchnorrRsBatchVerify)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// The same batch checked one signature at a time through the classic (e,s)
+// suite: the baseline the acceptance criterion measures against.
+void BM_SchnorrBatchPerSig(benchmark::State& state) {
+  const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());
+  Rng rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<KeyPair> keys;
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> sigs;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(suite->keygen(rng));
+    msgs.push_back(Bytes(40, static_cast<std::uint8_t>(i)));
+    sigs.push_back(suite->sign(keys[i].secret_key, msgs[i]));
+  }
+  std::vector<VerifyRequest> requests;
+  for (std::size_t i = 0; i < n; ++i) requests.push_back({keys[i].public_key, msgs[i], sigs[i]});
+  std::vector<char> verdicts(n);
+  for (auto _ : state) {
+    suite->verify_batch(requests, reinterpret_cast<bool*>(verdicts.data()));
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchnorrBatchPerSig)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
 // Memoized repeat verification, the common case inside a simulation run
 // (the same PoR certificate is re-checked at every audit).
 void BM_CachedVerifyHit(benchmark::State& state) {
@@ -122,6 +194,22 @@ void BM_FastSuiteVerify(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(suite->verify(kp.public_key, msg, sig));
 }
 BENCHMARK(BM_FastSuiteVerify);
+
+// A full audit round of storage-proof chains through the multi-lane batch;
+// per-chain time = total / jobs. Compare with BM_HeavyHmac at the same
+// iteration count for the lane-parallel win.
+void BM_HeavyHmacBatch(benchmark::State& state) {
+  const Bytes msg(512, 0x11);
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> seeds;
+  for (std::size_t j = 0; j < jobs; ++j) seeds.push_back(Bytes(16, static_cast<std::uint8_t>(j)));
+  std::vector<HeavyHmacJob> views;
+  for (std::size_t j = 0; j < jobs; ++j) views.push_back({msg, seeds[j], 1024});
+  for (auto _ : state) benchmark::DoNotOptimize(heavy_hmac_batch(views));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_HeavyHmacBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SealedBoxRoundTrip(benchmark::State& state) {
   const SuitePtr suite = make_fast_suite();

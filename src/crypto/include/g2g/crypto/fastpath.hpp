@@ -30,6 +30,10 @@ bool set_fast_path(bool on);
 /// True when this CPU exposes the SHA-NI extensions (detection is cached).
 [[nodiscard]] bool sha_ni_available();
 
+/// True when this CPU exposes AVX2 (detection is cached). Feeds the
+/// multi-lane SHA-256 dispatch (sha256_compress_multi).
+[[nodiscard]] bool avx2_available();
+
 /// True when SHA-256 will actually use the hardware rounds right now.
 [[nodiscard]] bool sha_accelerated();
 

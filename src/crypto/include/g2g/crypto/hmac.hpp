@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "g2g/crypto/sha256.hpp"
 #include "g2g/util/bytes.hpp"
@@ -46,6 +48,43 @@ class HmacKey {
 [[nodiscard]] Digest heavy_hmac(BytesView message, BytesView seed, std::uint32_t iterations);
 [[nodiscard]] Digest heavy_hmac_reference(BytesView message, BytesView seed,
                                           std::uint32_t iterations);
+
+/// One heavy-HMAC chain for heavy_hmac_batch. The views must stay valid for
+/// the duration of the call.
+struct HeavyHmacJob {
+  BytesView message;
+  BytesView seed;
+  std::uint32_t iterations;
+};
+
+/// Compute several independent heavy-HMAC chains, digests in job order. Each
+/// chain iteration is exactly three SHA-256 compressions from cached pad
+/// states, so independent chains run in lockstep through the multi-lane
+/// compressor (sha256_compress_multi) in groups of kSha256MaxLanes. Every
+/// digest is bit-identical to heavy_hmac / heavy_hmac_reference on the same
+/// inputs; with the fast path off, each job routes through the reference
+/// chain instead.
+[[nodiscard]] std::vector<Digest> heavy_hmac_batch(std::span<const HeavyHmacJob> jobs);
+
+/// Owning collector for deferring heavy-HMAC chains discovered one at a time
+/// (the G2G audit loops queue every storage proof in a contact, then compute
+/// them all in parallel lanes). add() copies its inputs; run() returns
+/// digests in add() order and clears the queue.
+class HeavyHmacBatch {
+ public:
+  std::size_t add(Bytes message, Bytes seed, std::uint32_t iterations);
+  [[nodiscard]] std::vector<Digest> run();
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+ private:
+  struct OwnedJob {
+    Bytes message;
+    Bytes seed;
+    std::uint32_t iterations;
+  };
+  std::vector<OwnedJob> jobs_;
+};
 
 /// Constant-time digest comparison.
 [[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);

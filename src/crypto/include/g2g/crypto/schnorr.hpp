@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "g2g/crypto/sha256.hpp"
@@ -52,11 +53,30 @@ struct SchnorrSignature {
   [[nodiscard]] static SchnorrSignature decode(BytesView b);
 };
 
+/// (R, s)-form Schnorr signature: transmits the commitment R = g^k instead of
+/// the challenge e = H(R || m). Same (k, e, s) triple as SchnorrSignature for
+/// the same secret/nonce — only the wire representation differs — but because
+/// the verifier checks the group equation g^s * y^e == R directly (instead of
+/// recomputing the hash from a reconstructed r), independent signatures can be
+/// combined into one randomized multi-exponentiation (verify_batch_rs).
+struct SchnorrSignatureRS {
+  U256 r;  ///< commitment R = g^k mod p
+  U256 s;  ///< response   s = (k - x*e) mod q, with e = H(R || m) mod q
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static SchnorrSignatureRS decode(BytesView b);
+};
+
 [[nodiscard]] SchnorrKeyPair schnorr_keygen(const SchnorrGroup& group, Rng& rng);
 [[nodiscard]] SchnorrSignature schnorr_sign(const SchnorrGroup& group, const U256& secret,
                                             BytesView message, Rng& rng);
 [[nodiscard]] bool schnorr_verify(const SchnorrGroup& group, const U256& public_key,
                                   BytesView message, const SchnorrSignature& sig);
+
+[[nodiscard]] SchnorrSignatureRS schnorr_rs_sign(const SchnorrGroup& group, const U256& secret,
+                                                 BytesView message, Rng& rng);
+[[nodiscard]] bool schnorr_rs_verify(const SchnorrGroup& group, const U256& public_key,
+                                     BytesView message, const SchnorrSignatureRS& sig);
 
 /// Static Diffie–Hellman over the same group: both parties compute
 /// g^(x_a * x_b); the result feeds the session-key KDF (chacha20.hpp).
@@ -85,6 +105,26 @@ class FixedBaseTable {
   std::vector<std::array<U256, 16>> windows_;
 };
 
+/// One base/exponent pair for multi_exp.
+struct MultiExpTerm {
+  U256 base;
+  U256 exponent;
+};
+
+/// Simultaneous multi-exponentiation: Π base_i^(exp_i) mod m with per-term
+/// 4-bit window tables and one shared squaring chain scanned from the most
+/// significant nibble down. Exact: bit-identical to folding pow_mod results
+/// together with mul_mod.
+[[nodiscard]] U256 multi_exp(std::span<const MultiExpTerm> terms, const U256& modulus);
+
+/// One signature for SchnorrEngine::verify_batch_rs. `message` must stay
+/// valid for the duration of the call.
+struct SchnorrRSVerifyItem {
+  U256 public_key;
+  BytesView message;
+  SchnorrSignatureRS sig;
+};
+
 /// Per-group precomputation for the hot Schnorr operations: a fixed-base
 /// table for g sized to exponents mod q (keygen's g^x, sign's g^k, verify's
 /// g^s are all bounded by q). Produces byte-identical keys/signatures/
@@ -100,6 +140,19 @@ class SchnorrEngine {
   [[nodiscard]] SchnorrSignature sign(const U256& secret, BytesView message, Rng& rng) const;
   [[nodiscard]] bool verify(const U256& public_key, BytesView message,
                             const SchnorrSignature& sig) const;
+
+  [[nodiscard]] SchnorrSignatureRS sign_rs(const U256& secret, BytesView message, Rng& rng) const;
+  [[nodiscard]] bool verify_rs(const U256& public_key, BytesView message,
+                               const SchnorrSignatureRS& sig) const;
+  /// Randomized-linear-combination batch verification of (R, s) signatures:
+  /// checks g^(Σ z_i·s_i) · Π y_i^(z_i·e_i) == Π R_i^(z_i) with deterministic
+  /// 64-bit coefficients z_i derived Fiat–Shamir style from the batch
+  /// transcript (so runs are reproducible). Returns true iff the combined
+  /// equation holds — a cheating batch passes with probability ~2^-64 per
+  /// coefficient. Returns false whenever ANY signature is structurally or
+  /// cryptographically invalid; callers needing per-item verdicts fall back
+  /// to verify_rs on reject. Empty batches vacuously verify.
+  [[nodiscard]] bool verify_batch_rs(std::span<const SchnorrRSVerifyItem> items) const;
 
  private:
   [[nodiscard]] U256 pow_g(const U256& exponent) const;

@@ -49,11 +49,12 @@ class Suite {
   /// Verify a batch of signatures, writing one verdict per request.
   /// `verdicts` must have room for `requests.size()` entries. The default
   /// simply loops over verify(); overrides use the batch shape to amortize
-  /// work (the caching suite answers repeats from its memo and forwards only
-  /// the misses in one inner call). Note the e = H(r || m) Schnorr form used
-  /// here commits to the challenge, so verdicts can never be combined into a
-  /// single randomized multi-exponentiation — this seam is where an
-  /// (R, s)-form scheme could plug true batch verification in.
+  /// work. The caching suite answers repeats from its memo and forwards only
+  /// the misses in one inner call; the (R, s)-form Schnorr suite folds the
+  /// whole batch into one randomized multi-exponentiation and falls back to
+  /// per-signature checks only when the combined equation rejects, so
+  /// verdicts stay exact per request. (The classic e = H(r || m) form
+  /// commits to the challenge and cannot be combined this way.)
   virtual void verify_batch(std::span<const VerifyRequest> requests, bool* verdicts) const {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       verdicts[i] = verify(requests[i].public_key, requests[i].message,
@@ -75,6 +76,11 @@ struct SchnorrGroup;  // schnorr.hpp
 /// Real Schnorr/DH suite over the given group (default_group() if omitted).
 [[nodiscard]] SuitePtr make_schnorr_suite();
 [[nodiscard]] SuitePtr make_schnorr_suite(const SchnorrGroup& group);
+/// (R, s)-form Schnorr/DH suite: same keys, nonces and DH as the classic
+/// suite, but signatures transmit the commitment R instead of the challenge,
+/// which unlocks true randomized batch verification in verify_batch.
+[[nodiscard]] SuitePtr make_schnorr_rs_suite();
+[[nodiscard]] SuitePtr make_schnorr_rs_suite(const SchnorrGroup& group);
 /// Symmetric emulation suite; `seed` is the suite-wide MAC-key seed.
 [[nodiscard]] SuitePtr make_fast_suite(std::uint64_t seed = 0x4732674d41435353ULL);
 

@@ -1,5 +1,6 @@
 #include "g2g/crypto/schnorr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "g2g/crypto/fastpath.hpp"
@@ -103,6 +104,19 @@ SchnorrSignature SchnorrSignature::decode(BytesView b) {
                           U256::from_bytes_be(b.subspan(32, 32))};
 }
 
+Bytes SchnorrSignatureRS::encode() const {
+  Writer w(64);
+  w.raw(r.to_bytes_be());
+  w.raw(s.to_bytes_be());
+  return std::move(w).take();
+}
+
+SchnorrSignatureRS SchnorrSignatureRS::decode(BytesView b) {
+  if (b.size() != 64) throw DecodeError("bad Schnorr (R,s) signature length");
+  return SchnorrSignatureRS{U256::from_bytes_be(b.subspan(0, 32)),
+                            U256::from_bytes_be(b.subspan(32, 32))};
+}
+
 SchnorrKeyPair schnorr_keygen(const SchnorrGroup& group, Rng& rng) {
   bool borrow = false;
   const U256 x = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
@@ -129,6 +143,29 @@ bool schnorr_verify(const SchnorrGroup& group, const U256& public_key, BytesView
   return challenge(group, r, message) == sig.e;
 }
 
+SchnorrSignatureRS schnorr_rs_sign(const SchnorrGroup& group, const U256& secret,
+                                   BytesView message, Rng& rng) {
+  // Same draws and same (k, e, s) as schnorr_sign — only the transmitted pair
+  // changes, so the two forms stay interconvertible for the same nonce.
+  bool borrow = false;
+  const U256 k = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
+  const U256 r = pow_mod(group.g, k, group.p);
+  const U256 e = challenge(group, r, message);
+  const U256 s = sub_mod(k, mul_mod(secret, e, group.q), group.q);
+  return SchnorrSignatureRS{r, s};
+}
+
+bool schnorr_rs_verify(const SchnorrGroup& group, const U256& public_key, BytesView message,
+                       const SchnorrSignatureRS& sig) {
+  if (sig.s >= group.q || sig.r >= group.p || sig.r.is_zero()) return false;
+  // e = H(R || m);   valid iff g^s * y^e == R (a group equation, so several
+  // signatures can be folded into one randomized combination — verify_batch_rs).
+  const U256 e = challenge(group, sig.r, message);
+  const U256 gs = pow_mod(group.g, sig.s, group.p);
+  const U256 ye = pow_mod(public_key, e, group.p);
+  return mul_mod(gs, ye, group.p) == sig.r;
+}
+
 U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret, const U256& peer_public) {
   return pow_mod(peer_public, my_secret, group.p);
 }
@@ -143,6 +180,35 @@ FixedBaseTable::FixedBaseTable(const U256& base, const U256& modulus, std::size_
     for (int d = 2; d < 16; ++d) window[d] = mul_mod(window[d - 1], cur, modulus_);
     cur = mul_mod(window[15], cur, modulus_);
   }
+}
+
+U256 multi_exp(std::span<const MultiExpTerm> terms, const U256& modulus) {
+  if (terms.empty()) return U256(1);
+  // Per-term odd-and-even window table: pows[i][d] = base_i^d for d in 1..15.
+  std::vector<std::array<U256, 16>> pows(terms.size());
+  std::size_t max_bits = 0;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    pows[i][1] = mod(terms[i].base, modulus);
+    for (int d = 2; d < 16; ++d) pows[i][d] = mul_mod(pows[i][d - 1], pows[i][1], modulus);
+    max_bits = std::max(max_bits, terms[i].exponent.bit_length());
+  }
+  U256 result(1);
+  bool started = false;
+  for (std::size_t w = (max_bits + 3) / 4; w-- > 0;) {
+    if (started) {
+      for (int sq = 0; sq < 4; ++sq) result = mul_mod(result, result, modulus);
+    }
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const std::size_t bit = 4 * w;
+      const unsigned digit =
+          static_cast<unsigned>(terms[i].exponent.limb[bit / 64] >> (bit % 64)) & 0xF;
+      if (digit != 0) {
+        result = mul_mod(result, pows[i][digit], modulus);
+        started = true;
+      }
+    }
+  }
+  return result;
 }
 
 U256 FixedBaseTable::pow(const U256& exponent) const {
@@ -191,6 +257,87 @@ bool SchnorrEngine::verify(const U256& public_key, BytesView message,
   const U256 ye = pow_mod(public_key, sig.e, group_.p);
   const U256 r = mul_mod(gs, ye, group_.p);
   return challenge(group_, r, message) == sig.e;
+}
+
+SchnorrSignatureRS SchnorrEngine::sign_rs(const U256& secret, BytesView message, Rng& rng) const {
+  bool borrow = false;
+  const U256 k = add_mod(random_below(rng, sub(group_.q, U256(1), borrow)), U256(1), group_.q);
+  const U256 r = pow_g(k);
+  const U256 e = challenge(group_, r, message);
+  const U256 s = sub_mod(k, mul_mod(secret, e, group_.q), group_.q);
+  return SchnorrSignatureRS{r, s};
+}
+
+bool SchnorrEngine::verify_rs(const U256& public_key, BytesView message,
+                              const SchnorrSignatureRS& sig) const {
+  if (sig.s >= group_.q || sig.r >= group_.p || sig.r.is_zero()) return false;
+  const U256 e = challenge(group_, sig.r, message);
+  const U256 gs = pow_g(sig.s);
+  const U256 ye = pow_mod(public_key, e, group_.p);
+  return mul_mod(gs, ye, group_.p) == sig.r;
+}
+
+namespace {
+
+/// Deterministic nonzero 64-bit batch coefficients, Fiat–Shamir style: a
+/// transcript digest commits to every (y_i, R_i, s_i, H(m_i)) in order, then
+/// z_i = first 8 bytes of SHA256(transcript || i). Determinism keeps
+/// simulation runs bit-reproducible; an adversary who controls the batch
+/// contents still cannot aim for specific coefficients without inverting the
+/// hash, which is the standard small-exponent soundness setting.
+std::vector<std::uint64_t> batch_coefficients(std::span<const SchnorrRSVerifyItem> items) {
+  Writer t(32 + 128 * items.size());
+  t.raw(BytesView(reinterpret_cast<const std::uint8_t*>("g2g/batch-rs/v1"), 15));
+  t.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& it : items) {
+    t.raw(it.public_key.to_bytes_be());
+    t.raw(it.sig.r.to_bytes_be());
+    t.raw(it.sig.s.to_bytes_be());
+    t.raw(digest_view(sha256(it.message)));
+  }
+  const Digest transcript = sha256(t.bytes());
+  std::vector<std::uint64_t> z(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Writer w(36);
+    w.raw(digest_view(transcript));
+    w.u32(static_cast<std::uint32_t>(i));
+    const Digest d = sha256(w.bytes());
+    std::uint64_t zi = 0;
+    for (int b = 0; b < 8; ++b) zi = (zi << 8) | d[b];
+    z[i] = zi == 0 ? 1 : zi;  // zero would drop the term from the combination
+  }
+  return z;
+}
+
+}  // namespace
+
+bool SchnorrEngine::verify_batch_rs(std::span<const SchnorrRSVerifyItem> items) const {
+  if (items.empty()) return true;
+  if (items.size() == 1) return verify_rs(items[0].public_key, items[0].message, items[0].sig);
+  for (const auto& it : items) {
+    if (it.sig.s >= group_.q || it.sig.r >= group_.p || it.sig.r.is_zero()) return false;
+    if (it.public_key >= group_.p || it.public_key.is_zero()) return false;
+  }
+  const std::vector<std::uint64_t> z = batch_coefficients(items);
+  // Check g^(Σ z_i·s_i) · Π y_i^(z_i·e_i) == Π R_i^(z_i)  (mod p).
+  // The g exponent folds mod q (g has order q); the y exponents stay as full
+  // z_i·e_i products (< 2^224) so the check never assumes an adversarial y_i
+  // lies in the order-q subgroup.
+  U256 s_acc(0);
+  std::vector<MultiExpTerm> lhs_terms(items.size());
+  std::vector<MultiExpTerm> rhs_terms(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const U256 zi(z[i]);
+    s_acc = add_mod(s_acc, mul_mod(zi, items[i].sig.s, group_.q), group_.q);
+    const U256 e = challenge(group_, items[i].sig.r, items[i].message);
+    const U512 ze = mul_full(zi, e);
+    U256 ze256;
+    for (int l = 0; l < 4; ++l) ze256.limb[l] = ze.limb[l];  // z·e < 2^224
+    lhs_terms[i] = MultiExpTerm{items[i].public_key, ze256};
+    rhs_terms[i] = MultiExpTerm{items[i].sig.r, zi};
+  }
+  const U256 lhs = mul_mod(pow_g(s_acc), multi_exp(lhs_terms, group_.p), group_.p);
+  return lhs == multi_exp(rhs_terms, group_.p);
 }
 
 }  // namespace g2g::crypto

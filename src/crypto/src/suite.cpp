@@ -1,7 +1,9 @@
 #include "g2g/crypto/suite.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/hmac.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/crypto/sha256.hpp"
@@ -45,6 +47,70 @@ class SchnorrSuite final : public Suite {
 
   std::size_t signature_size() const override { return 64; }
   std::string name() const override { return "schnorr-zp"; }
+
+ private:
+  SchnorrEngine engine_;
+};
+
+class SchnorrRSSuite final : public Suite {
+ public:
+  explicit SchnorrRSSuite(const SchnorrGroup& group) : engine_(group) {}
+
+  KeyPair keygen(Rng& rng) const override {
+    const SchnorrKeyPair kp = engine_.keygen(rng);
+    return KeyPair{kp.secret.to_bytes_be(), kp.public_key.to_bytes_be()};
+  }
+
+  Bytes sign(BytesView secret_key, BytesView message) const override {
+    // Same deterministic nonce derivation as SchnorrSuite, so the two suites
+    // produce the same (k, e, s) triple for the same key/message — only the
+    // transmitted pair differs. The cross-suite differential tests pin this.
+    const Digest nd = hmac_sha256(secret_key, message);
+    Rng nonce_rng(U256::from_bytes_be(digest_view(nd)).limb[0] ^
+                  U256::from_bytes_be(digest_view(nd)).limb[2]);
+    return engine_.sign_rs(U256::from_bytes_be(secret_key), message, nonce_rng).encode();
+  }
+
+  bool verify(BytesView public_key, BytesView message, BytesView signature) const override {
+    if (signature.size() != 64 || public_key.size() != 32) return false;
+    return engine_.verify_rs(U256::from_bytes_be(public_key), message,
+                             SchnorrSignatureRS::decode(signature));
+  }
+
+  void verify_batch(std::span<const VerifyRequest> requests, bool* verdicts) const override {
+    // The combined check only pays off past one signature, and with the fast
+    // path off every verdict must come from the per-signature reference route.
+    if (requests.size() > 1 && fast_path_enabled()) {
+      std::vector<SchnorrRSVerifyItem> items;
+      items.reserve(requests.size());
+      bool well_formed = true;
+      for (const auto& r : requests) {
+        if (r.signature.size() != 64 || r.public_key.size() != 32) {
+          well_formed = false;
+          break;
+        }
+        items.push_back(SchnorrRSVerifyItem{U256::from_bytes_be(r.public_key), r.message,
+                                            SchnorrSignatureRS::decode(r.signature)});
+      }
+      if (well_formed && engine_.verify_batch_rs(items)) {
+        std::fill_n(verdicts, requests.size(), true);
+        return;
+      }
+      // Batch reject (or malformed input): localize per signature.
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      verdicts[i] = verify(requests[i].public_key, requests[i].message, requests[i].signature);
+    }
+  }
+
+  Bytes shared_secret(BytesView my_secret_key, BytesView peer_public_key) const override {
+    const U256 s = dh_shared_secret(engine_.group(), U256::from_bytes_be(my_secret_key),
+                                    U256::from_bytes_be(peer_public_key));
+    return s.to_bytes_be();
+  }
+
+  std::size_t signature_size() const override { return 64; }
+  std::string name() const override { return "schnorr-zp-rs"; }
 
  private:
   SchnorrEngine engine_;
@@ -119,6 +185,12 @@ SuitePtr make_schnorr_suite() { return make_schnorr_suite(SchnorrGroup::default_
 
 SuitePtr make_schnorr_suite(const SchnorrGroup& group) {
   return std::make_shared<SchnorrSuite>(group);
+}
+
+SuitePtr make_schnorr_rs_suite() { return make_schnorr_rs_suite(SchnorrGroup::default_group()); }
+
+SuitePtr make_schnorr_rs_suite(const SchnorrGroup& group) {
+  return std::make_shared<SchnorrRSSuite>(group);
 }
 
 SuitePtr make_fast_suite(std::uint64_t seed) { return std::make_shared<FastSuite>(seed); }

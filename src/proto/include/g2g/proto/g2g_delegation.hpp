@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "g2g/crypto/hmac.hpp"
 #include "g2g/proto/node.hpp"
 #include "g2g/proto/quality.hpp"
 
@@ -46,8 +47,13 @@ class G2GDelegationNode final : public ProtocolNode {
   struct TestResponse {
     std::vector<ProofOfRelay> pors;
     std::optional<crypto::Digest> stored_hmac;
+    /// Deferred storage proof: index into the caller's HeavyHmacBatch.
+    std::optional<std::size_t> stored_job;
   };
-  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed);
+  /// With `defer` set, a storage proof is queued into the batch instead of
+  /// computed inline (see G2GEpidemicNode::respond_test).
+  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed,
+                                          crypto::HeavyHmacBatch* defer = nullptr);
 
   /// Step 9: answer an FQ_RQST about destination `dst` for message `h`;
   /// nullopt declines (message already handled). Liars declare value 0.

@@ -21,6 +21,7 @@
 #include <set>
 #include <vector>
 
+#include "g2g/crypto/hmac.hpp"
 #include "g2g/proto/node.hpp"
 
 namespace g2g::proto {
@@ -42,8 +43,16 @@ class G2GEpidemicNode final : public ProtocolNode {
   struct TestResponse {
     std::vector<ProofOfRelay> pors;
     std::optional<crypto::Digest> stored_hmac;  // heavy HMAC over (m, seed)
+    /// Deferred storage proof: index of the chain queued into the caller's
+    /// HeavyHmacBatch instead of an eager stored_hmac digest.
+    std::optional<std::size_t> stored_job;
   };
-  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed);
+  /// With `defer` set, a storage proof is queued into the batch (stored_job)
+  /// rather than computed inline, so the audit loop can run every chain of a
+  /// contact in parallel SHA-256 lanes; all byte accounting, counters, and
+  /// trace events stay at challenge time either way.
+  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed,
+                                          crypto::HeavyHmacBatch* defer = nullptr);
 
  private:
   struct Hold {

@@ -102,6 +102,10 @@ struct ProofOfMisbehavior {
   std::optional<QualityDeclaration> evidence_declaration;
 
   [[nodiscard]] Bytes encode() const;
+  /// Strict inverse of encode(): rejects unknown kinds, non-boolean presence
+  /// flags, trailing bytes, and evidence that does not match the claimed kind
+  /// (e.g. a RelayFailure without the accepted PoR). Throws DecodeError.
+  [[nodiscard]] static ProofOfMisbehavior decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
 

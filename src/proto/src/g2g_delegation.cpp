@@ -334,6 +334,20 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
   const TimePoint now = s.now();
   const std::size_t sig = identity().suite().signature_size();
 
+  // Same two-phase shape as the epidemic audit loop: queue every storage
+  // chain of this contact into one HeavyHmacBatch, resolve outcomes after the
+  // batch runs all chains in parallel SHA-256 lanes.
+  crypto::HeavyHmacBatch batch;
+  struct PendingStorageCheck {
+    std::size_t peer_job;
+    std::size_t expect_job;
+    NodeId relay;
+    std::uint64_t ref;
+    ProofOfRelay por;
+    TimePoint relayed_at;
+  };
+  std::vector<PendingStorageCheck> pending;
+
   for (PendingTest& t : tests_) {
     if (s.exhausted()) break;
     if (t.done || t.relay != peer.id()) continue;
@@ -353,7 +367,7 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
     counters().tests_by_sender->add();
     const Bytes seed = random_seed(env_.rng());
     s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
-    const TestResponse resp = peer.respond_test(s, t.h, seed);
+    const TestResponse resp = peer.respond_test(s, t.h, seed, &batch);
 
     // Chain check runs over every PoR the relay presents.
     if (!resp.pors.empty() && !chain_check(t, resp.pors, real_dst, now)) {
@@ -401,10 +415,18 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
       }
     }
 
-    if (resp.stored_hmac.has_value()) {
+    if (resp.stored_hmac.has_value() || resp.stored_job.has_value()) {
       const auto it = hold_.find(t.h);
       if (it != hold_.end() && it->second.has_msg) {
         count_heavy_hmac();
+        if (resp.stored_job.has_value()) {
+          const std::size_t expect_job =
+              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
+                        config().heavy_hmac_iterations);
+          pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
+                                                t.por, t.relayed_at});
+          continue;
+        }
         const crypto::Digest expect = crypto::heavy_hmac(
             it->second.msg.encode(), seed, config().heavy_hmac_iterations);
         if (crypto::digest_equal(expect, *resp.stored_hmac)) {
@@ -426,6 +448,24 @@ void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
     pom.evidence_accepted = t.por;
     issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
               now - (t.relayed_at + config().delta1));
+  }
+
+  if (pending.empty()) return;
+  const std::vector<crypto::Digest> digests = batch.run();
+  for (const PendingStorageCheck& c : pending) {
+    if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
+      counters().tests_passed->add();
+      trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
+      continue;
+    }
+    counters().tests_failed->add();
+    trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 0);
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = c.relay;
+    pom.evidence_accepted = c.por;
+    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+              now - (c.relayed_at + config().delta1));
   }
 }
 
@@ -507,7 +547,8 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
 
 G2GDelegationNode::TestResponse G2GDelegationNode::respond_test(Session& s,
                                                                 const MessageHash& h,
-                                                                BytesView seed) {
+                                                                BytesView seed,
+                                                                crypto::HeavyHmacBatch* defer) {
   TestResponse resp;
   const auto it = hold_.find(h);
   if (it == hold_.end()) return resp;
@@ -520,8 +561,13 @@ G2GDelegationNode::TestResponse G2GDelegationNode::respond_test(Session& s,
       counters().storage_challenges->add();
       trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
                   env_.msg_ref(h), config().heavy_hmac_iterations);
-      resp.stored_hmac =
-          crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+      if (defer != nullptr) {
+        resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
+                                     config().heavy_hmac_iterations);
+      } else {
+        resp.stored_hmac =
+            crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+      }
       const std::size_t sig = identity().suite().signature_size();
       s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);
     }

@@ -224,6 +224,24 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
   const TimePoint now = s.now();
   const std::size_t sig = identity().suite().signature_size();
 
+  // Two phases: the challenge loop queues every storage-proof chain of this
+  // contact — the relay's proof and the source's recompute — into one
+  // HeavyHmacBatch, then the batch runs all chains in parallel SHA-256 lanes
+  // and the outcomes (pass / PoM) resolve afterwards. Deferring is invisible
+  // to the protocol: nothing between the challenge and its resolution reads
+  // the blacklist or the PoM log, session byte accounting stays in challenge
+  // order, and the digests are bit-identical to the eager path.
+  crypto::HeavyHmacBatch batch;
+  struct PendingStorageCheck {
+    std::size_t peer_job;    // the relay's deferred proof
+    std::size_t expect_job;  // the source's recompute of the same chain
+    NodeId relay;
+    std::uint64_t ref;
+    ProofOfRelay por;  // evidence if the digests disagree
+    TimePoint relayed_at;
+  };
+  std::vector<PendingStorageCheck> pending;
+
   for (PendingTest& t : tests_) {
     if (s.exhausted()) break;
     if (t.done || t.relay != peer.id()) continue;
@@ -235,7 +253,7 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
     counters().tests_by_sender->add();
     const Bytes seed = random_seed(env_.rng());
     s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
-    const TestResponse resp = peer.respond_test(s, t.h, seed);
+    const TestResponse resp = peer.respond_test(s, t.h, seed, &batch);
 
     // Either two valid PoRs...
     if (resp.pors.size() >= config().relay_fanout) {
@@ -280,10 +298,18 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
     }
 
     // ...or a storage proof the source can recompute (it still has m).
-    if (resp.stored_hmac.has_value()) {
+    if (resp.stored_hmac.has_value() || resp.stored_job.has_value()) {
       const auto it = hold_.find(t.h);
       if (it != hold_.end() && it->second.has_msg) {
         count_heavy_hmac();
+        if (resp.stored_job.has_value()) {
+          const std::size_t expect_job =
+              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
+                        config().heavy_hmac_iterations);
+          pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
+                                                t.por, t.relayed_at});
+          continue;  // outcome resolves after the batch runs
+        }
         const crypto::Digest expect = crypto::heavy_hmac(
             it->second.msg.encode(), seed, config().heavy_hmac_iterations);
         if (crypto::digest_equal(expect, *resp.stored_hmac)) {
@@ -307,10 +333,29 @@ void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
     issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
               now - (t.relayed_at + config().delta1));
   }
+
+  if (pending.empty()) return;
+  const std::vector<crypto::Digest> digests = batch.run();
+  for (const PendingStorageCheck& c : pending) {
+    if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
+      counters().tests_passed->add();
+      trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
+      continue;
+    }
+    counters().tests_failed->add();
+    trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 0);
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = c.relay;
+    pom.evidence_accepted = c.por;
+    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+              now - (c.relayed_at + config().delta1));
+  }
 }
 
 G2GEpidemicNode::TestResponse G2GEpidemicNode::respond_test(Session& s, const MessageHash& h,
-                                                            BytesView seed) {
+                                                            BytesView seed,
+                                                            crypto::HeavyHmacBatch* defer) {
   TestResponse resp;
   const auto it = hold_.find(h);
   if (it == hold_.end()) {
@@ -328,8 +373,13 @@ G2GEpidemicNode::TestResponse G2GEpidemicNode::respond_test(Session& s, const Me
     counters().storage_challenges->add();
     trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
                 env_.msg_ref(h), config().heavy_hmac_iterations);
-    resp.stored_hmac =
-        crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+    if (defer != nullptr) {
+      resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
+                                   config().heavy_hmac_iterations);
+    } else {
+      resp.stored_hmac =
+          crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
+    }
     resp.pors = hold.pors;  // show what we have (0 or 1)
     const std::size_t sig = identity().suite().signature_size();
     s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);

@@ -54,7 +54,10 @@ QualityDeclaration QualityDeclaration::decode(BytesView b) {
   return d;
 }
 
-std::size_t QualityDeclaration::wire_size() const { return encode().size(); }
+std::size_t QualityDeclaration::wire_size() const {
+  // declarer + dst + value + frame + at + signature length prefix + signature.
+  return 4 + 4 + 8 + 8 + 8 + 4 + signature.size();
+}
 
 Bytes ProofOfRelay::signed_payload() const {
   Writer w(96);
@@ -80,10 +83,14 @@ Bytes ProofOfRelay::encode() const {
   w.u32(taker.value());
   w.i64(at.micros());
   w.u8(delegation ? 1 : 0);
-  w.u32(declared_dst.value());
-  w.f64(msg_quality);
-  w.f64(taker_quality);
-  w.i64(quality_frame);
+  // The delegation extension travels only when the flag is set, matching
+  // signed_payload() — epidemic PoRs never pay for fields they do not carry.
+  if (delegation) {
+    w.u32(declared_dst.value());
+    w.f64(msg_quality);
+    w.f64(taker_quality);
+    w.i64(quality_frame);
+  }
   w.blob(taker_signature);
   return std::move(w).take();
 }
@@ -97,15 +104,20 @@ ProofOfRelay ProofOfRelay::decode(BytesView b) {
   p.taker = NodeId(r.u32());
   p.at = TimePoint(r.i64());
   p.delegation = r.u8() != 0;
-  p.declared_dst = NodeId(r.u32());
-  p.msg_quality = r.f64();
-  p.taker_quality = r.f64();
-  p.quality_frame = r.i64();
+  if (p.delegation) {
+    p.declared_dst = NodeId(r.u32());
+    p.msg_quality = r.f64();
+    p.taker_quality = r.f64();
+    p.quality_frame = r.i64();
+  }
   p.taker_signature = r.blob();
   return p;
 }
 
-std::size_t ProofOfRelay::wire_size() const { return encode().size(); }
+std::size_t ProofOfRelay::wire_size() const {
+  // h + giver + taker + at + flag [+ delegation extension] + sig prefix + sig.
+  return 32 + 4 + 4 + 8 + 1 + (delegation ? 4 + 8 + 8 + 8 : 0) + 4 + taker_signature.size();
+}
 
 Bytes ProofOfMisbehavior::encode() const {
   Writer w(256);
@@ -122,7 +134,47 @@ Bytes ProofOfMisbehavior::encode() const {
   return std::move(w).take();
 }
 
-std::size_t ProofOfMisbehavior::wire_size() const { return encode().size(); }
+ProofOfMisbehavior ProofOfMisbehavior::decode(BytesView b) {
+  Reader r(b);
+  ProofOfMisbehavior p;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(Kind::ChainCheat)) throw DecodeError("bad PoM kind");
+  p.kind = static_cast<Kind>(kind);
+  p.culprit = NodeId(r.u32());
+  p.accuser = NodeId(r.u32());
+  p.at = TimePoint(r.i64());
+  const auto read_flag = [&r] {
+    const std::uint8_t f = r.u8();
+    if (f > 1) throw DecodeError("bad PoM evidence flag");
+    return f == 1;
+  };
+  if (read_flag()) p.evidence_accepted = ProofOfRelay::decode(r.blob());
+  if (read_flag()) p.evidence_forwarded = ProofOfRelay::decode(r.blob());
+  if (read_flag()) p.evidence_declaration = QualityDeclaration::decode(r.blob());
+  if (!r.done()) throw DecodeError("trailing bytes after PoM");
+
+  // A PoM is gossiped network-wide, so the decoder enforces that exactly the
+  // evidence verify_pom() needs for the claimed kind is present — anything
+  // else is a malformed accusation, rejected before signature checks run.
+  const bool acc = p.evidence_accepted.has_value();
+  const bool fwd = p.evidence_forwarded.has_value();
+  const bool decl = p.evidence_declaration.has_value();
+  const bool shape_ok = (p.kind == Kind::RelayFailure && acc && !fwd && !decl) ||
+                        (p.kind == Kind::QualityLie && !acc && !fwd && decl) ||
+                        (p.kind == Kind::ChainCheat && acc && fwd && !decl);
+  if (!shape_ok) throw DecodeError("PoM evidence does not match kind");
+  return p;
+}
+
+std::size_t ProofOfMisbehavior::wire_size() const {
+  // kind + culprit + accuser + at + three presence flags, plus one
+  // length-prefixed blob per attached evidence artefact.
+  std::size_t size = 1 + 4 + 4 + 8 + 1 + 1 + 1;
+  if (evidence_accepted) size += 4 + evidence_accepted->wire_size();
+  if (evidence_forwarded) size += 4 + evidence_forwarded->wire_size();
+  if (evidence_declaration) size += 4 + evidence_declaration->wire_size();
+  return size;
+}
 
 namespace {
 

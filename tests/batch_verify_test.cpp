@@ -1,0 +1,222 @@
+// Adversarial batch-verification tests for the (R,s)-form Schnorr suite.
+//
+// The randomized-linear-combination check folds a whole batch into one
+// multi-exponentiation; these tests pin the two properties the protocol
+// layer depends on:
+//  * a batch containing any forged signature must reject, and the
+//    per-signature fallback must localize the exact bad index;
+//  * the (R,s) suite's verdicts must agree with the classic (e,s) suite on
+//    the same corpora (same keys, same nonces, same corruption pattern).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "g2g/crypto/fastpath.hpp"
+#include "g2g/crypto/schnorr.hpp"
+#include "g2g/crypto/suite.hpp"
+#include "g2g/crypto/verify_cache.hpp"
+
+namespace g2g::crypto {
+namespace {
+
+struct SignedItem {
+  KeyPair kp;
+  Bytes msg;
+  Bytes sig;
+};
+
+std::vector<SignedItem> make_corpus(const Suite& suite, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SignedItem> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    SignedItem item;
+    item.kp = suite.keygen(rng);
+    Writer w;
+    w.str("por-audit-payload");
+    w.u32(static_cast<std::uint32_t>(i));
+    item.msg = std::move(w).take();
+    item.sig = suite.sign(item.kp.secret_key, item.msg);
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+std::vector<VerifyRequest> requests_of(const std::vector<SignedItem>& corpus) {
+  std::vector<VerifyRequest> reqs;
+  for (const auto& c : corpus) {
+    reqs.push_back(VerifyRequest{BytesView(c.kp.public_key), BytesView(c.msg),
+                                 BytesView(c.sig)});
+  }
+  return reqs;
+}
+
+class RsBatchSuite : public ::testing::Test {
+ protected:
+  SuitePtr suite_ = make_schnorr_rs_suite(SchnorrGroup::small_group());
+};
+
+TEST_F(RsBatchSuite, AllValidBatchAcceptsEveryIndex) {
+  const auto corpus = make_corpus(*suite_, 16, 1);
+  const auto reqs = requests_of(corpus);
+  bool verdicts[16];
+  const FastPathScope scope(true);
+  suite_->verify_batch(reqs, verdicts);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_TRUE(verdicts[i]) << "index " << i;
+  }
+}
+
+TEST_F(RsBatchSuite, ForgedSignatureLocalizedToExactIndex) {
+  // One forged signature anywhere in the batch: the combined equation
+  // rejects, the fallback re-checks each item, and only the forged index
+  // reads false.
+  for (std::size_t bad = 0; bad < 8; ++bad) {
+    auto corpus = make_corpus(*suite_, 8, 2);
+    corpus[bad].sig[40] ^= 0x01;
+    const auto reqs = requests_of(corpus);
+    bool verdicts[8];
+    const FastPathScope scope(true);
+    suite_->verify_batch(reqs, verdicts);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(verdicts[i], i != bad) << "forged " << bad << ", index " << i;
+    }
+  }
+}
+
+TEST_F(RsBatchSuite, SignatureReplayAcrossMessagesLocalized) {
+  auto corpus = make_corpus(*suite_, 6, 3);
+  corpus[2].sig = corpus[4].sig;  // valid signature, wrong message/key
+  const auto reqs = requests_of(corpus);
+  bool verdicts[6];
+  const FastPathScope scope(true);
+  suite_->verify_batch(reqs, verdicts);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 2) << "index " << i;
+  }
+}
+
+TEST_F(RsBatchSuite, MalformedLengthsLocalizedWithoutDerailingBatch) {
+  auto corpus = make_corpus(*suite_, 5, 4);
+  corpus[1].sig.pop_back();               // wrong signature size
+  corpus[3].kp.public_key.push_back(0);   // wrong public-key size
+  const auto reqs = requests_of(corpus);
+  bool verdicts[5];
+  const FastPathScope scope(true);
+  suite_->verify_batch(reqs, verdicts);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 1 && i != 3) << "index " << i;
+  }
+}
+
+TEST_F(RsBatchSuite, FastPathOffMatchesFastPathOn) {
+  for (std::size_t bad : {std::size_t{0}, std::size_t{5}}) {
+    auto corpus = make_corpus(*suite_, 6, 5);
+    corpus[bad].sig[10] ^= 0x80;
+    const auto reqs = requests_of(corpus);
+    bool fast[6];
+    bool slow[6];
+    {
+      const FastPathScope scope(true);
+      suite_->verify_batch(reqs, fast);
+    }
+    {
+      const FastPathScope scope(false);
+      suite_->verify_batch(reqs, slow);
+    }
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(fast[i], slow[i]) << "bad " << bad << ", index " << i;
+      EXPECT_EQ(fast[i], i != bad);
+    }
+  }
+}
+
+TEST_F(RsBatchSuite, CachingWrapperComposesWithRsBatch) {
+  // The caching suite forwards distinct misses in one inner verify_batch
+  // call, which for the RS suite is the folded equation; repeats come from
+  // the memo. Verdicts must be identical either way.
+  const CachingSuite cached(suite_);
+  auto corpus = make_corpus(*suite_, 6, 6);
+  corpus[4].sig[8] ^= 0x04;
+  auto reqs = requests_of(corpus);
+  reqs.push_back(reqs[0]);  // repeat: second round answered from the memo
+  reqs.push_back(reqs[4]);
+  bool verdicts[8];
+  const FastPathScope scope(true);
+  cached.verify_batch(reqs, verdicts);
+  cached.verify_batch(reqs, verdicts);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(verdicts[i], i != 4 && i != 7) << "index " << i;
+  }
+  EXPECT_GT(cached.stats().verify_hits, 0u);
+}
+
+// Cross-suite differential: the (R,s) and (e,s) suites share keygen and the
+// deterministic nonce derivation, so on the same corpus they must agree on
+// every verdict — including under corruption.
+TEST(CrossSuiteDifferential, VerdictsAgreeOnSameCorpora) {
+  const SuitePtr es = make_schnorr_suite(SchnorrGroup::small_group());
+  const SuitePtr rs = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    auto corpus_es = make_corpus(*es, 8, seed);
+    auto corpus_rs = make_corpus(*rs, 8, seed);
+    for (std::size_t i = 0; i < 8; ++i) {
+      // Same seed -> same keys and messages in both corpora.
+      ASSERT_EQ(corpus_es[i].kp.public_key, corpus_rs[i].kp.public_key);
+      ASSERT_EQ(corpus_es[i].msg, corpus_rs[i].msg);
+    }
+    // Corrupt the same subset of messages in both corpora.
+    Rng corrupt(seed * 97);
+    std::vector<bool> bad(8, false);
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (corrupt.next() % 3 == 0) {
+        bad[i] = true;
+        corpus_es[i].msg[0] ^= 0x55;
+        corpus_rs[i].msg[0] ^= 0x55;
+      }
+    }
+    const auto reqs_es = requests_of(corpus_es);
+    const auto reqs_rs = requests_of(corpus_rs);
+    bool verdict_es[8];
+    bool verdict_rs[8];
+    es->verify_batch(reqs_es, verdict_es);
+    rs->verify_batch(reqs_rs, verdict_rs);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(verdict_es[i], verdict_rs[i]) << "seed " << seed << ", index " << i;
+      EXPECT_EQ(verdict_rs[i], !bad[i]) << "seed " << seed << ", index " << i;
+    }
+  }
+}
+
+TEST(CrossSuiteDifferential, SameTripleDifferentEncoding) {
+  // With identical secrets and messages the two forms sign the very same
+  // (k, e, s) triple; each suite accepts its own encoding and rejects the
+  // other's (the transmitted halves differ).
+  const SuitePtr es = make_schnorr_suite(SchnorrGroup::small_group());
+  const SuitePtr rs = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const KeyPair kp_es = es->keygen(rng_a);
+  const KeyPair kp_rs = rs->keygen(rng_b);
+  ASSERT_EQ(kp_es.public_key, kp_rs.public_key);
+  const Bytes msg = to_bytes("same triple");
+  const Bytes sig_es = es->sign(kp_es.secret_key, msg);
+  const Bytes sig_rs = rs->sign(kp_rs.secret_key, msg);
+  EXPECT_NE(sig_es, sig_rs);
+  // s (second 32 bytes of both encodings) is shared between the two forms.
+  EXPECT_TRUE(std::equal(sig_es.begin() + 32, sig_es.end(), sig_rs.begin() + 32));
+  EXPECT_TRUE(es->verify(kp_es.public_key, msg, sig_es));
+  EXPECT_TRUE(rs->verify(kp_rs.public_key, msg, sig_rs));
+  EXPECT_FALSE(es->verify(kp_es.public_key, msg, sig_rs));
+  EXPECT_FALSE(rs->verify(kp_rs.public_key, msg, sig_es));
+}
+
+TEST(RsSuiteMeta, NameAndSizes) {
+  const SuitePtr rs = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  EXPECT_EQ(rs->name(), "schnorr-zp-rs");
+  EXPECT_EQ(rs->signature_size(), 64u);
+}
+
+}  // namespace
+}  // namespace g2g::crypto

@@ -151,6 +151,101 @@ TEST(FastPathDiff, HeavyHmacMatchesReference) {
   }
 }
 
+// -- Multi-lane SHA-256 compression -------------------------------------------
+
+TEST(FastPathDiff, MultiLaneCompressionBitIdenticalAcrossBackends) {
+  // Every available backend must produce the same states as running the
+  // scalar compression on each lane independently — for any lane count up to
+  // kSha256MaxLanes and for multi-block runs.
+  Rng rng(0x1a9e5);
+  for (std::size_t lanes = 1; lanes <= kSha256MaxLanes; ++lanes) {
+    for (std::size_t blocks_per_lane = 1; blocks_per_lane <= 3; ++blocks_per_lane) {
+      std::vector<Bytes> data(lanes);
+      std::vector<std::array<std::uint32_t, 8>> ref_states(lanes);
+      for (std::size_t ln = 0; ln < lanes; ++ln) {
+        data[ln] = random_bytes(rng, 64 * blocks_per_lane);
+        ref_states[ln] = kSha256InitState;
+        for (std::size_t i = 0; i < 8; ++i) ref_states[ln][i] += static_cast<std::uint32_t>(ln);
+      }
+      // Reference: one scalar call per lane.
+      std::vector<std::array<std::uint32_t, 8>> expect = ref_states;
+      for (std::size_t ln = 0; ln < lanes; ++ln) {
+        std::uint32_t* state = expect[ln].data();
+        const std::uint8_t* block = data[ln].data();
+        sha256_compress_multi(&state, &block, 1, blocks_per_lane,
+                              Sha256MultiBackend::kScalar);
+      }
+      for (const auto backend : {Sha256MultiBackend::kAuto, Sha256MultiBackend::kShaNi,
+                                 Sha256MultiBackend::kAvx2, Sha256MultiBackend::kScalar}) {
+        std::vector<std::array<std::uint32_t, 8>> got = ref_states;
+        std::vector<std::uint32_t*> states;
+        std::vector<const std::uint8_t*> blocks;
+        for (std::size_t ln = 0; ln < lanes; ++ln) {
+          states.push_back(got[ln].data());
+          blocks.push_back(data[ln].data());
+        }
+        sha256_compress_multi(states.data(), blocks.data(), lanes, blocks_per_lane, backend);
+        for (std::size_t ln = 0; ln < lanes; ++ln) {
+          EXPECT_EQ(got[ln], expect[ln])
+              << "backend " << static_cast<int>(backend) << ", lanes " << lanes
+              << ", blocks " << blocks_per_lane << ", lane " << ln;
+        }
+      }
+    }
+  }
+}
+
+TEST(FastPathDiff, HeavyHmacBatchMatchesReferencePerJob) {
+  // Job counts 1..7 cross the lane-group boundary; mixed iteration counts
+  // make lanes retire at different times within a group.
+  Rng rng(0xbadc0de);
+  for (std::size_t jobs = 1; jobs <= 7; ++jobs) {
+    std::vector<Bytes> msgs;
+    std::vector<Bytes> seeds;
+    std::vector<std::uint32_t> iters;
+    std::vector<HeavyHmacJob> views;
+    for (std::size_t j = 0; j < jobs; ++j) {
+      msgs.push_back(random_bytes(rng, 1 + rng.next() % 500));
+      seeds.push_back(random_bytes(rng, 1 + rng.next() % 80));
+      iters.push_back(1 + static_cast<std::uint32_t>(rng.next() % 97));
+    }
+    for (std::size_t j = 0; j < jobs; ++j) {
+      views.push_back(HeavyHmacJob{BytesView(msgs[j]), BytesView(seeds[j]), iters[j]});
+    }
+    for (const bool fast : {true, false}) {
+      const FastPathScope scope(fast);
+      const std::vector<Digest> got = heavy_hmac_batch(views);
+      ASSERT_EQ(got.size(), jobs);
+      for (std::size_t j = 0; j < jobs; ++j) {
+        EXPECT_EQ(got[j], heavy_hmac_reference(msgs[j], seeds[j], iters[j]))
+            << "jobs " << jobs << ", job " << j << ", fast=" << fast;
+      }
+    }
+  }
+}
+
+TEST(FastPathDiff, HeavyHmacBatchBuilderPreservesAddOrder) {
+  Rng rng(0x0b7a1a);
+  HeavyHmacBatch batch;
+  EXPECT_TRUE(batch.empty());
+  std::vector<Bytes> msgs;
+  std::vector<Bytes> seeds;
+  for (std::size_t j = 0; j < 5; ++j) {
+    msgs.push_back(random_bytes(rng, 64 + j));
+    seeds.push_back(random_bytes(rng, 16));
+    EXPECT_EQ(batch.add(msgs[j], seeds[j], 10 + static_cast<std::uint32_t>(j)), j);
+  }
+  EXPECT_EQ(batch.size(), 5u);
+  const std::vector<Digest> out = batch.run();
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(out[j],
+              heavy_hmac_reference(msgs[j], seeds[j], 10 + static_cast<std::uint32_t>(j)))
+        << j;
+  }
+  EXPECT_TRUE(batch.empty());  // run() clears for reuse
+}
+
 // -- Schnorr: fixed-base tables and the engine --------------------------------
 
 TEST(FastPathDiff, FixedBaseTableMatchesPowMod) {
@@ -222,6 +317,37 @@ TEST(FastPathDiff, SchnorrSuiteSignaturesIdenticalFastOnAndOff) {
   EXPECT_EQ(kp_on.secret_key, kp_off.secret_key);
   EXPECT_EQ(sig_on, sig_off);
   // Cross-verify: a signature made on one path verifies on the other.
+  {
+    const FastPathScope scope(false);
+    EXPECT_TRUE(suite->verify(kp_on.public_key, msg, sig_on));
+  }
+  {
+    const FastPathScope scope(true);
+    EXPECT_TRUE(suite->verify(kp_off.public_key, msg, sig_off));
+  }
+}
+
+TEST(FastPathDiff, SchnorrRsSuiteSignaturesIdenticalFastOnAndOff) {
+  const SuitePtr suite = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  Rng rng_on(9);
+  Rng rng_off(9);
+  KeyPair kp_on;
+  KeyPair kp_off;
+  Bytes sig_on;
+  Bytes sig_off;
+  const Bytes msg = to_bytes("por certificate");
+  {
+    const FastPathScope scope(true);
+    kp_on = suite->keygen(rng_on);
+    sig_on = suite->sign(kp_on.secret_key, msg);
+  }
+  {
+    const FastPathScope scope(false);
+    kp_off = suite->keygen(rng_off);
+    sig_off = suite->sign(kp_off.secret_key, msg);
+  }
+  EXPECT_EQ(kp_on.public_key, kp_off.public_key);
+  EXPECT_EQ(sig_on, sig_off);
   {
     const FastPathScope scope(false);
     EXPECT_TRUE(suite->verify(kp_on.public_key, msg, sig_on));
@@ -340,6 +466,28 @@ TEST(FastPathDiff, ExperimentJsonBitIdenticalWithGlobalFastPathOnAndOff) {
     reference = core::to_json(core::run_experiment(diff_config()));
   }
   EXPECT_EQ(fast, reference);
+}
+
+TEST(FastPathDiff, ExperimentJsonBitIdenticalWithRsSuiteBatchOnAndOff) {
+  // With the fast path on, the (R,s) suite folds every audit batch through
+  // the randomized multi-exponentiation; off, each signature is checked
+  // individually. The serialized experiment must not be able to tell.
+  core::ExperimentConfig cfg = diff_config();
+  cfg.suite = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  cfg.sim_window = Duration::hours(1);
+  cfg.traffic_window = Duration::minutes(30.0);
+  cfg.mean_interarrival = Duration::seconds(60.0);
+  std::string batched;
+  std::string per_signature;
+  {
+    const FastPathScope scope(true);
+    batched = core::to_json(core::run_experiment(cfg));
+  }
+  {
+    const FastPathScope scope(false);
+    per_signature = core::to_json(core::run_experiment(cfg));
+  }
+  EXPECT_EQ(batched, per_signature);
 }
 
 }  // namespace

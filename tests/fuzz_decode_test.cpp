@@ -95,6 +95,69 @@ TEST(FuzzDecode, SingleByteMutationsNeverCrash) {
   }
 }
 
+TEST(FuzzDecode, ProofOfMisbehaviorSurvivesJunk) {
+  Rng rng(110);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::ProofOfMisbehavior::decode(b); });
+}
+
+TEST(FuzzDecode, SchnorrRsSignatureSurvivesJunk) {
+  Rng rng(111);
+  expect_no_crash(rng, [](const Bytes& b) { (void)crypto::SchnorrSignatureRS::decode(b); });
+}
+
+TEST(FuzzDecode, PomTruncationsAndMutationsNeverCrash) {
+  Rng rng(112);
+  proto::ProofOfMisbehavior pom;
+  pom.kind = proto::ProofOfMisbehavior::Kind::ChainCheat;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  proto::ProofOfRelay por;
+  por.h.fill(0x2e);
+  por.giver = NodeId(0);
+  por.taker = NodeId(1);
+  por.delegation = true;
+  por.taker_signature = random_bytes(rng, 32);
+  pom.evidence_accepted = por;
+  por.giver = NodeId(1);
+  por.taker = NodeId(2);
+  pom.evidence_forwarded = por;
+  const Bytes valid = pom.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::ProofOfMisbehavior::decode(truncated), DecodeError) << cut;
+  }
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      Bytes mutated = valid;
+      mutated[i] ^= flip;
+      try {
+        (void)proto::ProofOfMisbehavior::decode(mutated);
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+  // The untouched encoding round-trips.
+  EXPECT_EQ(proto::ProofOfMisbehavior::decode(valid).encode(), valid);
+}
+
+TEST(FuzzDecode, EpidemicPorTruncationsNeverCrash) {
+  // The non-delegation encoding omits the delegation-only fields; every
+  // prefix must still be rejected cleanly.
+  Rng rng(113);
+  proto::ProofOfRelay por;
+  por.h.fill(0x4b);
+  por.giver = NodeId(5);
+  por.taker = NodeId(6);
+  por.delegation = false;
+  por.taker_signature = random_bytes(rng, 32);
+  const Bytes valid = por.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::ProofOfRelay::decode(truncated), DecodeError) << cut;
+  }
+  EXPECT_EQ(proto::ProofOfRelay::decode(valid).encode(), valid);
+}
+
 TEST(FuzzDecode, VerifyPomOnRandomEvidenceNeverAccepts) {
   // Random evidence must never produce a verifiable PoM (only properly
   // signed evidence does).

@@ -136,6 +136,203 @@ TEST(SchnorrDh, DistinctPairsDistinctSecrets) {
             dh_shared_secret(g, a.secret, c.public_key));
 }
 
+TEST_F(SchnorrSmall, RsSignVerifyRoundTrip) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("(R,s)-form proof of relay");
+  const SchnorrSignatureRS sig = schnorr_rs_sign(group_, kp.secret, msg, rng_);
+  EXPECT_TRUE(schnorr_rs_verify(group_, kp.public_key, msg, sig));
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, tampered, sig));
+}
+
+TEST_F(SchnorrSmall, RsAndClassicFormsShareTheTriple) {
+  // Same secret and same nonce draws: the (R,s) signature is the same
+  // (k, e, s) triple as the (e,s) one — R reconstructed from (e,s) must match
+  // the transmitted R, and the hashes of R must match the transmitted e.
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("one triple, two encodings");
+  Rng nonce_a(77);
+  Rng nonce_b(77);
+  const SchnorrSignature es = schnorr_sign(group_, kp.secret, msg, nonce_a);
+  const SchnorrSignatureRS rs = schnorr_rs_sign(group_, kp.secret, msg, nonce_b);
+  EXPECT_EQ(es.s, rs.s);
+  const U256 r_from_es = mul_mod(pow_mod(group_.g, es.s, group_.p),
+                                 pow_mod(kp.public_key, es.e, group_.p), group_.p);
+  EXPECT_EQ(r_from_es, rs.r);
+}
+
+TEST_F(SchnorrSmall, RsTamperedAndOutOfRangeRejected) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("msg");
+  const SchnorrSignatureRS sig = schnorr_rs_sign(group_, kp.secret, msg, rng_);
+  SchnorrSignatureRS bad_r = sig;
+  bad_r.r = mul_mod(bad_r.r, group_.g, group_.p);
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, msg, bad_r));
+  SchnorrSignatureRS bad_s = sig;
+  bad_s.s = add_mod(bad_s.s, U256(1), group_.q);
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, msg, bad_s));
+  SchnorrSignatureRS oor = sig;
+  oor.s = group_.q;
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, msg, oor));
+  oor = sig;
+  oor.r = group_.p;
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, msg, oor));
+  oor = sig;
+  oor.r = U256(0);
+  EXPECT_FALSE(schnorr_rs_verify(group_, kp.public_key, msg, oor));
+}
+
+TEST_F(SchnorrSmall, RsEncodingRoundTrip) {
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const SchnorrSignatureRS sig = schnorr_rs_sign(group_, kp.secret, to_bytes("x"), rng_);
+  const Bytes enc = sig.encode();
+  EXPECT_EQ(enc.size(), 64u);
+  const SchnorrSignatureRS dec = SchnorrSignatureRS::decode(enc);
+  EXPECT_EQ(dec.r, sig.r);
+  EXPECT_EQ(dec.s, sig.s);
+  EXPECT_THROW((void)SchnorrSignatureRS::decode(Bytes(65, 0)), DecodeError);
+}
+
+TEST_F(SchnorrSmall, MultiExpMatchesPowModProducts) {
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<MultiExpTerm> terms;
+    U256 expect(1);
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 5);
+    for (std::size_t i = 0; i < n; ++i) {
+      const U256 base = add_mod(random_below(rng_, sub_mod(group_.p, U256(2), group_.p)),
+                                U256(2), group_.p);
+      const U256 exp = random_below(rng_, group_.q);
+      terms.push_back(MultiExpTerm{base, exp});
+      expect = mul_mod(expect, pow_mod(base, exp, group_.p), group_.p);
+    }
+    EXPECT_EQ(multi_exp(terms, group_.p), expect);
+  }
+}
+
+TEST_F(SchnorrSmall, MultiExpEdgeCases) {
+  EXPECT_EQ(multi_exp({}, group_.p), U256(1));
+  const std::vector<MultiExpTerm> zero_exp = {{group_.g, U256(0)}};
+  EXPECT_EQ(multi_exp(zero_exp, group_.p), U256(1));
+  const std::vector<MultiExpTerm> one = {{group_.g, U256(1)}};
+  EXPECT_EQ(multi_exp(one, group_.p), group_.g);
+}
+
+TEST_F(SchnorrSmall, EngineRsMatchesFreeFunctions) {
+  const SchnorrEngine engine(group_);
+  const SchnorrKeyPair kp = schnorr_keygen(group_, rng_);
+  const Bytes msg = to_bytes("engine vs free fn");
+  Rng nonce_a(5);
+  Rng nonce_b(5);
+  const SchnorrSignatureRS a = schnorr_rs_sign(group_, kp.secret, msg, nonce_a);
+  const SchnorrSignatureRS b = engine.sign_rs(kp.secret, msg, nonce_b);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.s, b.s);
+  EXPECT_TRUE(engine.verify_rs(kp.public_key, msg, a));
+}
+
+class SchnorrRsBatch : public ::testing::Test {
+ protected:
+  struct Signed {
+    SchnorrKeyPair kp;
+    Bytes msg;
+    SchnorrSignatureRS sig;
+  };
+
+  std::vector<Signed> make_corpus(std::size_t n) {
+    std::vector<Signed> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      Signed item;
+      item.kp = schnorr_keygen(group_, rng_);
+      Writer w;
+      w.str("batch-msg");
+      w.u32(static_cast<std::uint32_t>(i));
+      item.msg = std::move(w).take();
+      item.sig = schnorr_rs_sign(group_, item.kp.secret, item.msg, rng_);
+      out.push_back(std::move(item));
+    }
+    return out;
+  }
+
+  static std::vector<SchnorrRSVerifyItem> views(const std::vector<Signed>& corpus) {
+    std::vector<SchnorrRSVerifyItem> items;
+    for (const auto& c : corpus) {
+      items.push_back(SchnorrRSVerifyItem{c.kp.public_key, BytesView(c.msg), c.sig});
+    }
+    return items;
+  }
+
+  const SchnorrGroup& group_ = SchnorrGroup::small_group();
+  SchnorrEngine engine_{group_};
+  Rng rng_{0xba7c4};
+};
+
+TEST_F(SchnorrRsBatch, AllValidBatchesVerify) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{16}}) {
+    const auto corpus = make_corpus(n);
+    EXPECT_TRUE(engine_.verify_batch_rs(views(corpus))) << "n=" << n;
+  }
+}
+
+TEST_F(SchnorrRsBatch, AnySingleForgeryRejectsTheBatch) {
+  const auto corpus = make_corpus(6);
+  for (std::size_t bad = 0; bad < corpus.size(); ++bad) {
+    auto items = views(corpus);
+    SchnorrSignatureRS forged = items[bad].sig;
+    forged.s = add_mod(forged.s, U256(1), group_.q);
+    items[bad].sig = forged;
+    EXPECT_FALSE(engine_.verify_batch_rs(items)) << "forged index " << bad;
+  }
+}
+
+TEST_F(SchnorrRsBatch, SwappedMessagesRejectTheBatch) {
+  auto corpus = make_corpus(4);
+  auto items = views(corpus);
+  std::swap(items[1].message, items[2].message);
+  EXPECT_FALSE(engine_.verify_batch_rs(items));
+}
+
+TEST_F(SchnorrRsBatch, StructurallyInvalidItemsRejectTheBatch) {
+  auto corpus = make_corpus(3);
+  {
+    auto items = views(corpus);
+    items[1].sig.s = group_.q;
+    EXPECT_FALSE(engine_.verify_batch_rs(items));
+  }
+  {
+    auto items = views(corpus);
+    items[2].sig.r = U256(0);
+    EXPECT_FALSE(engine_.verify_batch_rs(items));
+  }
+  {
+    auto items = views(corpus);
+    items[0].public_key = U256(0);
+    EXPECT_FALSE(engine_.verify_batch_rs(items));
+  }
+}
+
+TEST_F(SchnorrRsBatch, BatchVerdictMatchesPerSignatureOnRandomCorpora) {
+  // Randomly corrupt some items; the batch must accept iff every item
+  // verifies individually.
+  for (int trial = 0; trial < 10; ++trial) {
+    auto corpus = make_corpus(5);
+    bool all_valid = true;
+    for (auto& c : corpus) {
+      if (rng_.next() % 3 == 0) {
+        c.sig.s = add_mod(c.sig.s, U256(1 + rng_.next() % 5), group_.q);
+        all_valid = false;
+      }
+    }
+    bool per_sig = true;
+    for (const auto& c : corpus) {
+      per_sig = per_sig && schnorr_rs_verify(group_, c.kp.public_key, c.msg, c.sig);
+    }
+    EXPECT_EQ(per_sig, all_valid);
+    EXPECT_EQ(engine_.verify_batch_rs(views(corpus)), all_valid) << "trial " << trial;
+  }
+}
+
 TEST(SchnorrDefaultGroup, SignVerifyOnDefaultGroup) {
   const SchnorrGroup& g = SchnorrGroup::default_group();
   Rng rng(11);

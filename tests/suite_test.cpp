@@ -16,6 +16,9 @@ class SuiteTest : public ::testing::TestWithParam<const char*> {
     if (std::string(GetParam()) == "schnorr") {
       return make_schnorr_suite(SchnorrGroup::small_group());
     }
+    if (std::string(GetParam()) == "schnorr-rs") {
+      return make_schnorr_rs_suite(SchnorrGroup::small_group());
+    }
     return make_fast_suite(0x5eed);
   }
 };
@@ -109,8 +112,15 @@ TEST_P(SuiteTest, DistinctKeygens) {
   EXPECT_NE(a.secret_key, b.secret_key);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothSuites, SuiteTest, ::testing::Values("schnorr", "fast"),
-                         [](const auto& info) { return std::string(info.param); });
+INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteTest,
+                         ::testing::Values("schnorr", "schnorr-rs", "fast"),
+                         [](const auto& info) {
+                           std::string name(info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 TEST(FastSuite, DifferentSeedsCannotCrossVerify) {
   // A signature made under one suite seed must not verify under another:

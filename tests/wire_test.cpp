@@ -213,6 +213,144 @@ TEST_F(WireTest, PomEncodingProducesReasonableSizes) {
   EXPECT_LT(pom.wire_size(), 1024u);
 }
 
+TEST_F(WireTest, WireSizeMatchesEncodedSizeForAllArtefacts) {
+  // wire_size() is computed arithmetically (no throwaway encode); it must
+  // agree with the actual encoding for every artefact shape.
+  const QualityDeclaration decl = make_decl(2, 3, 7.5);
+  EXPECT_EQ(decl.wire_size(), decl.encode().size());
+
+  for (const bool delegation : {false, true}) {
+    const ProofOfRelay por = make_por(0, 1, delegation, 2.0, 5.0);
+    EXPECT_EQ(por.wire_size(), por.encode().size()) << "delegation=" << delegation;
+  }
+
+  ProofOfMisbehavior relay_failure;
+  relay_failure.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  relay_failure.culprit = NodeId(1);
+  relay_failure.accuser = NodeId(0);
+  relay_failure.evidence_accepted = make_por(0, 1);
+  EXPECT_EQ(relay_failure.wire_size(), relay_failure.encode().size());
+
+  ProofOfMisbehavior quality_lie;
+  quality_lie.kind = ProofOfMisbehavior::Kind::QualityLie;
+  quality_lie.culprit = NodeId(2);
+  quality_lie.accuser = NodeId(3);
+  quality_lie.evidence_declaration = make_decl(2, 3, 0.0);
+  EXPECT_EQ(quality_lie.wire_size(), quality_lie.encode().size());
+
+  ProofOfMisbehavior chain_cheat;
+  chain_cheat.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  chain_cheat.culprit = NodeId(1);
+  chain_cheat.accuser = NodeId(0);
+  chain_cheat.evidence_accepted = make_por(0, 1, true, 2.0, 5.0);
+  chain_cheat.evidence_forwarded = make_por(1, 2, true, 0.0, 7.0);
+  EXPECT_EQ(chain_cheat.wire_size(), chain_cheat.encode().size());
+}
+
+TEST_F(WireTest, PorWireSizeConditionalOnDelegation) {
+  // Regression: epidemic PoRs must not pay for the delegation-only fields
+  // (declared_dst, msg_quality, taker_quality, quality_frame). With the
+  // 32-byte fast-suite signature the two shapes pin to exact sizes.
+  const ProofOfRelay epidemic = make_por(0, 1, false);
+  const ProofOfRelay delegation = make_por(0, 1, true, 2.0, 5.0);
+  ASSERT_EQ(epidemic.taker_signature.size(), 32u);
+  EXPECT_EQ(epidemic.encode().size(), 85u);
+  EXPECT_EQ(delegation.encode().size(), 113u);
+  EXPECT_EQ(delegation.encode().size() - epidemic.encode().size(), 4u + 8u + 8u + 8u);
+}
+
+TEST_F(WireTest, EpidemicPorRoundTripDropsNoFields) {
+  const ProofOfRelay por = make_por(2, 3, false);
+  const ProofOfRelay decoded = ProofOfRelay::decode(por.encode());
+  EXPECT_EQ(decoded.h, por.h);
+  EXPECT_EQ(decoded.giver, por.giver);
+  EXPECT_EQ(decoded.taker, por.taker);
+  EXPECT_EQ(decoded.at, por.at);
+  EXPECT_FALSE(decoded.delegation);
+  EXPECT_EQ(decoded.taker_signature, por.taker_signature);
+  // Delegation-only fields come back as their defaults.
+  EXPECT_EQ(decoded.declared_dst, NodeId());
+  EXPECT_DOUBLE_EQ(decoded.msg_quality, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.taker_quality, 0.0);
+  EXPECT_EQ(decoded.quality_frame, -1);
+  // The signature still verifies after the round trip.
+  EXPECT_TRUE(suite_->verify(identities_[3].certificate().public_key,
+                             decoded.signed_payload(), decoded.taker_signature));
+}
+
+TEST_F(WireTest, PomDecodeRoundTripsAllKinds) {
+  ProofOfMisbehavior relay_failure;
+  relay_failure.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  relay_failure.culprit = NodeId(1);
+  relay_failure.accuser = NodeId(0);
+  relay_failure.at = TimePoint::from_seconds(123.0);
+  relay_failure.evidence_accepted = make_por(0, 1);
+
+  ProofOfMisbehavior quality_lie;
+  quality_lie.kind = ProofOfMisbehavior::Kind::QualityLie;
+  quality_lie.culprit = NodeId(2);
+  quality_lie.accuser = NodeId(3);
+  quality_lie.evidence_declaration = make_decl(2, 3, 0.0);
+
+  ProofOfMisbehavior chain_cheat;
+  chain_cheat.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  chain_cheat.culprit = NodeId(1);
+  chain_cheat.accuser = NodeId(0);
+  chain_cheat.evidence_accepted = make_por(0, 1, true, 2.0, 5.0);
+  chain_cheat.evidence_forwarded = make_por(1, 2, true, 0.0, 7.0);
+
+  for (const auto* pom : {&relay_failure, &quality_lie, &chain_cheat}) {
+    const ProofOfMisbehavior decoded = ProofOfMisbehavior::decode(pom->encode());
+    EXPECT_EQ(decoded.kind, pom->kind);
+    EXPECT_EQ(decoded.culprit, pom->culprit);
+    EXPECT_EQ(decoded.accuser, pom->accuser);
+    EXPECT_EQ(decoded.at, pom->at);
+    EXPECT_EQ(decoded.encode(), pom->encode());
+    // Decoded accusations still verify: decode loses no signed material.
+    EXPECT_EQ(verify_pom(*suite_, roster_, decoded), verify_pom(*suite_, roster_, *pom));
+  }
+}
+
+TEST_F(WireTest, PomDecodeRejectsMalformedAccusations) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(1);
+  pom.accuser = NodeId(0);
+  pom.evidence_accepted = make_por(0, 1);
+  const Bytes good = pom.encode();
+  ASSERT_NO_THROW((void)ProofOfMisbehavior::decode(good));
+
+  // Unknown kind byte.
+  Bytes bad = good;
+  bad[0] = 3;
+  EXPECT_THROW((void)ProofOfMisbehavior::decode(bad), DecodeError);
+
+  // Evidence presence flag that is neither 0 nor 1 (offset 17: after
+  // kind + culprit + accuser + at).
+  bad = good;
+  bad[17] = 2;
+  EXPECT_THROW((void)ProofOfMisbehavior::decode(bad), DecodeError);
+
+  // Trailing garbage.
+  bad = good;
+  bad.push_back(0);
+  EXPECT_THROW((void)ProofOfMisbehavior::decode(bad), DecodeError);
+
+  // Evidence shape not matching the kind: a RelayFailure accusation must
+  // carry exactly the accepted PoR.
+  ProofOfMisbehavior wrong_shape = pom;
+  wrong_shape.evidence_declaration = make_decl(2, 3, 0.0);
+  EXPECT_THROW((void)ProofOfMisbehavior::decode(wrong_shape.encode()), DecodeError);
+
+  ProofOfMisbehavior missing_evidence;
+  missing_evidence.kind = ProofOfMisbehavior::Kind::ChainCheat;
+  missing_evidence.culprit = NodeId(1);
+  missing_evidence.accuser = NodeId(0);
+  missing_evidence.evidence_accepted = make_por(0, 1, true);
+  // ChainCheat without the forwarded PoR.
+  EXPECT_THROW((void)ProofOfMisbehavior::decode(missing_evidence.encode()), DecodeError);
+}
+
 TEST_F(WireTest, MinQualityOrdering) {
   EXPECT_EQ(min_quality(QualityKind::DestinationFrequency), 0.0);
   EXPECT_EQ(min_quality(QualityKind::DestinationLastContact), kNeverMet);
