@@ -1,11 +1,23 @@
 // Micro-benchmarks of the protocol layer: sealed-message creation/opening,
-// PoR/PoM signing and verification, and a single full contact (relay phase)
-// under each signature suite.
+// PoR/PoM signing and verification, and the relay core's hot paths — wire
+// frame codecs (frames/sec), one full 5-step handshake, the audit storage
+// proof (audits/sec), and the batched PoM gossip re-verification — with the
+// crypto fast path on and off.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/schnorr.hpp"
+#include "g2g/metrics/collector.hpp"
+#include "g2g/obs/context.hpp"
+#include "g2g/proto/g2g_epidemic.hpp"
 #include "g2g/proto/message.hpp"
+#include "g2g/proto/network.hpp"
+#include "g2g/proto/relay/frames.hpp"
+#include "g2g/proto/relay/pom.hpp"
 #include "g2g/proto/wire.hpp"
+#include "g2g/trace/contact.hpp"
 
 namespace {
 
@@ -118,6 +130,168 @@ void BM_PorEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PorEncodeDecode);
+
+// -- relay core -------------------------------------------------------------
+
+QualityDeclaration make_declaration(Fixture& f, std::uint32_t declarer, double value) {
+  QualityDeclaration decl;
+  decl.declarer = NodeId(declarer);
+  decl.dst = NodeId(3);
+  decl.value = value;
+  decl.frame = 5;
+  decl.at = TimePoint::from_seconds(60.0);
+  decl.signature = f.identities[declarer].sign(decl.signed_payload());
+  return decl;
+}
+
+void BM_FrameSmallRoundTrips(benchmark::State& state) {
+  MessageHash h;
+  h.fill(0x21);
+  relay::KeyRevealFrame key;
+  key.h = h;
+  key.key.fill(0x07);
+  relay::PorRqstFrame rqst;
+  rqst.h = h;
+  rqst.seed.fill(0x0B);
+  relay::StoredRespFrame stored;
+  stored.h = h;
+  stored.seed.fill(0x0C);
+  stored.digest.fill(0x0D);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relay::RelayRqstFrame::decode(relay::RelayRqstFrame{h}.encode()));
+    benchmark::DoNotOptimize(relay::KeyRevealFrame::decode(key.encode()));
+    benchmark::DoNotOptimize(relay::PorRqstFrame::decode(rqst.encode()));
+    benchmark::DoNotOptimize(relay::StoredRespFrame::decode(stored.encode()));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_FrameSmallRoundTrips);
+
+void BM_FrameRelayDataRoundTrip(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  relay::RelayDataFrame frame;
+  frame.msg = make_message(f.identities[0], f.roster.get(NodeId(1)), MessageId(77),
+                           Bytes(64, 0x42), f.rng);
+  frame.h = frame.msg.hash();
+  frame.attachments.push_back(make_declaration(f, 1, 2.5));
+  frame.attachments.push_back(make_declaration(f, 2, 4.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(relay::RelayDataFrame::decode(frame.encode()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameRelayDataRoundTrip);
+
+/// A tiny Network whose event loop never runs: node 0 holds one message for a
+/// far-away destination, and the bench drives sessions by hand. kTakers
+/// distinct fresh takers are available before a world must be rebuilt.
+struct RelayWorld {
+  static constexpr std::uint32_t kTakers = 512;
+
+  metrics::Collector collector;
+  trace::ContactTrace trace;
+  std::unique_ptr<Network<G2GEpidemicNode>> net;
+  MessageHash h{};
+
+  explicit RelayWorld(std::uint32_t heavy_iterations = 64) {
+    // One far-future contact pads the node universe; the bench never runs
+    // the simulator, so it only fixes node_count.
+    trace.add(NodeId(kTakers + 1), NodeId(kTakers + 2), TimePoint::from_seconds(9.0e8),
+              TimePoint::from_seconds(9.0e8 + 1.0));
+    trace.finalize();
+    NetworkConfig cfg;
+    cfg.node.delta1 = Duration::minutes(30);
+    cfg.node.delta2 = Duration::minutes(60);
+    cfg.node.heavy_hmac_iterations = heavy_iterations;
+    cfg.horizon = TimePoint::from_seconds(4.0 * 3600.0);
+    net = std::make_unique<Network<G2GEpidemicNode>>(trace, std::move(cfg),
+                                                     std::vector<BehaviorConfig>{}, collector);
+    Rng rng(17);
+    G2GEpidemicNode& src = net->node(NodeId(0));
+    const SealedMessage m = make_message(src.identity(), net->roster().get(NodeId(kTakers + 1)),
+                                         MessageId(1), Bytes(64, 0x42), rng);
+    h = m.hash();
+    src.generate(m);
+  }
+};
+
+/// One full 5-step handshake (RELAY_RQST .. KEY reveal, PoR verified) against
+/// a fresh taker each iteration.
+void BM_HandshakeRelayPass(benchmark::State& state) {
+  const bool prev = crypto::set_fast_path(state.range(0) != 0);
+  auto world = std::make_unique<RelayWorld>();
+  std::uint32_t next = 1;
+  for (auto _ : state) {
+    if (next > RelayWorld::kTakers) {
+      state.PauseTiming();
+      world = std::make_unique<RelayWorld>();
+      next = 1;
+      state.ResumeTiming();
+    }
+    G2GEpidemicNode& giver = world->net->node(NodeId(0));
+    G2GEpidemicNode& taker = world->net->node(NodeId(next++));
+    Session s(*world->net, giver, taker);
+    giver.handshake().giver_pass(s, taker);
+  }
+  crypto::set_fast_path(prev);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HandshakeRelayPass)->ArgName("fastpath")->Arg(1)->Arg(0);
+
+/// The relay side of one POR_RQST challenge: no PoRs to present, so every
+/// audit recomputes the heavy-HMAC storage proof (paper-grade chain length).
+void BM_AuditStorageProof(benchmark::State& state) {
+  const bool prev = crypto::set_fast_path(state.range(0) != 0);
+  RelayWorld world(/*heavy_iterations=*/1024);
+  G2GEpidemicNode& src = world.net->node(NodeId(0));
+  G2GEpidemicNode& relay_node = world.net->node(NodeId(1));
+  {
+    Session s(*world.net, src, relay_node);
+    src.handshake().giver_pass(s, relay_node);
+  }
+  const Bytes seed(32, 0xAB);
+  for (auto _ : state) {
+    Session s(*world.net, src, relay_node);
+    benchmark::DoNotOptimize(relay_node.respond_test(s, world.h, seed));
+  }
+  crypto::set_fast_path(prev);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditStorageProof)->ArgName("fastpath")->Arg(1)->Arg(0);
+
+/// Re-verification of one session's gossiped PoMs: dedup by canonical bytes,
+/// structural checks, one Suite::verify_batch over the unique evidence.
+void BM_PomGossipBatchVerify(benchmark::State& state) {
+  RelayWorld world;
+  constexpr std::uint32_t kPoms = 16;
+  G2GEpidemicNode& giver = world.net->node(NodeId(0));
+  G2GEpidemicNode& receiver = world.net->node(NodeId(1));
+  for (std::uint32_t c = 0; c < kPoms; ++c) {
+    const NodeId culprit(2 + c);
+    ProofOfRelay por;
+    por.h.fill(static_cast<std::uint8_t>(c + 1));
+    por.giver = giver.id();
+    por.taker = culprit;
+    por.at = TimePoint::from_seconds(10.0);
+    por.taker_signature = world.net->node(culprit).identity().sign(por.signed_payload());
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = culprit;
+    pom.accuser = giver.id();
+    pom.evidence_accepted = std::move(por);
+    giver.pom_ledger().record(std::move(pom));
+  }
+  relay::PomGossipBatch batch;
+  batch.collect(giver, receiver);
+  obs::ProtocolCounters& counters = world.net->obs().counters;
+  const Roster& roster = world.net->roster();
+  const crypto::Suite& suite = giver.identity().suite();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.verify(suite, roster, counters));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_PomGossipBatchVerify);
 
 }  // namespace
 

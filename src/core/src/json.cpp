@@ -123,7 +123,13 @@ std::string registry_json(const obs::Registry& registry, bool include_fastpath) 
   o << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : registry.counters()) {
-    if (!include_fastpath && name.rfind("fastpath.", 0) == 0) continue;
+    // Mechanism counters (cache hit rates, frame codec traffic, batch sizes)
+    // describe how the run was computed, not what it computed; excluding them
+    // keeps this serialization a bit-identity oracle across such rewirings.
+    if (!include_fastpath &&
+        (name.rfind("fastpath.", 0) == 0 || name.rfind("g2g.", 0) == 0)) {
+      continue;
+    }
     if (!first) o << ",";
     first = false;
     o << "\"" << json_escape(name) << "\":" << counter.value();

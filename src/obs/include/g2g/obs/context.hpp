@@ -72,6 +72,15 @@ struct ProtocolCounters {
   Counter* poms_learned;
   Counter* evictions;
 
+  // Relay-core mechanism counters ("g2g.*"). They describe how the run was
+  // computed (frame codec traffic, batched PoM re-verification), not what it
+  // computed, so core::to_json(ExperimentResult) excludes them alongside the
+  // fastpath.* cache counters.
+  Counter* pom_gossip_dup;      ///< gossiped PoMs deduped before re-verification
+  Counter* pom_batch_verified;  ///< unique PoMs re-verified through verify_batch
+  Counter* frames_encoded;      ///< handshake/audit frames encoded
+  Counter* frames_decoded;      ///< handshake/audit frames decoded
+
   // Message lifecycle.
   Counter* generated;
   Counter* relays;

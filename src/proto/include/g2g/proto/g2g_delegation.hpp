@@ -1,6 +1,7 @@
 // Give2Get Delegation Forwarding (Sections VI–VII).
 //
-// Builds on the G2G Epidemic machinery and adds:
+// Builds on the G2G relay core (relay/handshake.hpp, relay/audit.hpp) and
+// adds the delegation policy:
 //  * signed forwarding-quality declarations (FQ_RQST/FQ_RESP, Fig. 6) with
 //    values computed over the last *completed* timeframe, so that the
 //    destination can later cross-check them;
@@ -13,47 +14,33 @@
 //  * test by the destination: the source embeds the last two signed
 //    declarations of candidates that failed to qualify; the destination
 //    verifies them against its own symmetric records (catches *liars*).
+//
+// The handshake middle (steps 8–11) is the relay_attempt() hook; the
+// delegation-only bookkeeping (encounter table, per-message destination
+// records, chain check, test by the destination) rides the RelayNode hooks.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
-#include "g2g/crypto/hmac.hpp"
-#include "g2g/proto/node.hpp"
 #include "g2g/proto/quality.hpp"
+#include "g2g/proto/relay/relay_node.hpp"
 
 namespace g2g::proto {
 
-class G2GDelegationNode final : public ProtocolNode {
+class G2GDelegationNode final : public relay::RelayNode {
  public:
   G2GDelegationNode(Env& env, crypto::NodeIdentity identity, NodeConfig config,
                     BehaviorConfig behavior);
 
-  void generate(const SealedMessage& m);
-  static void run_contact(Session& s, G2GDelegationNode& x, G2GDelegationNode& y);
+  static void run_contact(Session& s, G2GDelegationNode& x, G2GDelegationNode& y) {
+    run_contact_impl(s, x, y);
+  }
 
   void note_encounter(NodeId peer, TimePoint t) override;
 
-  // Introspection (tests).
-  [[nodiscard]] bool stores_message(const MessageHash& h) const;
-  [[nodiscard]] std::size_t por_count(const MessageHash& h) const;
-  [[nodiscard]] bool has_handled(const MessageHash& h) const { return handled_.contains(h); }
   [[nodiscard]] const EncounterTable& table() const { return table_; }
-  [[nodiscard]] std::size_t pending_test_count() const;
-
-  struct TestResponse {
-    std::vector<ProofOfRelay> pors;
-    std::optional<crypto::Digest> stored_hmac;
-    /// Deferred storage proof: index into the caller's HeavyHmacBatch.
-    std::optional<std::size_t> stored_job;
-  };
-  /// With `defer` set, a storage proof is queued into the batch instead of
-  /// computed inline (see G2GEpidemicNode::respond_test).
-  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed,
-                                          crypto::HeavyHmacBatch* defer = nullptr);
 
   /// Step 9: answer an FQ_RQST about destination `dst` for message `h`;
   /// nullopt declines (message already handled). Liars declare value 0.
@@ -61,48 +48,30 @@ class G2GDelegationNode final : public ProtocolNode {
                                                              G2GDelegationNode& giver,
                                                              const MessageHash& h, NodeId dst);
 
+ protected:
+  /// Steps 8–11 of Fig. 6: FQ_RQST/FQ_RESP negotiation with the decoy rule,
+  /// the quality gate, RELAY with embedded declarations, the delegation PoR.
+  std::optional<relay::HandshakeOutcome> relay_attempt(Session& s, relay::RelayNode& taker,
+                                                       const MessageHash& h,
+                                                       relay::Hold& hold) override;
+  double source_fm(const SealedMessage& m) override;
+  void on_generate(const SealedMessage& m) override;
+  void on_hold_erased(const MessageHash& h) override;
+  void on_delivered(Session& s,
+                    const std::vector<QualityDeclaration>& attachments) override;
+  bool begin_test(relay::PendingTest& t, NodeId& real_dst) override;
+  bool screen_pors(const relay::PendingTest& t, const std::vector<ProofOfRelay>& pors,
+                   NodeId real_dst, TimePoint now) override;
+
  private:
-  struct Hold {
-    SealedMessage msg;
-    bool has_msg = false;
-    std::size_t msg_bytes = 0;
-    double fm = 0.0;  // quality label; changed only when forwarded
-    TimePoint received;
-    TimePoint expires;  // stop seeking relays past this point
-    NodeId giver;
-    bool is_source = false;
-    bool is_destination = false;
-    std::vector<ProofOfRelay> pors;
-    std::vector<QualityDeclaration> attachments;       // carried toward D
-    std::deque<QualityDeclaration> failed_candidates;  // source only, last 2
-  };
-
-  struct PendingTest {
-    MessageHash h{};
-    NodeId relay;
-    TimePoint relayed_at;
-    ProofOfRelay por;  // signed by the relay; contains f_AD
-    bool done = false;
-  };
-
-  void purge(TimePoint now);
-  void run_tests(Session& s, G2GDelegationNode& peer);
-  void giver_pass(Session& s, G2GDelegationNode& taker);
-  void complete_relay(Session& s, G2GDelegationNode& giver, const SealedMessage& m,
-                      double new_fm, TimePoint expires,
-                      const std::vector<QualityDeclaration>& attachments);
   /// Test by the destination: cross-check embedded declarations.
   void check_attachments(Session& s, const std::vector<QualityDeclaration>& attachments);
   /// Sender chain check over a relay's presented PoRs; issues a PoM and
   /// returns false on a detected cheat.
-  bool chain_check(const PendingTest& t, const std::vector<ProofOfRelay>& pors,
+  bool chain_check(const relay::PendingTest& t, const std::vector<ProofOfRelay>& pors,
                    NodeId real_dst, TimePoint now);
-  void drop_payload(Hold& hold);
   [[nodiscard]] NodeId random_decoy(NodeId not_this) const;
 
-  std::map<MessageHash, Hold> hold_;
-  std::set<MessageHash> handled_;
-  std::vector<PendingTest> tests_;
   /// Ground truth the source needs for chain checks: real destination per
   /// message it originated.
   std::map<MessageHash, NodeId> my_message_dst_;

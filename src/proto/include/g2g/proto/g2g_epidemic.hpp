@@ -14,82 +14,36 @@
 //    (Delta1, Delta2]: either show the PoRs, or prove continued storage by
 //    computing a heavy keyed HMAC on a fresh seed. Failure yields a proof of
 //    misbehaviour (the PoR the culprit signed), gossiped network-wide.
+//
+// The machinery lives in the relay core (relay/handshake.hpp, relay/audit.hpp,
+// relay/pom.hpp); this class supplies only the epidemic policy: the offer /
+// accept middle of the handshake, driven through RELAY_RQST / RELAY_OK /
+// RELAY_DATA frames.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
-#include <vector>
 
-#include "g2g/crypto/hmac.hpp"
-#include "g2g/proto/node.hpp"
+#include "g2g/proto/relay/relay_node.hpp"
 
 namespace g2g::proto {
 
-class G2GEpidemicNode final : public ProtocolNode {
+class G2GEpidemicNode final : public relay::RelayNode {
  public:
-  using ProtocolNode::ProtocolNode;
+  G2GEpidemicNode(Env& env, crypto::NodeIdentity identity, NodeConfig config,
+                  BehaviorConfig behavior)
+      : relay::RelayNode(env, std::move(identity), config, behavior,
+                         relay::AuditEngine::PresentMode::PorsOrStorage) {}
 
-  void generate(const SealedMessage& m);
-  static void run_contact(Session& s, G2GEpidemicNode& x, G2GEpidemicNode& y);
+  static void run_contact(Session& s, G2GEpidemicNode& x, G2GEpidemicNode& y) {
+    run_contact_impl(s, x, y);
+  }
 
-  // Introspection (tests).
-  [[nodiscard]] bool stores_message(const MessageHash& h) const;
-  [[nodiscard]] std::size_t por_count(const MessageHash& h) const;
-  [[nodiscard]] bool has_handled(const MessageHash& h) const { return handled_.contains(h); }
-  [[nodiscard]] std::size_t pending_test_count() const;
-
-  /// Response to a POR_RQST challenge (public so tests can drive it directly).
-  struct TestResponse {
-    std::vector<ProofOfRelay> pors;
-    std::optional<crypto::Digest> stored_hmac;  // heavy HMAC over (m, seed)
-    /// Deferred storage proof: index of the chain queued into the caller's
-    /// HeavyHmacBatch instead of an eager stored_hmac digest.
-    std::optional<std::size_t> stored_job;
-  };
-  /// With `defer` set, a storage proof is queued into the batch (stored_job)
-  /// rather than computed inline, so the audit loop can run every chain of a
-  /// contact in parallel SHA-256 lanes; all byte accounting, counters, and
-  /// trace events stay at challenge time either way.
-  [[nodiscard]] TestResponse respond_test(Session& s, const MessageHash& h, BytesView seed,
-                                          crypto::HeavyHmacBatch* defer = nullptr);
-
- private:
-  struct Hold {
-    SealedMessage msg;
-    bool has_msg = false;  // payload still stored (PoRs may outlive it)
-    std::size_t msg_bytes = 0;
-    TimePoint received;
-    TimePoint expires;  // stop seeking relays past this point
-    NodeId giver;
-    bool is_source = false;
-    bool is_destination = false;
-    std::vector<ProofOfRelay> pors;
-  };
-
-  struct PendingTest {
-    MessageHash h{};
-    NodeId relay;
-    TimePoint relayed_at;
-    ProofOfRelay por;  // the PoR the relay signed for us
-    bool done = false;
-  };
-
-  void purge(TimePoint now);
-  void run_tests(Session& s, G2GEpidemicNode& peer);
-  void giver_pass(Session& s, G2GEpidemicNode& taker);
-  /// Taker side of the relay phase, steps 2/4; returns the signed PoR, or
-  /// nullopt if the taker declines (already handled the message).
-  [[nodiscard]] std::optional<ProofOfRelay> accept_relay(Session& s, G2GEpidemicNode& giver,
-                                                         const MessageHash& h);
-  /// Taker side after the key reveal (step 5): store / deliver / drop.
-  void complete_relay(Session& s, G2GEpidemicNode& giver, const SealedMessage& m,
-                      TimePoint expires);
-  void drop_payload(Hold& hold);
-
-  std::map<MessageHash, Hold> hold_;
-  std::set<MessageHash> handled_;
-  std::vector<PendingTest> tests_;  // source role only
+ protected:
+  /// Steps 1–4 of Fig. 1: offer H(m), let the taker answer and countersign,
+  /// account E_k(m), verify the PoR.
+  std::optional<relay::HandshakeOutcome> relay_attempt(Session& s, relay::RelayNode& taker,
+                                                       const MessageHash& h,
+                                                       relay::Hold& hold) override;
 };
 
 }  // namespace g2g::proto

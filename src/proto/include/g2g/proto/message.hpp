@@ -45,6 +45,8 @@ struct SealedMessage {
   /// Canonical wire bytes (what gets shipped in the RELAY step).
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static SealedMessage decode(BytesView b);
+  /// Streaming decode for frames that embed a message mid-stream.
+  [[nodiscard]] static SealedMessage decode(Reader& r);
   [[nodiscard]] std::size_t wire_size() const;
 };
 

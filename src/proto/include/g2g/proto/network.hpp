@@ -94,6 +94,9 @@ class NetworkBase : public sim::ContactListener, public Env {
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+  /// Wall-clock seconds spent in batched PoM gossip re-verification
+  /// (relay::PomGossipBatch::verify); feeds the stage profile.
+  [[nodiscard]] double pom_batch_seconds() const { return pom_batch_seconds_; }
   [[nodiscard]] ProtocolNode& base_node(NodeId n) { return *generic_nodes_.at(n.value()); }
 
  protected:
@@ -131,6 +134,8 @@ class NetworkBase : public sim::ContactListener, public Env {
   void on_contact_up(TimePoint t, NodeId a, NodeId b) final {
     contact(t, a, b, Duration::max());
   }
+  /// Sequential fallback of the batched PoM gossip (also the reference
+  /// semantics: the batch must transfer exactly what this would).
   void gossip_poms(Session& s, ProtocolNode& from, ProtocolNode& to);
 
   std::unique_ptr<crypto::Authority> authority_;
@@ -139,6 +144,7 @@ class NetworkBase : public sim::ContactListener, public Env {
   std::shared_ptr<crypto::CachingSuite> suite_cache_;
   std::vector<ProtocolNode*> generic_nodes_;
   const trace::ContactTrace* trace_;
+  double pom_batch_seconds_ = 0.0;
   /// Private fallback when config.obs is null (counters still collected).
   std::unique_ptr<obs::ObsContext> owned_obs_;
   obs::ObsContext* obs_ = nullptr;

@@ -14,6 +14,7 @@
 #include "g2g/metrics/collector.hpp"
 #include "g2g/obs/context.hpp"
 #include "g2g/proto/message.hpp"
+#include "g2g/proto/relay/pom.hpp"
 #include "g2g/proto/wire.hpp"
 #include "g2g/util/rng.hpp"
 #include "g2g/util/time.hpp"
@@ -166,8 +167,16 @@ class ProtocolNode {
   /// Receive a gossiped PoM: verify evidence, then blacklist the culprit.
   /// Returns true if the PoM was new and verified.
   bool learn_pom(const ProofOfMisbehavior& pom);
-  [[nodiscard]] const std::vector<ProofOfMisbehavior>& known_poms() const { return poms_; }
-  [[nodiscard]] bool blacklisted(NodeId n) const { return blacklist_.contains(n); }
+  /// learn_pom with the evidence verdict precomputed (relay::PomGossipBatch
+  /// re-verifies a whole session's gossip through one Suite::verify_batch).
+  /// The simulated verification cost is still charged per learner.
+  bool learn_pom_preverified(const ProofOfMisbehavior& pom, bool verified);
+  [[nodiscard]] const std::vector<ProofOfMisbehavior>& known_poms() const {
+    return ledger_.known();
+  }
+  [[nodiscard]] bool blacklisted(NodeId n) const { return ledger_.blacklisted(n); }
+  [[nodiscard]] relay::PomLedger& pom_ledger() { return ledger_; }
+  [[nodiscard]] const relay::PomLedger& pom_ledger() const { return ledger_; }
 
   /// Called by the Network at the start of every authenticated session; the
   /// Delegation protocols override to update their encounter tables.
@@ -208,11 +217,13 @@ class ProtocolNode {
   Env& env_;
 
  private:
+  /// Shared tail of learn_pom / learn_pom_preverified past the verdict.
+  bool admit_pom(const ProofOfMisbehavior& pom, bool ok);
+
   crypto::NodeIdentity identity_;
   NodeConfig config_;
   BehaviorConfig behavior_;
-  std::set<NodeId> blacklist_;
-  std::vector<ProofOfMisbehavior> poms_;
+  relay::PomLedger ledger_;
 
   std::int64_t buffer_bytes_ = 0;
   TimePoint last_buffer_change_ = TimePoint::zero();

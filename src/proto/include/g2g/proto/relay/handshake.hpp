@@ -1,0 +1,72 @@
+// HandshakeEngine: the 5-step relay phase (Fig. 1 / Fig. 6), frame-driven.
+//
+// One engine per node owns the hold table and the handled set, and runs both
+// sides of the handshake against the peer node's engine. Every step crosses
+// the session as an explicitly encoded frame (relay/frames.hpp) that the
+// receiving side decodes — the struct-by-reference shortcut of the former
+// monolithic nodes is gone, so a real transport backend only has to carry
+// the frame bytes. The policy-specific middle of the handshake (epidemic
+// accept vs. delegation quality negotiation) is delegated to the host's
+// relay_attempt() hook; the shared tail (PoR bookkeeping, key reveal,
+// completion, test arming, forwarding-duty payload drop) lives here.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "g2g/proto/relay/state.hpp"
+
+namespace g2g::proto {
+class Session;
+}
+
+namespace g2g::proto::relay {
+
+class RelayNode;
+
+class HandshakeEngine {
+ public:
+  explicit HandshakeEngine(RelayNode& host) : host_(host) {}
+
+  /// Source-side message admission (the host supplies the initial f_m).
+  void generate(const SealedMessage& m, double fm);
+
+  /// Delta2 housekeeping: expired holds go (the host is told first so it can
+  /// drop its own per-message records), resolved or out-of-window tests go.
+  void purge(TimePoint now);
+
+  /// Giver side: offer every eligible hold to `taker`, one handshake each.
+  void giver_pass(Session& s, RelayNode& taker);
+
+  /// Taker side of steps 2/4 for the epidemic handshake: decode the RELAY_RQST
+  /// frame, answer with RELAY_OK or a decline, and countersign a PoR. Returns
+  /// the encoded PoR, or nullopt on decline (message already handled).
+  [[nodiscard]] std::optional<Bytes> answer_relay_rqst(Session& s, RelayNode& giver,
+                                                       BytesView rqst_frame);
+
+  /// Taker side of step 4 alone: sign `por`, account its transfer, and return
+  /// its canonical encoding (the giver decodes and verifies). The delegation
+  /// handshake builds the PoR giver-side (it knows D', f_m, f_BD') and only
+  /// needs the countersignature.
+  [[nodiscard]] Bytes countersign(Session& s, RelayNode& giver, ProofOfRelay por);
+
+  /// Taker side after the key reveal (step 5): decode the data and key
+  /// frames, then store / deliver / drop per behaviour.
+  void complete_relay(Session& s, RelayNode& giver, BytesView data_frame,
+                      BytesView key_frame, double new_fm, TimePoint expires);
+
+  /// Forwarding duty fulfilled (or Delta2): the payload may go, PoRs stay.
+  void drop_payload(Hold& hold);
+
+  [[nodiscard]] bool has_handled(const MessageHash& h) const { return handled_.contains(h); }
+  [[nodiscard]] std::map<MessageHash, Hold>& holds() { return hold_; }
+  [[nodiscard]] const std::map<MessageHash, Hold>& holds() const { return hold_; }
+
+ private:
+  RelayNode& host_;
+  std::map<MessageHash, Hold> hold_;
+  std::set<MessageHash> handled_;
+};
+
+}  // namespace g2g::proto::relay

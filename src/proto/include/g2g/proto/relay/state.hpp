@@ -1,0 +1,67 @@
+// Shared per-message state of the relay core.
+//
+// Both G2G protocols track the same things about a held message: the payload
+// (until the forwarding duty is met), the PoRs collected from takers, and —
+// for Delegation — the quality label f_m plus the declarations carried toward
+// the destination. The engines (handshake.hpp, audit.hpp) own containers of
+// these; the policy nodes reach them through their host accessors.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "g2g/crypto/hmac.hpp"
+#include "g2g/proto/message.hpp"
+#include "g2g/proto/wire.hpp"
+
+namespace g2g::proto::relay {
+
+/// Everything a node keeps about one message between receipt and Delta2.
+/// The Delegation-only fields (fm, attachments, failed_candidates) stay at
+/// their defaults for Epidemic holds.
+struct Hold {
+  SealedMessage msg;
+  bool has_msg = false;  ///< payload still stored (PoRs may outlive it)
+  std::size_t msg_bytes = 0;
+  double fm = 0.0;  ///< quality label; changed only when forwarded (Delegation)
+  TimePoint received;
+  TimePoint expires;  ///< stop seeking relays past this point (Delta1 / TTL)
+  NodeId giver;
+  bool is_source = false;
+  bool is_destination = false;
+  std::vector<ProofOfRelay> pors;
+  std::vector<QualityDeclaration> attachments;       ///< carried toward D
+  std::deque<QualityDeclaration> failed_candidates;  ///< source only, last 2
+};
+
+/// A relay the source must challenge when re-met in (Delta1, Delta2].
+struct PendingTest {
+  MessageHash h{};
+  NodeId relay;
+  TimePoint relayed_at;
+  ProofOfRelay por;  ///< the PoR the relay signed for us
+  bool done = false;
+};
+
+/// Response to a POR_RQST challenge.
+struct TestResponse {
+  std::vector<ProofOfRelay> pors;
+  std::optional<crypto::Digest> stored_hmac;  ///< heavy HMAC over (m, seed)
+  /// Deferred storage proof: index of the chain queued into the caller's
+  /// HeavyHmacBatch instead of an eager stored_hmac digest.
+  std::optional<std::size_t> stored_job;
+};
+
+/// What a policy-specific relay attempt hands back to the shared handshake
+/// tail (PoR bookkeeping, key reveal, completion, test arming).
+struct HandshakeOutcome {
+  ProofOfRelay por;  ///< verified PoR the taker signed
+  Bytes data_frame;  ///< the encoded RelayDataFrame already accounted
+  /// Delegation relabels f_m with the taker's declared quality on a true
+  /// delegation step; Epidemic never does.
+  bool update_fm = false;
+  double new_fm = 0.0;
+};
+
+}  // namespace g2g::proto::relay

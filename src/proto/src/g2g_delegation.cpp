@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
-#include <span>
+#include <utility>
 #include <vector>
 
-#include "g2g/crypto/hmac.hpp"
+#include "g2g/proto/relay/frames.hpp"
 
 namespace g2g::proto {
 
@@ -14,75 +13,46 @@ namespace {
 
 constexpr double kQualityEps = 1e-9;
 
-Bytes random_seed(Rng& rng) {
-  Writer w(32);
-  for (int i = 0; i < 4; ++i) w.u64(rng.next());
-  return std::move(w).take();
-}
-
 bool quality_mismatch(double a, double b) { return std::abs(a - b) > kQualityEps; }
 
 }  // namespace
 
 G2GDelegationNode::G2GDelegationNode(Env& env, crypto::NodeIdentity identity,
                                      NodeConfig config, BehaviorConfig behavior)
-    : ProtocolNode(env, std::move(identity), config, behavior),
+    : relay::RelayNode(env, std::move(identity), config, behavior,
+                       relay::AuditEngine::PresentMode::PorsThenStorage),
       table_(config.quality_frame) {}
 
 void G2GDelegationNode::note_encounter(NodeId peer, TimePoint t) { table_.record(peer, t); }
 
-void G2GDelegationNode::generate(const SealedMessage& m) {
-  const MessageHash h = m.hash();
-  Hold hold;
-  hold.msg = m;
-  hold.has_msg = true;
-  hold.msg_bytes = m.wire_size();
-  hold.fm = table_.current(config().quality_kind, m.dst);
-  hold.received = env_.now();
-  hold.expires = env_.now() + config().delta1;
-  hold.giver = id();
-  hold.is_source = true;
-  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-  hold_.emplace(h, std::move(hold));
-  handled_.insert(h);
-  my_message_dst_.emplace(h, m.dst);
+double G2GDelegationNode::source_fm(const SealedMessage& m) {
+  return table_.current(config().quality_kind, m.dst);
 }
 
-void G2GDelegationNode::run_contact(Session& s, G2GDelegationNode& x, G2GDelegationNode& y) {
-  x.purge(s.now());
-  y.purge(s.now());
-  x.run_tests(s, y);
-  y.run_tests(s, x);
-  x.giver_pass(s, y);
-  y.giver_pass(s, x);
+void G2GDelegationNode::on_generate(const SealedMessage& m) {
+  my_message_dst_.emplace(m.hash(), m.dst);
 }
 
-void G2GDelegationNode::purge(TimePoint now) {
-  for (auto it = hold_.begin(); it != hold_.end();) {
-    Hold& hold = it->second;
-    const bool expired = now > hold.received + config().delta2;
-    const bool testing = hold.is_source &&
-                         std::any_of(tests_.begin(), tests_.end(), [&](const PendingTest& t) {
-                           return t.h == it->first && !t.done &&
-                                  now <= t.relayed_at + config().delta2;
-                         });
-    if (expired && !testing) {
-      if (hold.has_msg) drop_payload(hold);
-      // Keep the 32-byte hash in `handled_` (no re-reception); drop the rest.
-      my_message_dst_.erase(it->first);
-      it = hold_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  std::erase_if(tests_, [&](const PendingTest& t) {
-    return t.done || now > t.relayed_at + config().delta2;
-  });
+void G2GDelegationNode::on_hold_erased(const MessageHash& h) { my_message_dst_.erase(h); }
+
+void G2GDelegationNode::on_delivered(Session& s,
+                                     const std::vector<QualityDeclaration>& attachments) {
+  check_attachments(s, attachments);
 }
 
-void G2GDelegationNode::drop_payload(Hold& hold) {
-  buffer_changed(-static_cast<std::int64_t>(hold.msg_bytes));
-  hold.has_msg = false;
+bool G2GDelegationNode::begin_test(relay::PendingTest& t, NodeId& real_dst) {
+  const auto dst_it = my_message_dst_.find(t.h);
+  if (dst_it == my_message_dst_.end()) return false;  // message record gone
+  real_dst = dst_it->second;
+  return true;
+}
+
+bool G2GDelegationNode::screen_pors(const relay::PendingTest& t,
+                                    const std::vector<ProofOfRelay>& pors, NodeId real_dst,
+                                    TimePoint now) {
+  // Chain check runs over every PoR the relay presents; a detected cheat has
+  // already issued its PoM when this returns false.
+  return pors.empty() || chain_check(t, pors, real_dst, now);
 }
 
 NodeId G2GDelegationNode::random_decoy(NodeId not_this) const {
@@ -93,147 +63,120 @@ NodeId G2GDelegationNode::random_decoy(NodeId not_this) const {
   }
 }
 
-void G2GDelegationNode::giver_pass(Session& s, G2GDelegationNode& taker) {
+std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
+    Session& s, relay::RelayNode& taker, const MessageHash& h, relay::Hold& hold) {
+  auto& taker_del = static_cast<G2GDelegationNode&>(taker);
   const TimePoint now = s.now();
   const std::size_t sig = identity().suite().signature_size();
 
-  std::vector<MessageHash> candidates;
-  for (const auto& [h, hold] : hold_) {
-    if (!hold.has_msg || hold.is_destination) continue;
-    // Hoarders sit on messages and answer storage tests instead of relaying.
-    if (behavior().kind == Behavior::Hoarder && !hold.is_source &&
-        deviates_with(hold.giver)) {
-      continue;
-    }
-    const std::size_t fanout =
-        hold.is_source ? config().source_fanout : config().relay_fanout;
-    if (hold.pors.size() >= fanout) continue;
-    if (now > hold.expires) continue;  // Delta1 / TTL
-    candidates.push_back(h);
+  const NodeId real_dst = hold.msg.dst;
+  const bool to_dst = taker.id() == real_dst;
+  // "When the destination of m is B, D' is chosen as a random node different
+  // from B" — B must not learn it is the destination.
+  const NodeId dprime = to_dst ? random_decoy(taker.id()) : real_dst;
+  const std::uint64_t ref = env_.msg_ref(h);
+
+  // Step 8: FQ_RQST.
+  counters().handshakes_started->add();
+  trace_event(obs::EventKind::FqRqst, taker.id(), ref);
+  const Bytes rq_bytes = relay::FqRqstFrame{h, dprime}.encode();
+  counters().frames_encoded->add();
+  s.signed_control(*this, rq_bytes.size() + sig, obs::WireKind::FqRqst);
+  // Step 9: the taker answers from the decoded frame.
+  const relay::FqRqstFrame rq = relay::FqRqstFrame::decode(rq_bytes);
+  taker_del.counters().frames_decoded->add();
+  const auto decl = taker_del.respond_fq(s, *this, rq.h, rq.dst);
+  if (!decl.has_value()) {
+    counters().handshakes_declined->add();
+    return std::nullopt;  // taker already handled the message
   }
 
-  for (const MessageHash& h : candidates) {
-    if (s.exhausted()) break;  // the contact cannot carry another handshake
-    const auto it = hold_.find(h);
-    if (it == hold_.end() || !it->second.has_msg) continue;
-    Hold& hold = it->second;
-
-    const NodeId real_dst = hold.msg.dst;
-    const bool to_dst = taker.id() == real_dst;
-    // "When the destination of m is B, D' is chosen as a random node
-    // different from B" — B must not learn it is the destination.
-    const NodeId dprime = to_dst ? random_decoy(taker.id()) : real_dst;
-    const std::uint64_t ref = env_.msg_ref(h);
-
-    // Step 8: FQ_RQST.
-    counters().handshakes_started->add();
-    trace_event(obs::EventKind::FqRqst, taker.id(), ref);
-    s.signed_control(*this, wire::fq_rqst(sig), obs::WireKind::FqRqst);
-    const auto decl = taker.respond_fq(s, *this, h, dprime);
-    if (!decl.has_value()) {
-      counters().handshakes_declined->add();
-      continue;  // taker already handled the message
-    }
-
-    // Verify the declaration signature (it may be stored as evidence).
-    count_verification();
-    const auto* taker_cert = env_.roster().find(taker.id());
-    const bool decl_ok =
-        taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime &&
-        identity().suite().verify(taker_cert->public_key, decl->signed_payload(),
-                                  decl->signature);
-    if (!decl_ok) {
-      counters().handshakes_aborted->add();
-      continue;
-    }
-
-    // A cheater advertises (and labels the message with) a zeroed quality so
-    // any candidate qualifies and it gets rid of the message quickly.
-    const bool cheating = behavior().kind == Behavior::Cheater && deviates_with(taker.id());
-    const double effective_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
-
-    if (!to_dst && decl->value <= effective_fm + kQualityEps) {
-      // Failed candidate. The source archives the last two declarations for
-      // the test by the destination.
-      counters().handshakes_declined->add();
-      if (hold.is_source) {
-        hold.failed_candidates.push_back(*decl);
-        while (hold.failed_candidates.size() > 2) hold.failed_candidates.pop_front();
-      }
-      continue;
-    }
-
-    // Step 10: RELAY with f_m and the embedded declarations.
-    std::vector<QualityDeclaration> attachments = hold.attachments;
-    if (hold.is_source) {
-      attachments.assign(hold.failed_candidates.begin(), hold.failed_candidates.end());
-    }
-    std::size_t attach_bytes = 0;
-    for (const auto& a : attachments) attach_bytes += a.wire_size();
-    trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
-                static_cast<std::int64_t>(hold.msg_bytes + attach_bytes));
-    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes + attach_bytes),
-                     obs::WireKind::RelayData);
-    const double sent_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
-
-    // Step 11: PoR back from the taker.
-    ProofOfRelay por;
-    por.h = h;
-    por.giver = id();
-    por.taker = taker.id();
-    por.at = now;
-    por.delegation = true;
-    por.declared_dst = dprime;
-    por.msg_quality = sent_fm;
-    por.taker_quality = decl->value;
-    por.quality_frame = decl->frame;
-    taker.count_signature();
-    por.taker_signature = taker.identity().sign(por.signed_payload());
-    taker.counters().pors_issued->add();
-    taker.trace_event(obs::EventKind::HsPorSigned, id(), ref);
-    taker.trace_event(obs::EventKind::PorIssued, id(), ref);
-    s.transfer(taker, por.wire_size(), obs::WireKind::Por);
-
-    count_verification();
-    const bool por_ok = identity().suite().verify(
-        taker_cert->public_key, por.signed_payload(), por.taker_signature);
-    trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
-    if (!por_ok) {
-      counters().handshakes_aborted->add();
-      continue;
-    }
-    counters().pors_verified->add();
-    hold.pors.push_back(por);
-
-    // Step 12: KEY.
-    counters().handshakes_completed->add();
-    trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
-    s.signed_control(*this, wire::key_reveal(sig), obs::WireKind::KeyReveal);
-    env_.notify_relayed(h, id(), taker.id());
-
-    // "Label both messages with the forwarding quality of node B" — only on a
-    // true delegation step; a delivery to the destination leaves f_m as-is.
-    if (!to_dst) hold.fm = decl->value;
-    taker.complete_relay(s, *this, hold.msg, to_dst ? hold.fm : decl->value, hold.expires,
-                         attachments);
-
-    if (hold.is_source) {
-      tests_.push_back(PendingTest{h, taker.id(), now, por, false});
-    }
-    if (!hold.is_source && hold.pors.size() >= config().relay_fanout) {
-      drop_payload(hold);
-    }
+  // Verify the declaration signature (it may be stored as evidence).
+  count_verification();
+  const auto* taker_cert = env_.roster().find(taker.id());
+  const bool decl_ok =
+      taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime &&
+      identity().suite().verify(taker_cert->public_key, decl->signed_payload(),
+                                decl->signature);
+  if (!decl_ok) {
+    counters().handshakes_aborted->add();
+    return std::nullopt;
   }
+
+  // A cheater advertises (and labels the message with) a zeroed quality so
+  // any candidate qualifies and it gets rid of the message quickly.
+  const bool cheating = behavior().kind == Behavior::Cheater && deviates_with(taker.id());
+  const double effective_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
+
+  if (!to_dst && decl->value <= effective_fm + kQualityEps) {
+    // Failed candidate. The source archives the last two declarations for
+    // the test by the destination.
+    counters().handshakes_declined->add();
+    if (hold.is_source) {
+      hold.failed_candidates.push_back(*decl);
+      while (hold.failed_candidates.size() > 2) hold.failed_candidates.pop_front();
+    }
+    return std::nullopt;
+  }
+
+  // Step 10: RELAY with f_m and the embedded declarations.
+  std::vector<QualityDeclaration> attachments = hold.attachments;
+  if (hold.is_source) {
+    attachments.assign(hold.failed_candidates.begin(), hold.failed_candidates.end());
+  }
+  std::size_t attach_bytes = 0;
+  for (const auto& a : attachments) attach_bytes += a.wire_size();
+  relay::RelayDataFrame data_frame;
+  data_frame.h = h;
+  data_frame.msg = hold.msg;
+  data_frame.attachments = std::move(attachments);
+  Bytes data = data_frame.encode();
+  counters().frames_encoded->add();
+  trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
+              static_cast<std::int64_t>(hold.msg_bytes + attach_bytes));
+  s.signed_control(*this, data.size() + sig, obs::WireKind::RelayData);
+  const double sent_fm = cheating ? min_quality(config().quality_kind) : hold.fm;
+
+  // Step 11: the giver builds the delegation PoR (it knows D', f_m, f_BD');
+  // the taker countersigns and its canonical bytes travel back.
+  ProofOfRelay proto_por;
+  proto_por.h = h;
+  proto_por.giver = id();
+  proto_por.taker = taker.id();
+  proto_por.at = now;
+  proto_por.delegation = true;
+  proto_por.declared_dst = dprime;
+  proto_por.msg_quality = sent_fm;
+  proto_por.taker_quality = decl->value;
+  proto_por.quality_frame = decl->frame;
+  const ProofOfRelay por =
+      ProofOfRelay::decode(taker.handshake().countersign(s, *this, std::move(proto_por)));
+  counters().frames_decoded->add();
+
+  count_verification();
+  const bool por_ok = identity().suite().verify(taker_cert->public_key, por.signed_payload(),
+                                                por.taker_signature);
+  trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
+  if (!por_ok) {
+    counters().handshakes_aborted->add();
+    return std::nullopt;
+  }
+  counters().pors_verified->add();
+  // "Label both messages with the forwarding quality of node B" — only on a
+  // true delegation step; a delivery to the destination leaves f_m as-is.
+  return relay::HandshakeOutcome{por, std::move(data), !to_dst, decl->value};
 }
 
 std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
                                                                 G2GDelegationNode& giver,
                                                                 const MessageHash& h,
                                                                 NodeId dst) {
-  if (handled_.contains(h)) {
+  if (handshake().has_handled(h)) {
     const std::size_t sig = identity().suite().signature_size();
     trace_event(obs::EventKind::HsRelayOk, giver.id(), env_.msg_ref(h), 0);
-    s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);  // decline notice
+    const Bytes decline = relay::RelayOkFrame{h, false}.encode();  // decline notice
+    counters().frames_encoded->add();
+    s.signed_control(*this, decline.size() + sig, obs::WireKind::RelayOk);
     return std::nullopt;
   }
   QualityDeclaration decl;
@@ -254,45 +197,6 @@ std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
               static_cast<std::int64_t>(decl.value * 1e6));
   s.transfer(*this, decl.wire_size(), obs::WireKind::QualityDecl);
   return decl;
-}
-
-void G2GDelegationNode::complete_relay(Session& s, G2GDelegationNode& giver,
-                                       const SealedMessage& m, double new_fm,
-                                       TimePoint expires,
-                                       const std::vector<QualityDeclaration>& attachments) {
-  const MessageHash h = m.hash();
-  handled_.insert(h);
-
-  Hold hold;
-  hold.msg = m;
-  hold.msg_bytes = m.wire_size();
-  hold.fm = new_fm;
-  hold.received = s.now();
-  hold.expires = config().global_ttl ? expires : s.now() + config().delta1;
-  hold.giver = giver.id();
-  hold.attachments = attachments;
-
-  if (m.dst == id()) {
-    const auto opened = open_message(identity(), m, s.env().roster());
-    count_verification();
-    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, id());
-    check_attachments(s, attachments);  // test by the destination
-    hold.is_destination = true;
-    hold.has_msg = true;
-    buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-    hold_.emplace(h, std::move(hold));
-    return;
-  }
-
-  if (behavior().kind == Behavior::Dropper && deviates_with(giver.id())) {
-    hold.has_msg = false;
-    hold_.emplace(h, std::move(hold));
-    return;
-  }
-
-  hold.has_msg = true;
-  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-  hold_.emplace(h, std::move(hold));
 }
 
 void G2GDelegationNode::check_attachments(Session& s,
@@ -330,146 +234,7 @@ void G2GDelegationNode::check_attachments(Session& s,
   }
 }
 
-void G2GDelegationNode::run_tests(Session& s, G2GDelegationNode& peer) {
-  const TimePoint now = s.now();
-  const std::size_t sig = identity().suite().signature_size();
-
-  // Same two-phase shape as the epidemic audit loop: queue every storage
-  // chain of this contact into one HeavyHmacBatch, resolve outcomes after the
-  // batch runs all chains in parallel SHA-256 lanes.
-  crypto::HeavyHmacBatch batch;
-  struct PendingStorageCheck {
-    std::size_t peer_job;
-    std::size_t expect_job;
-    NodeId relay;
-    std::uint64_t ref;
-    ProofOfRelay por;
-    TimePoint relayed_at;
-  };
-  std::vector<PendingStorageCheck> pending;
-
-  for (PendingTest& t : tests_) {
-    if (s.exhausted()) break;
-    if (t.done || t.relay != peer.id()) continue;
-    if (now < t.relayed_at + config().delta1) continue;
-    if (now > t.relayed_at + config().delta2) continue;
-    t.done = true;
-
-    const auto dst_it = my_message_dst_.find(t.h);
-    if (dst_it == my_message_dst_.end()) continue;  // message record gone
-    const NodeId real_dst = dst_it->second;
-    if (t.relay == real_dst) {
-      // We happened to hand the message to the destination itself; it will
-      // answer with a storage proof, and there is no chain to check.
-    }
-
-    const std::uint64_t ref = env_.msg_ref(t.h);
-    counters().tests_by_sender->add();
-    const Bytes seed = random_seed(env_.rng());
-    s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
-    const TestResponse resp = peer.respond_test(s, t.h, seed, &batch);
-
-    // Chain check runs over every PoR the relay presents.
-    if (!resp.pors.empty() && !chain_check(t, resp.pors, real_dst, now)) {
-      counters().tests_failed->add();
-      trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
-      continue;  // cheat detected; PoM already issued
-    }
-
-    if (resp.pors.size() >= config().relay_fanout) {
-      // Same batch-audit shape as the epidemic path: structural checks up
-      // front, one verify_batch for the rest, then verdicts unpacked in the
-      // original order so counters and trace events are unchanged.
-      std::vector<Bytes> payloads;
-      std::vector<crypto::VerifyRequest> requests;
-      std::vector<std::size_t> request_of(resp.pors.size(), SIZE_MAX);
-      payloads.reserve(resp.pors.size());
-      requests.reserve(resp.pors.size());
-      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
-        const auto& por = resp.pors[i];
-        count_verification();
-        const auto* cert = env_.roster().find(por.taker);
-        if (por.h == t.h && por.giver == peer.id() && cert != nullptr) {
-          request_of[i] = requests.size();
-          payloads.push_back(por.signed_payload());
-          requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
-                              BytesView(por.taker_signature)});
-        }
-      }
-      const auto verdicts = std::make_unique<bool[]>(requests.size());
-      identity().suite().verify_batch(
-          std::span<const crypto::VerifyRequest>(requests.data(), requests.size()),
-          verdicts.get());
-      bool all_ok = true;
-      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
-        const auto& por = resp.pors[i];
-        const bool ok = request_of[i] != SIZE_MAX && verdicts[request_of[i]];
-        trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
-        if (ok) counters().pors_verified->add();
-        else all_ok = false;
-      }
-      if (all_ok) {
-        counters().tests_passed->add();
-        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
-        continue;
-      }
-    }
-
-    if (resp.stored_hmac.has_value() || resp.stored_job.has_value()) {
-      const auto it = hold_.find(t.h);
-      if (it != hold_.end() && it->second.has_msg) {
-        count_heavy_hmac();
-        if (resp.stored_job.has_value()) {
-          const std::size_t expect_job =
-              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
-                        config().heavy_hmac_iterations);
-          pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
-                                                t.por, t.relayed_at});
-          continue;
-        }
-        const crypto::Digest expect = crypto::heavy_hmac(
-            it->second.msg.encode(), seed, config().heavy_hmac_iterations);
-        if (crypto::digest_equal(expect, *resp.stored_hmac)) {
-          counters().tests_passed->add();
-          trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
-          continue;
-        }
-      } else {
-        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
-        continue;
-      }
-    }
-
-    counters().tests_failed->add();
-    trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
-    ProofOfMisbehavior pom;
-    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
-    pom.culprit = peer.id();
-    pom.evidence_accepted = t.por;
-    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
-              now - (t.relayed_at + config().delta1));
-  }
-
-  if (pending.empty()) return;
-  const std::vector<crypto::Digest> digests = batch.run();
-  for (const PendingStorageCheck& c : pending) {
-    if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
-      counters().tests_passed->add();
-      trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
-      continue;
-    }
-    counters().tests_failed->add();
-    trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 0);
-    ProofOfMisbehavior pom;
-    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
-    pom.culprit = c.relay;
-    pom.evidence_accepted = c.por;
-    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
-              now - (c.relayed_at + config().delta1));
-  }
-}
-
-bool G2GDelegationNode::chain_check(const PendingTest& t,
+bool G2GDelegationNode::chain_check(const relay::PendingTest& t,
                                     const std::vector<ProofOfRelay>& pors, NodeId real_dst,
                                     TimePoint now) {
   const std::uint64_t ref = env_.msg_ref(t.h);
@@ -543,51 +308,6 @@ bool G2GDelegationNode::chain_check(const PendingTest& t,
   }
   trace_event(obs::EventKind::ChainCheck, t.relay, ref, 1);
   return true;
-}
-
-G2GDelegationNode::TestResponse G2GDelegationNode::respond_test(Session& s,
-                                                                const MessageHash& h,
-                                                                BytesView seed,
-                                                                crypto::HeavyHmacBatch* defer) {
-  TestResponse resp;
-  const auto it = hold_.find(h);
-  if (it == hold_.end()) return resp;
-  const Hold& hold = it->second;
-  resp.pors = hold.pors;
-  for (const auto& por : resp.pors) s.transfer(*this, por.wire_size(), obs::WireKind::Por);
-  if (hold.pors.size() < config().relay_fanout) {
-    if (hold.has_msg) {
-      count_heavy_hmac();
-      counters().storage_challenges->add();
-      trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
-                  env_.msg_ref(h), config().heavy_hmac_iterations);
-      if (defer != nullptr) {
-        resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
-                                     config().heavy_hmac_iterations);
-      } else {
-        resp.stored_hmac =
-            crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
-      }
-      const std::size_t sig = identity().suite().signature_size();
-      s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);
-    }
-  }
-  return resp;
-}
-
-bool G2GDelegationNode::stores_message(const MessageHash& h) const {
-  const auto it = hold_.find(h);
-  return it != hold_.end() && it->second.has_msg;
-}
-
-std::size_t G2GDelegationNode::por_count(const MessageHash& h) const {
-  const auto it = hold_.find(h);
-  return it == hold_.end() ? 0 : it->second.pors.size();
-}
-
-std::size_t G2GDelegationNode::pending_test_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(tests_.begin(), tests_.end(), [](const PendingTest& t) { return !t.done; }));
 }
 
 }  // namespace g2g::proto

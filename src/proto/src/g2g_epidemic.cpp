@@ -1,406 +1,55 @@
 #include "g2g/proto/g2g_epidemic.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <span>
-#include <vector>
+#include <utility>
 
-#include "g2g/crypto/hmac.hpp"
+#include "g2g/proto/relay/frames.hpp"
 
 namespace g2g::proto {
 
-namespace {
-Bytes random_seed(Rng& rng) {
-  Writer w(32);
-  for (int i = 0; i < 4; ++i) w.u64(rng.next());
-  return std::move(w).take();
-}
-}  // namespace
-
-void G2GEpidemicNode::generate(const SealedMessage& m) {
-  const MessageHash h = m.hash();
-  Hold hold;
-  hold.msg = m;
-  hold.has_msg = true;
-  hold.msg_bytes = m.wire_size();
-  hold.received = env_.now();
-  hold.expires = env_.now() + config().delta1;
-  hold.giver = id();
-  hold.is_source = true;
-  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-  hold_.emplace(h, std::move(hold));
-  handled_.insert(h);
-}
-
-void G2GEpidemicNode::run_contact(Session& s, G2GEpidemicNode& x, G2GEpidemicNode& y) {
-  x.purge(s.now());
-  y.purge(s.now());
-  // Test phases first: the source challenges its relays before new relays
-  // are negotiated.
-  x.run_tests(s, y);
-  y.run_tests(s, x);
-  x.giver_pass(s, y);
-  y.giver_pass(s, x);
-}
-
-void G2GEpidemicNode::purge(TimePoint now) {
-  // Delta2 after receipt: every trace of the message may be discarded.
-  for (auto it = hold_.begin(); it != hold_.end();) {
-    Hold& hold = it->second;
-    const bool expired = now > hold.received + config().delta2;
-    // A source keeps its bookkeeping while tests of its relays are pending.
-    const bool testing = hold.is_source &&
-                         std::any_of(tests_.begin(), tests_.end(), [&](const PendingTest& t) {
-                           return t.h == it->first && !t.done &&
-                                  now <= t.relayed_at + config().delta2;
-                         });
-    if (expired && !testing) {
-      if (hold.has_msg) drop_payload(hold);
-      // Message and PoR state is discarded at Delta2; the 32-byte message
-      // hash stays in `handled_` so the node never pays for re-reception.
-      it = hold_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  std::erase_if(tests_, [&](const PendingTest& t) {
-    return t.done || now > t.relayed_at + config().delta2;
-  });
-}
-
-void G2GEpidemicNode::drop_payload(Hold& hold) {
-  buffer_changed(-static_cast<std::int64_t>(hold.msg_bytes));
-  hold.has_msg = false;
-}
-
-void G2GEpidemicNode::giver_pass(Session& s, G2GEpidemicNode& taker) {
-  const TimePoint now = s.now();
-  const std::size_t sig = identity().suite().signature_size();
-
-  std::vector<MessageHash> candidates;
-  for (const auto& [h, hold] : hold_) {
-    if (!hold.has_msg || hold.is_destination) continue;
-    // A hoarder never relays other people's messages — it will answer the
-    // storage test instead (and pay the heavy HMAC for it).
-    if (behavior().kind == Behavior::Hoarder && !hold.is_source &&
-        deviates_with(hold.giver)) {
-      continue;
-    }
-    const std::size_t fanout =
-        hold.is_source ? config().source_fanout : config().relay_fanout;
-    if (hold.pors.size() >= fanout) continue;
-    if (now > hold.expires) continue;  // stop seeking relays (Delta1 / TTL)
-    candidates.push_back(h);
-  }
-
-  for (const MessageHash& h : candidates) {
-    if (s.exhausted()) break;  // the contact cannot carry another handshake
-    const auto it = hold_.find(h);
-    if (it == hold_.end() || !it->second.has_msg) continue;
-    Hold& hold = it->second;
-    const std::uint64_t ref = env_.msg_ref(h);
-
-    // Step 1: RELAY_RQST.
-    counters().handshakes_started->add();
-    trace_event(obs::EventKind::HsRelayRqst, taker.id(), ref);
-    s.signed_control(*this, wire::relay_rqst(sig), obs::WireKind::RelayRqst);
-    // Steps 2/3/4: the taker answers, the message travels, the PoR returns.
-    const auto por = taker.accept_relay(s, *this, h);
-    if (!por.has_value()) {
-      counters().handshakes_declined->add();
-      continue;  // taker declined (already handled)
-    }
-
-    // Step 3 accounting: E_k(m).
-    trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
-                static_cast<std::int64_t>(hold.msg_bytes));
-    s.signed_control(*this, wire::relay_data(sig, hold.msg_bytes),
-                     obs::WireKind::RelayData);
-
-    // Verify the PoR before revealing the key.
-    count_verification();
-    const auto* taker_cert = env_.roster().find(taker.id());
-    const bool por_ok =
-        taker_cert != nullptr && por->h == h && por->giver == id() &&
-        por->taker == taker.id() &&
-        identity().suite().verify(taker_cert->public_key, por->signed_payload(),
-                                  por->taker_signature);
-    trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
-    if (!por_ok) {
-      counters().handshakes_aborted->add();
-      continue;  // never happens with conforming takers
-    }
-    counters().pors_verified->add();
-
-    hold.pors.push_back(*por);
-    // Step 5: KEY.
-    counters().handshakes_completed->add();
-    trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
-    s.signed_control(*this, wire::key_reveal(sig), obs::WireKind::KeyReveal);
-    env_.notify_relayed(h, id(), taker.id());
-    taker.complete_relay(s, *this, hold.msg, hold.expires);
-
-    if (hold.is_source) {
-      tests_.push_back(PendingTest{h, taker.id(), now, *por, false});
-    }
-    if (!hold.is_source && hold.pors.size() >= config().relay_fanout) {
-      // Forwarding duty fulfilled: the payload may go, the PoRs stay.
-      drop_payload(hold);
-    }
-  }
-}
-
-std::optional<ProofOfRelay> G2GEpidemicNode::accept_relay(Session& s, G2GEpidemicNode& giver,
-                                                          const MessageHash& h) {
+std::optional<relay::HandshakeOutcome> G2GEpidemicNode::relay_attempt(
+    Session& s, relay::RelayNode& taker, const MessageHash& h, relay::Hold& hold) {
   const std::size_t sig = identity().suite().signature_size();
   const std::uint64_t ref = env_.msg_ref(h);
-  if (handled_.contains(h)) {
-    // "node B informs S that it should not be chosen as a relay" — and it
-    // answers honestly, because it cannot know whether it is the destination.
-    trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 0);
-    s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);
-    return std::nullopt;
+
+  // Step 1: RELAY_RQST.
+  counters().handshakes_started->add();
+  trace_event(obs::EventKind::HsRelayRqst, taker.id(), ref);
+  const Bytes rqst = relay::RelayRqstFrame{h}.encode();
+  counters().frames_encoded->add();
+  s.signed_control(*this, rqst.size() + sig, obs::WireKind::RelayRqst);
+  // Steps 2/3/4: the taker answers, the message travels, the PoR returns.
+  const auto por_wire = taker.handshake().answer_relay_rqst(s, *this, rqst);
+  if (!por_wire.has_value()) {
+    counters().handshakes_declined->add();
+    return std::nullopt;  // taker declined (already handled)
   }
-  // Step 2: RELAY_OK.
-  trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 1);
-  s.signed_control(*this, wire::relay_ok(sig), obs::WireKind::RelayOk);
+  const ProofOfRelay por = ProofOfRelay::decode(*por_wire);
+  counters().frames_decoded->add();
 
-  // Step 4: sign the PoR. (The encrypted message of step 3 has arrived; the
-  // giver accounts its bytes.)
-  ProofOfRelay por;
-  por.h = h;
-  por.giver = giver.id();
-  por.taker = id();
-  por.at = s.now();
-  count_signature();
-  por.taker_signature = identity().sign(por.signed_payload());
-  counters().pors_issued->add();
-  trace_event(obs::EventKind::HsPorSigned, giver.id(), ref);
-  trace_event(obs::EventKind::PorIssued, giver.id(), ref);
-  s.transfer(*this, por.wire_size(), obs::WireKind::Por);
-  return por;
-}
+  // Step 3 accounting: E_k(m).
+  relay::RelayDataFrame data_frame;
+  data_frame.h = h;
+  data_frame.msg = hold.msg;
+  Bytes data = data_frame.encode();
+  counters().frames_encoded->add();
+  trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
+              static_cast<std::int64_t>(hold.msg_bytes));
+  s.signed_control(*this, data.size() + sig, obs::WireKind::RelayData);
 
-void G2GEpidemicNode::complete_relay(Session& s, G2GEpidemicNode& giver,
-                                     const SealedMessage& m, TimePoint expires) {
-  const MessageHash h = m.hash();
-  handled_.insert(h);
-
-  Hold hold;
-  hold.msg = m;
-  hold.msg_bytes = m.wire_size();
-  hold.received = s.now();
-  // Global TTL: the expiry travels with the message; per-holder otherwise.
-  hold.expires = config().global_ttl ? expires : s.now() + config().delta1;
-  hold.giver = giver.id();
-
-  if (m.dst == id()) {
-    const auto opened = open_message(identity(), m, s.env().roster());
-    count_verification();
-    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, id());
-    // The destination keeps the message (it must still answer a possible
-    // storage test — it cannot reveal that it is the destination by design).
-    hold.is_destination = true;
-    hold.has_msg = true;
-    buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-    hold_.emplace(h, std::move(hold));
-    return;
+  // Verify the PoR before revealing the key.
+  count_verification();
+  const auto* taker_cert = env_.roster().find(taker.id());
+  const bool por_ok =
+      taker_cert != nullptr && por.h == h && por.giver == id() && por.taker == taker.id() &&
+      identity().suite().verify(taker_cert->public_key, por.signed_payload(),
+                                por.taker_signature);
+  trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
+  if (!por_ok) {
+    counters().handshakes_aborted->add();
+    return std::nullopt;  // never happens with conforming takers
   }
-
-  if (behavior().kind == Behavior::Dropper && deviates_with(giver.id())) {
-    // Drop right after the relay phase: no payload is stored; only the
-    // handled-set entry remains so the node declines re-reception.
-    hold.has_msg = false;
-    hold_.emplace(h, std::move(hold));
-    return;
-  }
-
-  hold.has_msg = true;
-  buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
-  hold_.emplace(h, std::move(hold));
-}
-
-void G2GEpidemicNode::run_tests(Session& s, G2GEpidemicNode& peer) {
-  const TimePoint now = s.now();
-  const std::size_t sig = identity().suite().signature_size();
-
-  // Two phases: the challenge loop queues every storage-proof chain of this
-  // contact — the relay's proof and the source's recompute — into one
-  // HeavyHmacBatch, then the batch runs all chains in parallel SHA-256 lanes
-  // and the outcomes (pass / PoM) resolve afterwards. Deferring is invisible
-  // to the protocol: nothing between the challenge and its resolution reads
-  // the blacklist or the PoM log, session byte accounting stays in challenge
-  // order, and the digests are bit-identical to the eager path.
-  crypto::HeavyHmacBatch batch;
-  struct PendingStorageCheck {
-    std::size_t peer_job;    // the relay's deferred proof
-    std::size_t expect_job;  // the source's recompute of the same chain
-    NodeId relay;
-    std::uint64_t ref;
-    ProofOfRelay por;  // evidence if the digests disagree
-    TimePoint relayed_at;
-  };
-  std::vector<PendingStorageCheck> pending;
-
-  for (PendingTest& t : tests_) {
-    if (s.exhausted()) break;
-    if (t.done || t.relay != peer.id()) continue;
-    if (now < t.relayed_at + config().delta1) continue;  // not testable yet
-    if (now > t.relayed_at + config().delta2) continue;  // window closed
-    t.done = true;
-
-    const std::uint64_t ref = env_.msg_ref(t.h);
-    counters().tests_by_sender->add();
-    const Bytes seed = random_seed(env_.rng());
-    s.signed_control(*this, wire::por_rqst(sig), obs::WireKind::PorRqst);
-    const TestResponse resp = peer.respond_test(s, t.h, seed, &batch);
-
-    // Either two valid PoRs...
-    if (resp.pors.size() >= config().relay_fanout) {
-      // Audit the chain through one verify_batch call: structurally broken
-      // PoRs are rejected up front, the rest go to the suite together (the
-      // caching suite answers repeats from its memo and forwards only fresh
-      // signatures inward). Verdicts, counters, and trace order are
-      // identical to a per-PoR verify loop.
-      std::vector<Bytes> payloads;
-      std::vector<crypto::VerifyRequest> requests;
-      std::vector<std::size_t> request_of(resp.pors.size(), SIZE_MAX);
-      payloads.reserve(resp.pors.size());
-      requests.reserve(resp.pors.size());
-      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
-        const auto& por = resp.pors[i];
-        count_verification();
-        const auto* cert = env_.roster().find(por.taker);
-        if (por.h == t.h && por.giver == peer.id() && cert != nullptr) {
-          request_of[i] = requests.size();
-          payloads.push_back(por.signed_payload());
-          requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
-                              BytesView(por.taker_signature)});
-        }
-      }
-      const auto verdicts = std::make_unique<bool[]>(requests.size());
-      identity().suite().verify_batch(
-          std::span<const crypto::VerifyRequest>(requests.data(), requests.size()),
-          verdicts.get());
-      bool all_ok = true;
-      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
-        const auto& por = resp.pors[i];
-        const bool ok = request_of[i] != SIZE_MAX && verdicts[request_of[i]];
-        trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
-        if (ok) counters().pors_verified->add();
-        else all_ok = false;
-      }
-      if (all_ok) {
-        counters().tests_passed->add();
-        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
-        continue;  // test passed: the relay showed its PoRs
-      }
-    }
-
-    // ...or a storage proof the source can recompute (it still has m).
-    if (resp.stored_hmac.has_value() || resp.stored_job.has_value()) {
-      const auto it = hold_.find(t.h);
-      if (it != hold_.end() && it->second.has_msg) {
-        count_heavy_hmac();
-        if (resp.stored_job.has_value()) {
-          const std::size_t expect_job =
-              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
-                        config().heavy_hmac_iterations);
-          pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
-                                                t.por, t.relayed_at});
-          continue;  // outcome resolves after the batch runs
-        }
-        const crypto::Digest expect = crypto::heavy_hmac(
-            it->second.msg.encode(), seed, config().heavy_hmac_iterations);
-        if (crypto::digest_equal(expect, *resp.stored_hmac)) {
-          counters().tests_passed->add();
-          trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
-          continue;  // passed: the relay still stores the message
-        }
-      } else {
-        trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
-        continue;  // source can no longer verify; give the benefit of the doubt
-      }
-    }
-
-    // Failure: broadcastable proof of misbehaviour — the PoR the relay signed.
-    counters().tests_failed->add();
-    trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
-    ProofOfMisbehavior pom;
-    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
-    pom.culprit = peer.id();
-    pom.evidence_accepted = t.por;
-    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
-              now - (t.relayed_at + config().delta1));
-  }
-
-  if (pending.empty()) return;
-  const std::vector<crypto::Digest> digests = batch.run();
-  for (const PendingStorageCheck& c : pending) {
-    if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
-      counters().tests_passed->add();
-      trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
-      continue;
-    }
-    counters().tests_failed->add();
-    trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 0);
-    ProofOfMisbehavior pom;
-    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
-    pom.culprit = c.relay;
-    pom.evidence_accepted = c.por;
-    issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
-              now - (c.relayed_at + config().delta1));
-  }
-}
-
-G2GEpidemicNode::TestResponse G2GEpidemicNode::respond_test(Session& s, const MessageHash& h,
-                                                            BytesView seed,
-                                                            crypto::HeavyHmacBatch* defer) {
-  TestResponse resp;
-  const auto it = hold_.find(h);
-  if (it == hold_.end()) {
-    // Nothing to show: a dropper past Delta2, or a dropper that kept no state.
-    return resp;
-  }
-  const Hold& hold = it->second;
-  if (hold.pors.size() >= config().relay_fanout) {
-    resp.pors = hold.pors;
-    for (const auto& por : resp.pors) s.transfer(*this, por.wire_size(), obs::WireKind::Por);
-    return resp;
-  }
-  if (hold.has_msg) {
-    count_heavy_hmac();
-    counters().storage_challenges->add();
-    trace_event(obs::EventKind::StorageChallenge, s.peer_of(*this).id(),
-                env_.msg_ref(h), config().heavy_hmac_iterations);
-    if (defer != nullptr) {
-      resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
-                                   config().heavy_hmac_iterations);
-    } else {
-      resp.stored_hmac =
-          crypto::heavy_hmac(hold.msg.encode(), seed, config().heavy_hmac_iterations);
-    }
-    resp.pors = hold.pors;  // show what we have (0 or 1)
-    const std::size_t sig = identity().suite().signature_size();
-    s.signed_control(*this, wire::stored_resp(sig), obs::WireKind::StoredResp);
-    return resp;
-  }
-  return resp;  // dropper: no PoRs, no message
-}
-
-bool G2GEpidemicNode::stores_message(const MessageHash& h) const {
-  const auto it = hold_.find(h);
-  return it != hold_.end() && it->second.has_msg;
-}
-
-std::size_t G2GEpidemicNode::por_count(const MessageHash& h) const {
-  const auto it = hold_.find(h);
-  return it == hold_.end() ? 0 : it->second.pors.size();
-}
-
-std::size_t G2GEpidemicNode::pending_test_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(tests_.begin(), tests_.end(), [](const PendingTest& t) { return !t.done; }));
+  counters().pors_verified->add();
+  return relay::HandshakeOutcome{por, std::move(data), false, 0.0};
 }
 
 }  // namespace g2g::proto

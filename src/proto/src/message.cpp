@@ -37,6 +37,10 @@ Bytes SealedMessage::encode() const {
 
 SealedMessage SealedMessage::decode(BytesView b) {
   Reader r(b);
+  return decode(r);
+}
+
+SealedMessage SealedMessage::decode(Reader& r) {
   SealedMessage m;
   m.dst = NodeId(r.u32());
   m.box.ephemeral_public = r.blob();

@@ -1,8 +1,10 @@
 #include "g2g/proto/network.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "g2g/crypto/verify_cache.hpp"
+#include "g2g/proto/relay/pom.hpp"
 #include "g2g/util/log.hpp"
 
 namespace g2g::proto {
@@ -178,9 +180,28 @@ void NetworkBase::run() {
 bool NetworkBase::open_session(Session& s, ProtocolNode& a, ProtocolNode& b) {
   a.note_encounter(b.id(), now());
   b.note_encounter(a.id(), now());
-  // PoM gossip: accusations spread epidemically at session start.
-  gossip_poms(s, a, b);
-  gossip_poms(s, b, a);
+  // PoM gossip: accusations spread epidemically at session start. Both
+  // directions are collected side-effect-free, deduped, and re-verified
+  // through one Suite::verify_batch call; the per-receiver accounting then
+  // replays in the exact sequential order with the precomputed verdicts.
+  // Should any PoM fail re-verification (never with conforming nodes, which
+  // only ledger verified or self-issued PoMs), the batch is discarded and
+  // the sequential reference path runs — bit-identical either way.
+  relay::PomGossipBatch batch;
+  batch.collect(a, b);
+  batch.collect(b, a);
+  if (!batch.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool all_ok = batch.verify(a.identity().suite(), roster_, obs_->counters);
+    pom_batch_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (all_ok) {
+      batch.apply(s, *obs_);
+    } else {
+      gossip_poms(s, a, b);
+      gossip_poms(s, b, a);
+    }
+  }
   // If gossip revealed the peer is a known misbehaver, cut the session.
   return a.accepts_session_with(b.id()) && b.accepts_session_with(a.id());
 }

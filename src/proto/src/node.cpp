@@ -71,19 +71,29 @@ ProtocolNode::ProtocolNode(Env& env, crypto::NodeIdentity identity, NodeConfig c
       behavior_(behavior) {}
 
 bool ProtocolNode::accepts_session_with(NodeId peer) const {
-  return !blacklist_.contains(peer);
+  return !ledger_.blacklisted(peer);
 }
 
 bool ProtocolNode::learn_pom(const ProofOfMisbehavior& pom) {
   if (pom.culprit == id()) return false;  // nodes do not blacklist themselves
-  if (blacklist_.contains(pom.culprit)) return false;
+  if (ledger_.blacklisted(pom.culprit)) return false;
   count_verification();
-  const bool ok = verify_pom(identity_.suite(), env_.roster(), pom);
+  return admit_pom(pom, verify_pom(identity_.suite(), env_.roster(), pom));
+}
+
+bool ProtocolNode::learn_pom_preverified(const ProofOfMisbehavior& pom, bool verified) {
+  if (pom.culprit == id()) return false;  // nodes do not blacklist themselves
+  if (ledger_.blacklisted(pom.culprit)) return false;
+  count_verification();  // the batched re-verification is charged per learner
+  return admit_pom(pom, verified);
+}
+
+bool ProtocolNode::admit_pom(const ProofOfMisbehavior& pom, bool ok) {
   trace_event(obs::EventKind::PomLearned, pom.culprit, 0, ok ? 1 : 0);
   if (!ok) return false;
   counters().poms_learned->add();
-  blacklist_.insert(pom.culprit);
-  poms_.push_back(pom);
+  ledger_.blacklist(pom.culprit);
+  ledger_.record(pom);
   return true;
 }
 
@@ -132,7 +142,7 @@ void ProtocolNode::issue_pom(ProofOfMisbehavior pom, metrics::DetectionMethod me
                              Duration after_delta1) {
   pom.accuser = id();
   pom.at = env_.now();
-  blacklist_.insert(pom.culprit);
+  ledger_.blacklist(pom.culprit);
   counters().poms_issued->add();
   counters().evictions->add();
   trace_event(obs::EventKind::PomIssued, pom.culprit, 0,
@@ -140,8 +150,7 @@ void ProtocolNode::issue_pom(ProofOfMisbehavior pom, metrics::DetectionMethod me
   trace_event(obs::EventKind::Eviction, pom.culprit);
   env_.collector().node_evicted(pom.culprit, env_.now());
   env_.notify_detection(pom.culprit, id(), method, after_delta1);
-  poms_.push_back(std::move(pom));
-  env_.broadcast_pom(poms_.back());
+  env_.broadcast_pom(ledger_.record(std::move(pom)));
 }
 
 }  // namespace g2g::proto

@@ -1,0 +1,240 @@
+#include "g2g/proto/relay/audit.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+
+#include "g2g/proto/relay/frames.hpp"
+#include "g2g/proto/relay/relay_node.hpp"
+
+namespace g2g::proto::relay {
+
+void AuditEngine::run(Session& s, RelayNode& peer) {
+  const TimePoint now = s.now();
+  const std::size_t sig = host_.identity().suite().signature_size();
+
+  // Two phases: the challenge loop queues every storage-proof chain of this
+  // contact — the relay's proof and the source's recompute — into one
+  // HeavyHmacBatch, then the batch runs all chains in parallel SHA-256 lanes
+  // and the outcomes (pass / PoM) resolve afterwards. Deferring is invisible
+  // to the protocol: nothing between the challenge and its resolution reads
+  // the blacklist or the PoM log, session byte accounting stays in challenge
+  // order, and the digests are bit-identical to the eager path.
+  crypto::HeavyHmacBatch batch;
+  struct PendingStorageCheck {
+    std::size_t peer_job;    // the relay's deferred proof
+    std::size_t expect_job;  // the source's recompute of the same chain
+    NodeId relay;
+    std::uint64_t ref;
+    ProofOfRelay por;  // evidence if the digests disagree
+    TimePoint relayed_at;
+  };
+  std::vector<PendingStorageCheck> pending;
+
+  for (PendingTest& t : tests_) {
+    if (s.exhausted()) break;
+    if (t.done || t.relay != peer.id()) continue;
+    if (now < t.relayed_at + host_.config().delta1) continue;  // not testable yet
+    if (now > t.relayed_at + host_.config().delta2) continue;  // window closed
+    t.done = true;
+
+    NodeId real_dst = NodeId::invalid();
+    if (!host_.begin_test(t, real_dst)) continue;  // policy record gone
+
+    const std::uint64_t ref = host_.env_.msg_ref(t.h);
+    host_.counters().tests_by_sender->add();
+    // The challenge crosses the session as a POR_RQST frame carrying a fresh
+    // 32-byte seed; the responder answers from the decoded bytes.
+    PorRqstFrame challenge;
+    challenge.h = t.h;
+    {
+      Writer w(32);
+      for (int i = 0; i < 4; ++i) w.u64(host_.env_.rng().next());
+      const Bytes seed_bytes = std::move(w).take();
+      std::copy(seed_bytes.begin(), seed_bytes.end(), challenge.seed.begin());
+    }
+    const Bytes challenge_bytes = challenge.encode();
+    host_.counters().frames_encoded->add();
+    s.signed_control(host_, challenge_bytes.size() + sig, obs::WireKind::PorRqst);
+    const PorRqstFrame rq = PorRqstFrame::decode(challenge_bytes);
+    peer.counters().frames_decoded->add();
+    const Bytes seed(rq.seed.begin(), rq.seed.end());
+    const TestResponse resp = peer.audit().respond(s, rq.h, seed, &batch);
+
+    if (!host_.screen_pors(t, resp.pors, real_dst, now)) {
+      // The policy screen failed the test outright (Delegation: the chain
+      // check detected a cheat and issued the PoM already).
+      host_.counters().tests_failed->add();
+      host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
+      continue;
+    }
+
+    // Either two valid PoRs...
+    if (resp.pors.size() >= host_.config().relay_fanout) {
+      // Audit the chain through one verify_batch call: structurally broken
+      // PoRs are rejected up front, the rest go to the suite together (the
+      // caching suite answers repeats from its memo and forwards only fresh
+      // signatures inward). Verdicts, counters, and trace order are
+      // identical to a per-PoR verify loop.
+      std::vector<Bytes> payloads;
+      std::vector<crypto::VerifyRequest> requests;
+      std::vector<std::size_t> request_of(resp.pors.size(), SIZE_MAX);
+      payloads.reserve(resp.pors.size());
+      requests.reserve(resp.pors.size());
+      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
+        const auto& por = resp.pors[i];
+        host_.count_verification();
+        const auto* cert = host_.env_.roster().find(por.taker);
+        if (por.h == t.h && por.giver == peer.id() && cert != nullptr) {
+          request_of[i] = requests.size();
+          payloads.push_back(por.signed_payload());
+          requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
+                              BytesView(por.taker_signature)});
+        }
+      }
+      const auto verdicts = std::make_unique<bool[]>(requests.size());
+      host_.identity().suite().verify_batch(
+          std::span<const crypto::VerifyRequest>(requests.data(), requests.size()),
+          verdicts.get());
+      bool all_ok = true;
+      for (std::size_t i = 0; i < resp.pors.size(); ++i) {
+        const auto& por = resp.pors[i];
+        const bool ok = request_of[i] != SIZE_MAX && verdicts[request_of[i]];
+        host_.trace_event(obs::EventKind::PorVerified, por.taker, ref, ok ? 1 : 0);
+        if (ok) host_.counters().pors_verified->add();
+        else all_ok = false;
+      }
+      if (all_ok) {
+        host_.counters().tests_passed->add();
+        host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
+        continue;  // test passed: the relay showed its PoRs
+      }
+    }
+
+    // ...or a storage proof the source can recompute (it still has m).
+    if (resp.stored_hmac.has_value() || resp.stored_job.has_value()) {
+      auto& holds = host_.handshake().holds();
+      const auto it = holds.find(t.h);
+      if (it != holds.end() && it->second.has_msg) {
+        host_.count_heavy_hmac();
+        if (resp.stored_job.has_value()) {
+          const std::size_t expect_job =
+              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
+                        host_.config().heavy_hmac_iterations);
+          pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
+                                                t.por, t.relayed_at});
+          continue;  // outcome resolves after the batch runs
+        }
+        const crypto::Digest expect = crypto::heavy_hmac(
+            it->second.msg.encode(), seed, host_.config().heavy_hmac_iterations);
+        if (crypto::digest_equal(expect, *resp.stored_hmac)) {
+          host_.counters().tests_passed->add();
+          host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
+          continue;  // passed: the relay still stores the message
+        }
+      } else {
+        host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
+        continue;  // source can no longer verify; give the benefit of the doubt
+      }
+    }
+
+    // Failure: broadcastable proof of misbehaviour — the PoR the relay signed.
+    host_.counters().tests_failed->add();
+    host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = peer.id();
+    pom.evidence_accepted = t.por;
+    host_.issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+                    now - (t.relayed_at + host_.config().delta1));
+  }
+
+  if (pending.empty()) return;
+  const std::vector<crypto::Digest> digests = batch.run();
+  for (const PendingStorageCheck& c : pending) {
+    if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
+      host_.counters().tests_passed->add();
+      host_.trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
+      continue;
+    }
+    host_.counters().tests_failed->add();
+    host_.trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 0);
+    ProofOfMisbehavior pom;
+    pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+    pom.culprit = c.relay;
+    pom.evidence_accepted = c.por;
+    host_.issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
+                    now - (c.relayed_at + host_.config().delta1));
+  }
+}
+
+TestResponse AuditEngine::respond(Session& s, const MessageHash& h, BytesView seed,
+                                  crypto::HeavyHmacBatch* defer) {
+  TestResponse resp;
+  auto& holds = host_.handshake().holds();
+  const auto it = holds.find(h);
+  if (it == holds.end()) {
+    // Nothing to show: a dropper past Delta2, or a dropper that kept no state.
+    return resp;
+  }
+  const Hold& hold = it->second;
+
+  if (mode_ == PresentMode::PorsThenStorage) {
+    // Delegation: every PoR travels (the sender chain-checks them); a storage
+    // proof covers the shortfall.
+    resp.pors = hold.pors;
+    for (const auto& por : resp.pors) s.transfer(host_, por.wire_size(), obs::WireKind::Por);
+    if (hold.pors.size() < host_.config().relay_fanout && hold.has_msg) {
+      storage_proof(s, hold, h, seed, resp, defer);
+    }
+    return resp;
+  }
+
+  // Epidemic: a full PoR set settles the test by itself.
+  if (hold.pors.size() >= host_.config().relay_fanout) {
+    resp.pors = hold.pors;
+    for (const auto& por : resp.pors) s.transfer(host_, por.wire_size(), obs::WireKind::Por);
+    return resp;
+  }
+  if (hold.has_msg) {
+    resp.pors = hold.pors;  // show what we have (0 or 1)
+    storage_proof(s, hold, h, seed, resp, defer);
+    return resp;
+  }
+  return resp;  // dropper: no PoRs, no message
+}
+
+void AuditEngine::storage_proof(Session& s, const Hold& hold, const MessageHash& h,
+                                BytesView seed, TestResponse& resp,
+                                crypto::HeavyHmacBatch* defer) {
+  host_.count_heavy_hmac();
+  host_.counters().storage_challenges->add();
+  host_.trace_event(obs::EventKind::StorageChallenge, s.peer_of(host_).id(),
+                    host_.env_.msg_ref(h), host_.config().heavy_hmac_iterations);
+  if (defer != nullptr) {
+    resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
+                                 host_.config().heavy_hmac_iterations);
+    // The digest is not known yet; the STORED_RESP frame is accounted at its
+    // canonical size either way (the challenger resolves it from the batch).
+    host_.counters().frames_encoded->add();
+  } else {
+    // Eager path: the digest rides a real STORED_RESP frame round trip.
+    StoredRespFrame frame;
+    frame.h = h;
+    std::copy(seed.begin(), seed.end(), frame.seed.begin());
+    frame.digest = crypto::heavy_hmac(hold.msg.encode(), seed, host_.config().heavy_hmac_iterations);
+    const Bytes frame_bytes = frame.encode();
+    host_.counters().frames_encoded->add();
+    resp.stored_hmac = StoredRespFrame::decode(frame_bytes).digest;
+    static_cast<RelayNode&>(s.peer_of(host_)).counters().frames_decoded->add();
+  }
+  const std::size_t sig = host_.identity().suite().signature_size();
+  s.signed_control(host_, StoredRespFrame::kWireBytes + sig, obs::WireKind::StoredResp);
+}
+
+std::size_t AuditEngine::pending_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(tests_.begin(), tests_.end(), [](const PendingTest& t) { return !t.done; }));
+}
+
+}  // namespace g2g::proto::relay

@@ -1,0 +1,178 @@
+#include "g2g/proto/relay/frames.hpp"
+
+namespace g2g::proto::relay {
+
+namespace {
+
+void put_tag(Writer& w, FrameTag tag) { w.u8(static_cast<std::uint8_t>(tag)); }
+
+FrameTag take_tag(Reader& r, FrameTag expected) {
+  const std::uint8_t tag = r.u8();
+  if (tag != static_cast<std::uint8_t>(expected)) throw DecodeError("bad frame tag");
+  return expected;
+}
+
+void put_hash(Writer& w, const MessageHash& h) { w.raw(BytesView(h.data(), h.size())); }
+
+void take_hash(Reader& r, MessageHash& h) {
+  const BytesView hv = r.raw(h.size());
+  std::copy(hv.begin(), hv.end(), h.begin());
+}
+
+template <std::size_t N>
+void take_array(Reader& r, std::array<std::uint8_t, N>& out) {
+  const BytesView v = r.raw(N);
+  std::copy(v.begin(), v.end(), out.begin());
+}
+
+void expect_done(const Reader& r) {
+  if (!r.done()) throw DecodeError("trailing bytes after frame");
+}
+
+}  // namespace
+
+Bytes RelayRqstFrame::encode() const {
+  Writer w(1 + 32);
+  put_tag(w, FrameTag::RelayRqst);
+  put_hash(w, h);
+  return std::move(w).take();
+}
+
+RelayRqstFrame RelayRqstFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::RelayRqst);
+  RelayRqstFrame f;
+  take_hash(r, f.h);
+  expect_done(r);
+  return f;
+}
+
+Bytes RelayOkFrame::encode() const {
+  Writer w(1 + 32);
+  put_tag(w, accept ? FrameTag::RelayOk : FrameTag::RelayDecline);
+  put_hash(w, h);
+  return std::move(w).take();
+}
+
+RelayOkFrame RelayOkFrame::decode(BytesView b) {
+  Reader r(b);
+  const std::uint8_t tag = r.u8();
+  RelayOkFrame f;
+  if (tag == static_cast<std::uint8_t>(FrameTag::RelayOk)) {
+    f.accept = true;
+  } else if (tag == static_cast<std::uint8_t>(FrameTag::RelayDecline)) {
+    f.accept = false;
+  } else {
+    throw DecodeError("bad frame tag");
+  }
+  take_hash(r, f.h);
+  expect_done(r);
+  return f;
+}
+
+Bytes RelayDataFrame::encode() const {
+  // Payload: the message's canonical bytes, then the attachments' canonical
+  // bytes back to back (each QualityDeclaration encoding is self-delimiting).
+  Writer payload(msg.wire_size());
+  payload.raw(msg.encode());
+  for (const auto& a : attachments) payload.raw(a.encode());
+  const Bytes& inner = payload.bytes();
+
+  Writer w(1 + 32 + 8 + inner.size());
+  put_tag(w, FrameTag::RelayData);
+  put_hash(w, h);
+  w.u64(inner.size());
+  w.raw(inner);
+  return std::move(w).take();
+}
+
+RelayDataFrame RelayDataFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::RelayData);
+  RelayDataFrame f;
+  take_hash(r, f.h);
+  const std::uint64_t len = r.u64();
+  if (len > r.remaining()) throw DecodeError("truncated relay-data payload");
+  Reader inner(r.raw(static_cast<std::size_t>(len)));
+  f.msg = SealedMessage::decode(inner);
+  while (!inner.done()) f.attachments.push_back(QualityDeclaration::decode(inner));
+  expect_done(r);
+  return f;
+}
+
+Bytes KeyRevealFrame::encode() const {
+  Writer w(1 + 32 + 32);
+  put_tag(w, FrameTag::KeyReveal);
+  put_hash(w, h);
+  w.raw(BytesView(key.data(), key.size()));
+  return std::move(w).take();
+}
+
+KeyRevealFrame KeyRevealFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::KeyReveal);
+  KeyRevealFrame f;
+  take_hash(r, f.h);
+  take_array(r, f.key);
+  expect_done(r);
+  return f;
+}
+
+Bytes PorRqstFrame::encode() const {
+  Writer w(1 + 32 + 32);
+  put_tag(w, FrameTag::PorRqst);
+  put_hash(w, h);
+  w.raw(BytesView(seed.data(), seed.size()));
+  return std::move(w).take();
+}
+
+PorRqstFrame PorRqstFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::PorRqst);
+  PorRqstFrame f;
+  take_hash(r, f.h);
+  take_array(r, f.seed);
+  expect_done(r);
+  return f;
+}
+
+Bytes StoredRespFrame::encode() const {
+  Writer w(kWireBytes);
+  put_tag(w, FrameTag::StoredResp);
+  put_hash(w, h);
+  w.raw(BytesView(seed.data(), seed.size()));
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+StoredRespFrame StoredRespFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::StoredResp);
+  StoredRespFrame f;
+  take_hash(r, f.h);
+  take_array(r, f.seed);
+  const BytesView dv = r.raw(f.digest.size());
+  std::copy(dv.begin(), dv.end(), f.digest.begin());
+  expect_done(r);
+  return f;
+}
+
+Bytes FqRqstFrame::encode() const {
+  Writer w(1 + 32 + 4);
+  put_tag(w, FrameTag::FqRqst);
+  put_hash(w, h);
+  w.u32(dst.value());
+  return std::move(w).take();
+}
+
+FqRqstFrame FqRqstFrame::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::FqRqst);
+  FqRqstFrame f;
+  take_hash(r, f.h);
+  f.dst = NodeId(r.u32());
+  expect_done(r);
+  return f;
+}
+
+}  // namespace g2g::proto::relay

@@ -1,0 +1,203 @@
+#include "g2g/proto/relay/handshake.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "g2g/proto/relay/frames.hpp"
+#include "g2g/proto/relay/relay_node.hpp"
+
+namespace g2g::proto::relay {
+
+void HandshakeEngine::generate(const SealedMessage& m, double fm) {
+  const MessageHash h = m.hash();
+  Hold hold;
+  hold.msg = m;
+  hold.has_msg = true;
+  hold.msg_bytes = m.wire_size();
+  hold.fm = fm;
+  hold.received = host_.env_.now();
+  hold.expires = host_.env_.now() + host_.config().delta1;
+  hold.giver = host_.id();
+  hold.is_source = true;
+  host_.buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+  handled_.insert(h);
+}
+
+void HandshakeEngine::purge(TimePoint now) {
+  std::vector<PendingTest>& tests = host_.audit().tests();
+  // Delta2 after receipt: every trace of the message may be discarded.
+  for (auto it = hold_.begin(); it != hold_.end();) {
+    Hold& hold = it->second;
+    const bool expired = now > hold.received + host_.config().delta2;
+    // A source keeps its bookkeeping while tests of its relays are pending.
+    const bool testing = hold.is_source &&
+                         std::any_of(tests.begin(), tests.end(), [&](const PendingTest& t) {
+                           return t.h == it->first && !t.done &&
+                                  now <= t.relayed_at + host_.config().delta2;
+                         });
+    if (expired && !testing) {
+      if (hold.has_msg) drop_payload(hold);
+      // Message and PoR state is discarded at Delta2; the 32-byte message
+      // hash stays in `handled_` so the node never pays for re-reception.
+      host_.on_hold_erased(it->first);
+      it = hold_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(tests, [&](const PendingTest& t) {
+    return t.done || now > t.relayed_at + host_.config().delta2;
+  });
+}
+
+void HandshakeEngine::drop_payload(Hold& hold) {
+  host_.buffer_changed(-static_cast<std::int64_t>(hold.msg_bytes));
+  hold.has_msg = false;
+}
+
+void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
+  const TimePoint now = s.now();
+  const std::size_t sig = host_.identity().suite().signature_size();
+
+  std::vector<MessageHash> candidates;
+  for (const auto& [h, hold] : hold_) {
+    if (!hold.has_msg || hold.is_destination) continue;
+    // A hoarder never relays other people's messages — it will answer the
+    // storage test instead (and pay the heavy HMAC for it).
+    if (host_.behavior().kind == Behavior::Hoarder && !hold.is_source &&
+        host_.deviates_with(hold.giver)) {
+      continue;
+    }
+    const std::size_t fanout =
+        hold.is_source ? host_.config().source_fanout : host_.config().relay_fanout;
+    if (hold.pors.size() >= fanout) continue;
+    if (now > hold.expires) continue;  // stop seeking relays (Delta1 / TTL)
+    candidates.push_back(h);
+  }
+
+  for (const MessageHash& h : candidates) {
+    if (s.exhausted()) break;  // the contact cannot carry another handshake
+    const auto it = hold_.find(h);
+    if (it == hold_.end() || !it->second.has_msg) continue;
+    Hold& hold = it->second;
+
+    // Steps 1-4: policy-specific (epidemic offer vs. delegation negotiation).
+    auto out = host_.relay_attempt(s, taker, h, hold);
+    if (!out.has_value()) continue;  // declined or aborted; accounting done
+
+    hold.pors.push_back(out->por);
+    // Step 5: KEY.
+    host_.counters().handshakes_completed->add();
+    host_.trace_event(obs::EventKind::HsKeyReveal, taker.id(), host_.env_.msg_ref(h));
+    KeyRevealFrame key;
+    key.h = h;
+    const Bytes key_bytes = key.encode();
+    host_.counters().frames_encoded->add();
+    s.signed_control(host_, key_bytes.size() + sig, obs::WireKind::KeyReveal);
+    host_.env_.notify_relayed(h, host_.id(), taker.id());
+    if (out->update_fm) hold.fm = out->new_fm;
+    taker.handshake().complete_relay(s, host_, out->data_frame, key_bytes, hold.fm,
+                                     hold.expires);
+
+    if (hold.is_source) {
+      host_.audit().arm(PendingTest{h, taker.id(), now, out->por, false});
+    }
+    if (!hold.is_source && hold.pors.size() >= host_.config().relay_fanout) {
+      // Forwarding duty fulfilled: the payload may go, the PoRs stay.
+      drop_payload(hold);
+    }
+  }
+}
+
+std::optional<Bytes> HandshakeEngine::answer_relay_rqst(Session& s, RelayNode& giver,
+                                                        BytesView rqst_frame) {
+  const RelayRqstFrame rq = RelayRqstFrame::decode(rqst_frame);
+  host_.counters().frames_decoded->add();
+  const std::size_t sig = host_.identity().suite().signature_size();
+  const std::uint64_t ref = host_.env_.msg_ref(rq.h);
+  if (handled_.contains(rq.h)) {
+    // "node B informs S that it should not be chosen as a relay" — and it
+    // answers honestly, because it cannot know whether it is the destination.
+    host_.trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 0);
+    const Bytes decline = RelayOkFrame{rq.h, false}.encode();
+    host_.counters().frames_encoded->add();
+    s.signed_control(host_, decline.size() + sig, obs::WireKind::RelayOk);
+    return std::nullopt;
+  }
+  // Step 2: RELAY_OK.
+  host_.trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 1);
+  const Bytes ok = RelayOkFrame{rq.h, true}.encode();
+  host_.counters().frames_encoded->add();
+  s.signed_control(host_, ok.size() + sig, obs::WireKind::RelayOk);
+
+  // Step 4: sign the PoR. (The encrypted message of step 3 has arrived; the
+  // giver accounts its bytes.)
+  ProofOfRelay por;
+  por.h = rq.h;
+  por.giver = giver.id();
+  por.taker = host_.id();
+  por.at = s.now();
+  return countersign(s, giver, std::move(por));
+}
+
+Bytes HandshakeEngine::countersign(Session& s, RelayNode& giver, ProofOfRelay por) {
+  host_.count_signature();
+  por.taker_signature = host_.identity().sign(por.signed_payload());
+  host_.counters().pors_issued->add();
+  const std::uint64_t ref = host_.env_.msg_ref(por.h);
+  host_.trace_event(obs::EventKind::HsPorSigned, giver.id(), ref);
+  host_.trace_event(obs::EventKind::PorIssued, giver.id(), ref);
+  s.transfer(host_, por.wire_size(), obs::WireKind::Por);
+  return por.encode();
+}
+
+void HandshakeEngine::complete_relay(Session& s, RelayNode& giver, BytesView data_frame,
+                                     BytesView key_frame, double new_fm, TimePoint expires) {
+  const RelayDataFrame data = RelayDataFrame::decode(data_frame);
+  const KeyRevealFrame key = KeyRevealFrame::decode(key_frame);
+  host_.counters().frames_decoded->add(2);
+  (void)key;  // the box seal emulates E_k; see KeyRevealFrame
+  const SealedMessage& m = data.msg;
+  const MessageHash h = m.hash();
+  handled_.insert(h);
+
+  Hold hold;
+  hold.msg = m;
+  hold.msg_bytes = m.wire_size();
+  hold.fm = new_fm;
+  hold.received = s.now();
+  // Global TTL: the expiry travels with the message; per-holder otherwise.
+  hold.expires = host_.config().global_ttl ? expires : s.now() + host_.config().delta1;
+  hold.giver = giver.id();
+  hold.attachments = data.attachments;
+
+  if (m.dst == host_.id()) {
+    const auto opened = open_message(host_.identity(), m, s.env().roster());
+    host_.count_verification();
+    if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, host_.id());
+    host_.on_delivered(s, data.attachments);  // test by the destination
+    // The destination keeps the message (it must still answer a possible
+    // storage test — it cannot reveal that it is the destination by design).
+    hold.is_destination = true;
+    hold.has_msg = true;
+    host_.buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  if (host_.behavior().kind == Behavior::Dropper && host_.deviates_with(giver.id())) {
+    // Drop right after the relay phase: no payload is stored; only the
+    // handled-set entry remains so the node declines re-reception.
+    hold.has_msg = false;
+    hold_.emplace(h, std::move(hold));
+    return;
+  }
+
+  hold.has_msg = true;
+  host_.buffer_changed(static_cast<std::int64_t>(hold.msg_bytes));
+  hold_.emplace(h, std::move(hold));
+}
+
+}  // namespace g2g::proto::relay

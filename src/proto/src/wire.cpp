@@ -44,6 +44,10 @@ Bytes QualityDeclaration::encode() const {
 
 QualityDeclaration QualityDeclaration::decode(BytesView b) {
   Reader r(b);
+  return decode(r);
+}
+
+QualityDeclaration QualityDeclaration::decode(Reader& r) {
   QualityDeclaration d;
   d.declarer = NodeId(r.u32());
   d.dst = NodeId(r.u32());
@@ -176,19 +180,18 @@ std::size_t ProofOfMisbehavior::wire_size() const {
   return size;
 }
 
-namespace {
+bool pom_collect_verification(const Roster& roster, const ProofOfMisbehavior& pom,
+                              std::deque<Bytes>& payloads,
+                              std::vector<crypto::VerifyRequest>& requests) {
+  const auto add_por = [&](const ProofOfRelay& por) {
+    const auto* cert = roster.find(por.taker);
+    if (cert == nullptr) return false;
+    payloads.push_back(por.signed_payload());
+    requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
+                        BytesView(por.taker_signature)});
+    return true;
+  };
 
-bool verify_por_signature(const crypto::Suite& suite, const Roster& roster,
-                          const ProofOfRelay& por) {
-  const auto* cert = roster.find(por.taker);
-  return cert != nullptr &&
-         suite.verify(cert->public_key, por.signed_payload(), por.taker_signature);
-}
-
-}  // namespace
-
-bool verify_pom(const crypto::Suite& suite, const Roster& roster,
-                const ProofOfMisbehavior& pom) {
   switch (pom.kind) {
     case ProofOfMisbehavior::Kind::RelayFailure:
       // The culprit signed a PoR accepting the message; the accuser (its
@@ -196,21 +199,22 @@ bool verify_pom(const crypto::Suite& suite, const Roster& roster,
       return pom.evidence_accepted.has_value() &&
              pom.evidence_accepted->taker == pom.culprit &&
              pom.evidence_accepted->giver == pom.accuser &&
-             verify_por_signature(suite, roster, *pom.evidence_accepted);
+             add_por(*pom.evidence_accepted);
 
-    case ProofOfMisbehavior::Kind::QualityLie:
+    case ProofOfMisbehavior::Kind::QualityLie: {
       // Signed declaration by the culprit; the destination attests the
       // contradiction with its own symmetric records.
       if (!pom.evidence_declaration.has_value() ||
           pom.evidence_declaration->declarer != pom.culprit) {
         return false;
       }
-      {
-        const auto* cert = roster.find(pom.culprit);
-        return cert != nullptr &&
-               suite.verify(cert->public_key, pom.evidence_declaration->signed_payload(),
-                            pom.evidence_declaration->signature);
-      }
+      const auto* cert = roster.find(pom.culprit);
+      if (cert == nullptr) return false;
+      payloads.push_back(pom.evidence_declaration->signed_payload());
+      requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
+                          BytesView(pom.evidence_declaration->signature)});
+      return true;
+    }
 
     case ProofOfMisbehavior::Kind::ChainCheat: {
       // Self-contained: the culprit accepted at quality f_AD
@@ -227,18 +231,23 @@ bool verify_pom(const crypto::Suite& suite, const Roster& roster,
       if (out.giver != pom.culprit) return false;
       if (in.h != out.h) return false;
       if (!in.delegation || !out.delegation) return false;
-      const auto* in_cert = roster.find(in.taker);
-      const auto* out_cert = roster.find(out.taker);
-      if (in_cert == nullptr || out_cert == nullptr) return false;
-      if (!suite.verify(in_cert->public_key, in.signed_payload(), in.taker_signature) ||
-          !suite.verify(out_cert->public_key, out.signed_payload(), out.taker_signature)) {
-        return false;
-      }
       // The cheat: quality attached on forward differs from quality accepted.
-      return std::abs(out.msg_quality - in.taker_quality) > 1e-9;
+      if (std::abs(out.msg_quality - in.taker_quality) <= 1e-9) return false;
+      return add_por(in) && add_por(out);
     }
   }
   return false;
+}
+
+bool verify_pom(const crypto::Suite& suite, const Roster& roster,
+                const ProofOfMisbehavior& pom) {
+  std::deque<Bytes> payloads;
+  std::vector<crypto::VerifyRequest> requests;
+  if (!pom_collect_verification(roster, pom, payloads, requests)) return false;
+  for (const auto& rq : requests) {
+    if (!suite.verify(rq.public_key, rq.message, rq.signature)) return false;
+  }
+  return true;
 }
 
 }  // namespace g2g::proto

@@ -6,6 +6,7 @@
 #include "g2g/crypto/identity.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/proto/message.hpp"
+#include "g2g/proto/relay/frames.hpp"
 #include "g2g/proto/wire.hpp"
 #include "g2g/util/rng.hpp"
 
@@ -188,6 +189,93 @@ TEST(FuzzDecode, VerifyPomOnRandomEvidenceNeverAccepts) {
     pom.evidence_declaration = decl;
     EXPECT_FALSE(proto::verify_pom(*suite, roster, pom));
   }
+}
+
+TEST(FuzzDecode, RelayFramesSurviveJunk) {
+  // Every handshake/audit frame decoder of the relay core against random
+  // bytes: decode or DecodeError, nothing else.
+  Rng rng(114);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::RelayRqstFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::RelayOkFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::RelayDataFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::KeyRevealFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::PorRqstFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::StoredRespFrame::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::relay::FqRqstFrame::decode(b); });
+}
+
+TEST(FuzzDecode, FixedSizeFrameTruncationsNeverCrash) {
+  proto::relay::PorRqstFrame rqst;
+  rqst.h.fill(0x31);
+  rqst.seed.fill(0x9d);
+  proto::relay::StoredRespFrame stored;
+  stored.h.fill(0x32);
+  stored.seed.fill(0x9e);
+  stored.digest.fill(0x9f);
+  proto::relay::FqRqstFrame fq;
+  fq.h.fill(0x33);
+  fq.dst = NodeId(12);
+  const Bytes encodings[] = {proto::relay::RelayRqstFrame{rqst.h}.encode(),
+                             proto::relay::RelayOkFrame{rqst.h, false}.encode(),
+                             proto::relay::KeyRevealFrame{rqst.h, {}}.encode(),
+                             rqst.encode(), stored.encode(), fq.encode()};
+  const auto decoders = {
+      +[](const Bytes& b) { (void)proto::relay::RelayRqstFrame::decode(b); },
+      +[](const Bytes& b) { (void)proto::relay::RelayOkFrame::decode(b); },
+      +[](const Bytes& b) { (void)proto::relay::KeyRevealFrame::decode(b); },
+      +[](const Bytes& b) { (void)proto::relay::PorRqstFrame::decode(b); },
+      +[](const Bytes& b) { (void)proto::relay::StoredRespFrame::decode(b); },
+      +[](const Bytes& b) { (void)proto::relay::FqRqstFrame::decode(b); }};
+  std::size_t which = 0;
+  for (const auto& decode : decoders) {
+    const Bytes& valid = encodings[which++];
+    for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+      const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_THROW(decode(truncated), DecodeError) << which - 1 << ":" << cut;
+    }
+  }
+}
+
+TEST(FuzzDecode, RelayDataFrameTruncationsAndMutationsNeverCrash) {
+  // The only variable-length frame: inner length prefix plus self-delimiting
+  // message and declaration encodings. Every truncation must throw; every
+  // single-byte mutation must decode or throw.
+  Rng rng(115);
+  const crypto::SuitePtr suite = crypto::make_fast_suite(0xF115);
+  crypto::Authority authority(suite, rng);
+  proto::Roster roster;
+  std::vector<crypto::NodeIdentity> ids;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ids.emplace_back(suite, NodeId(i), authority, rng);
+    roster.add(ids.back().certificate());
+  }
+  proto::relay::RelayDataFrame frame;
+  frame.msg = proto::make_message(ids[0], roster.get(NodeId(1)), MessageId(9),
+                                  random_bytes(rng, 24), rng);
+  frame.h = frame.msg.hash();
+  proto::QualityDeclaration decl;
+  decl.declarer = NodeId(1);
+  decl.dst = NodeId(0);
+  decl.value = 3.0;
+  decl.signature = random_bytes(rng, 32);
+  frame.attachments.push_back(decl);
+  const Bytes valid = frame.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::relay::RelayDataFrame::decode(truncated), DecodeError) << cut;
+  }
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
+      Bytes mutated = valid;
+      mutated[i] ^= flip;
+      try {
+        (void)proto::relay::RelayDataFrame::decode(mutated);
+      } catch (const DecodeError&) {
+      }
+    }
+  }
+  // The untouched encoding round-trips.
+  EXPECT_EQ(proto::relay::RelayDataFrame::decode(valid).encode(), valid);
 }
 
 TEST(FuzzDecode, U256FromHexSurvivesJunkStrings) {

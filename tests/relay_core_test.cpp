@@ -1,0 +1,143 @@
+// The relay core's accusation layer: PomLedger, the batched PoM gossip
+// (dedup + one verify_batch re-verification per session), and the
+// preverified learn path it drives.
+#include <gtest/gtest.h>
+
+#include "g2g/obs/context.hpp"
+#include "g2g/proto/g2g_epidemic.hpp"
+#include "g2g/proto/relay/pom.hpp"
+#include "proto_test_util.hpp"
+
+namespace g2g::proto {
+namespace {
+
+using testutil::make_trace;
+using G2GWorld = testutil::World<G2GEpidemicNode>;
+
+constexpr double kD1 = 30.0 * 60.0;  // matches World::default_config delta1
+
+/// A RelayFailure PoM that passes the structural checks (signature junk).
+ProofOfMisbehavior relay_failure_pom(std::uint32_t culprit, std::uint32_t accuser) {
+  ProofOfMisbehavior pom;
+  pom.kind = ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(culprit);
+  pom.accuser = NodeId(accuser);
+  ProofOfRelay por;
+  por.h.fill(0x5A);
+  por.giver = NodeId(accuser);
+  por.taker = NodeId(culprit);
+  por.taker_signature = Bytes(32, 0x42);  // junk: fails re-verification
+  pom.evidence_accepted = por;
+  return pom;
+}
+
+TEST(PomGossipBatch, DropperRunReVerifiesGossipThroughTheBatch) {
+  // Node 1 drops; the source detects it on re-meet and then gossips the PoM
+  // to node 2. The gossip must flow through the batched verify_batch path:
+  // the g2g.pom.batch_verified counter ticks and node 2 still learns/evicts.
+  obs::ObsContext obs;
+  NetworkConfig cfg = G2GWorld::default_config();
+  cfg.obs = &obs;
+  G2GWorld w(make_trace(4, {{0, 1, 100, 110},
+                            {0, 1, 100 + kD1 + 60, 100 + kD1 + 70},
+                            {0, 2, 100 + kD1 + 200, 100 + kD1 + 210}}),
+             cfg, {{}, {Behavior::Dropper, false}, {}, {}});
+  w.send(0, 3, 50);
+  w.run();
+
+  ASSERT_EQ(w.collector().detections().size(), 1u);
+  EXPECT_GE(obs.counters.pom_batch_verified->value(), 1u);
+  EXPECT_GE(obs.counters.poms_gossiped->value(), 1u);
+  EXPECT_GE(obs.counters.poms_learned->value(), 1u);
+  EXPECT_TRUE(w.node(2).blacklisted(NodeId(1)));
+}
+
+TEST(PomGossipBatch, DuplicateGossipIsDedupedBeforeReVerification) {
+  // Two byte-identical PoMs in one session verify once. Duplicates can only
+  // reach the batch when the culprit IS the receiver (a receiver never
+  // blacklists itself, so the sequential path re-transfers such a PoM every
+  // contact); any other culprit is suppressed after the first item exactly
+  // like the receiver's blacklist would.
+  G2GWorld w(make_trace(4, {{0, 1, 100, 110}}));
+  Network<G2GEpidemicNode>& net = w.network();
+  const ProofOfMisbehavior pom = relay_failure_pom(/*culprit=*/1, /*accuser=*/0);
+  w.node(0).pom_ledger().record(pom);
+  w.node(0).pom_ledger().record(pom);
+
+  relay::PomGossipBatch batch;
+  batch.collect(w.node(0), w.node(1));
+  batch.collect(w.node(1), w.node(0));
+  ASSERT_EQ(batch.size(), 2u);
+
+  obs::ObsContext& obs = net.obs();
+  const bool all_ok =
+      batch.verify(w.node(0).identity().suite(), net.roster(), obs.counters);
+  // The junk signature fails re-verification, but a PoM naming the receiver
+  // itself is never judged (learn_pom discards it first) — no fallback.
+  EXPECT_TRUE(all_ok);
+  EXPECT_EQ(obs.counters.pom_gossip_dup->value(), 1u);
+  EXPECT_EQ(obs.counters.pom_batch_verified->value(), 1u);  // one unique PoM
+
+  Session s(net, w.node(0), w.node(1));
+  batch.apply(s, obs);
+  EXPECT_EQ(obs.counters.poms_gossiped->value(), 2u);  // both items accounted
+  EXPECT_FALSE(w.node(1).blacklisted(NodeId(1)));      // self-culprit: ignored
+}
+
+TEST(PomGossipBatch, DistinctCulpritsSuppressLikeTheSequentialBlacklist) {
+  // Two PoMs about the same (third-party) culprit: the second never enters
+  // the batch, because the receiver would have blacklisted the culprit when
+  // learning the first — the speculative blacklist mirrors that.
+  G2GWorld w(make_trace(4, {{0, 1, 100, 110}}));
+  const ProofOfMisbehavior pom = relay_failure_pom(/*culprit=*/2, /*accuser=*/0);
+  w.node(0).pom_ledger().record(pom);
+  w.node(0).pom_ledger().record(pom);
+
+  relay::PomGossipBatch batch;
+  batch.collect(w.node(0), w.node(1));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(PomGossipBatch, FailedReVerificationOfAJudgedPomForcesFallback) {
+  // A junk-signed PoM about a third party fails the batch re-verification,
+  // and the receiver WOULD judge it — verify() must demand the sequential
+  // fallback.
+  G2GWorld w(make_trace(4, {{0, 1, 100, 110}}));
+  Network<G2GEpidemicNode>& net = w.network();
+  w.node(0).pom_ledger().record(relay_failure_pom(/*culprit=*/2, /*accuser=*/0));
+
+  relay::PomGossipBatch batch;
+  batch.collect(w.node(0), w.node(1));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(batch.verify(w.node(0).identity().suite(), net.roster(), net.obs().counters));
+}
+
+TEST(ProtocolNode, PreverifiedVerdictGatesTheBlacklist) {
+  G2GWorld w(make_trace(4, {{0, 1, 100, 110}}));
+  const ProofOfMisbehavior bad = relay_failure_pom(/*culprit=*/2, /*accuser=*/1);
+  // A false verdict is recorded (trace) but never learned.
+  EXPECT_FALSE(w.node(0).learn_pom_preverified(bad, false));
+  EXPECT_FALSE(w.node(0).blacklisted(NodeId(2)));
+  // A true verdict is trusted: the evidence is not re-checked here.
+  EXPECT_TRUE(w.node(0).learn_pom_preverified(bad, true));
+  EXPECT_TRUE(w.node(0).blacklisted(NodeId(2)));
+  // Already blacklisted: nothing new to learn.
+  EXPECT_FALSE(w.node(0).learn_pom_preverified(bad, true));
+  // A node never learns accusations against itself.
+  EXPECT_FALSE(w.node(0).learn_pom_preverified(relay_failure_pom(0, 1), true));
+  EXPECT_FALSE(w.node(0).blacklisted(NodeId(0)));
+}
+
+TEST(PomLedger, RecordAndBlacklistAreIndependent) {
+  relay::PomLedger ledger;
+  EXPECT_FALSE(ledger.blacklisted(NodeId(3)));
+  ledger.blacklist(NodeId(3));
+  EXPECT_TRUE(ledger.blacklisted(NodeId(3)));
+  EXPECT_TRUE(ledger.known().empty());
+  const ProofOfMisbehavior& stored = ledger.record(relay_failure_pom(3, 1));
+  EXPECT_EQ(stored.culprit, NodeId(3));
+  EXPECT_EQ(ledger.known().size(), 1u);
+}
+
+}  // namespace
+}  // namespace g2g::proto
