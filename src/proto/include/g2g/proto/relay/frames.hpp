@@ -12,10 +12,14 @@
 //
 // Framing rules (shared with the artefacts): canonical little-endian, a
 // leading one-byte tag, fixed-size fields, and strict decoding — unknown
-// tags, truncation, and trailing bytes all throw DecodeError.
+// tags, truncation, and trailing bytes all throw DecodeError. Every frame
+// carries the full codec triple — encode() / decode() / wire_size(), with
+// wire_size() computed arithmetically and pinned to encode().size() in
+// tests/relay_frames_test.cpp (g2g-lint rule wire-encode-triple).
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <vector>
 
 #include "g2g/proto/message.hpp"
@@ -43,6 +47,7 @@ struct RelayRqstFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static RelayRqstFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Step 2: accept (tag RelayOk) or decline (tag RelayDecline).
@@ -52,6 +57,7 @@ struct RelayOkFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static RelayOkFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Step 3: the encrypted message plus any embedded quality declarations
@@ -65,6 +71,7 @@ struct RelayDataFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static RelayDataFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Step 5: the key reveal. The simulation emulates the encryption (the box
@@ -76,6 +83,7 @@ struct KeyRevealFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static KeyRevealFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Audit challenge: prove you relayed H(m) (PoRs) or still store it (heavy
@@ -86,6 +94,7 @@ struct PorRqstFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static PorRqstFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Audit storage proof: the heavy HMAC digest over (m, seed).
@@ -100,6 +109,7 @@ struct StoredRespFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static StoredRespFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 /// Delegation step 8: request a signed quality declaration toward D'.
@@ -109,6 +119,7 @@ struct FqRqstFrame {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static FqRqstFrame decode(BytesView b);
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 }  // namespace g2g::proto::relay

@@ -31,8 +31,10 @@ void expect_done(const Reader& r) {
 
 }  // namespace
 
+std::size_t RelayRqstFrame::wire_size() const { return 1 + 32; }
+
 Bytes RelayRqstFrame::encode() const {
-  Writer w(1 + 32);
+  Writer w(wire_size());
   put_tag(w, FrameTag::RelayRqst);
   put_hash(w, h);
   return std::move(w).take();
@@ -47,8 +49,10 @@ RelayRqstFrame RelayRqstFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t RelayOkFrame::wire_size() const { return 1 + 32; }
+
 Bytes RelayOkFrame::encode() const {
-  Writer w(1 + 32);
+  Writer w(wire_size());
   put_tag(w, accept ? FrameTag::RelayOk : FrameTag::RelayDecline);
   put_hash(w, h);
   return std::move(w).take();
@@ -70,6 +74,12 @@ RelayOkFrame RelayOkFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t RelayDataFrame::wire_size() const {
+  std::size_t inner = msg.wire_size();
+  for (const auto& a : attachments) inner += a.wire_size();
+  return 1 + 32 + 8 + inner;
+}
+
 Bytes RelayDataFrame::encode() const {
   // Payload: the message's canonical bytes, then the attachments' canonical
   // bytes back to back (each QualityDeclaration encoding is self-delimiting).
@@ -78,7 +88,7 @@ Bytes RelayDataFrame::encode() const {
   for (const auto& a : attachments) payload.raw(a.encode());
   const Bytes& inner = payload.bytes();
 
-  Writer w(1 + 32 + 8 + inner.size());
+  Writer w(wire_size());
   put_tag(w, FrameTag::RelayData);
   put_hash(w, h);
   w.u64(inner.size());
@@ -100,8 +110,10 @@ RelayDataFrame RelayDataFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t KeyRevealFrame::wire_size() const { return 1 + 32 + 32; }
+
 Bytes KeyRevealFrame::encode() const {
-  Writer w(1 + 32 + 32);
+  Writer w(wire_size());
   put_tag(w, FrameTag::KeyReveal);
   put_hash(w, h);
   w.raw(BytesView(key.data(), key.size()));
@@ -118,8 +130,10 @@ KeyRevealFrame KeyRevealFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t PorRqstFrame::wire_size() const { return 1 + 32 + 32; }
+
 Bytes PorRqstFrame::encode() const {
-  Writer w(1 + 32 + 32);
+  Writer w(wire_size());
   put_tag(w, FrameTag::PorRqst);
   put_hash(w, h);
   w.raw(BytesView(seed.data(), seed.size()));
@@ -135,6 +149,8 @@ PorRqstFrame PorRqstFrame::decode(BytesView b) {
   expect_done(r);
   return f;
 }
+
+std::size_t StoredRespFrame::wire_size() const { return kWireBytes; }
 
 Bytes StoredRespFrame::encode() const {
   Writer w(kWireBytes);
@@ -157,8 +173,10 @@ StoredRespFrame StoredRespFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t FqRqstFrame::wire_size() const { return 1 + 32 + 4; }
+
 Bytes FqRqstFrame::encode() const {
-  Writer w(1 + 32 + 4);
+  Writer w(wire_size());
   put_tag(w, FrameTag::FqRqst);
   put_hash(w, h);
   w.u32(dst.value());

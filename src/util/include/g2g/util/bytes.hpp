@@ -99,9 +99,11 @@ class Reader {
   template <typename T>
   [[nodiscard]] T read_le() {
     const auto b = take(sizeof(T));
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<T>(b[i]) << (8 * i);
-    return v;
+    // Accumulate in 64 bits: for sub-int T the shift would otherwise promote
+    // to int and narrow back on the compound assignment (-Wconversion).
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return static_cast<T>(v);
   }
   [[nodiscard]] BytesView take(std::size_t n) {
     if (remaining() < n) throw DecodeError("truncated input");

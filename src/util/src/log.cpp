@@ -8,6 +8,8 @@
 namespace g2g {
 
 namespace {
+// g2g-lint: allow(no-adhoc-atomic) -- log verbosity gate shared across sweep
+// workers; diagnostics only, never protocol state or a counter.
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 thread_local const LogClock* t_clock = nullptr;
 

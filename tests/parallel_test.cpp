@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -120,6 +121,60 @@ TEST(Parallel, SweepPropagatesLowestCellError) {
                                      {bad, 2},
                                      {tiny(Protocol::Epidemic, 3), 1}};
   EXPECT_THROW((void)run_sweep(cells, 3), std::invalid_argument);
+}
+
+// TSan-targeted contention stress (ISSUE 5): thousands of near-empty work
+// items force the owned shards to drain almost immediately, so most of the
+// run is workers racing through the steal path — victim scans, cursor
+// fetch_adds, lost claim races — while failures land under the error mutex.
+// The pool contract must survive untouched: every index executes exactly
+// once (drain-all), and the lowest-index error is the one rethrown no matter
+// which worker hit its failure first. Runs in the normal suite too; under
+// `tools/check.sh --tsan` the same interleavings are race-checked.
+TEST(Parallel, ContentionStressDrainsAllAndRethrowsLowest) {
+  constexpr std::size_t kIndices = 4096;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kFirstFailure = 41;
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<std::atomic<std::uint8_t>> executions(kIndices);
+    try {
+      sharded_for(kIndices, kThreads, [&executions](std::size_t i) {
+        executions[i].fetch_add(1);
+        // Uneven spin: make some cells slower so shard drain rates diverge
+        // and thieves pile onto the loaded shards.
+        volatile std::size_t sink = 0;
+        for (std::size_t k = 0; k < (i % 7) * 50; ++k) sink += k;
+        if (i % 97 == kFirstFailure % 97 && i >= kFirstFailure) {
+          throw std::runtime_error("fail at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a throw (trial " << trial << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail at 41") << "trial " << trial;
+    }
+    for (std::size_t i = 0; i < kIndices; ++i) {
+      ASSERT_EQ(executions[i].load(), 1u) << "index " << i << " trial " << trial;
+    }
+  }
+}
+
+// The same contract one layer up: a run_sweep whose flattened index space
+// carries several failing cells interleaved with healthy ones, pushed wide
+// enough that completions race. The error of the lowest flat index — the
+// first run of the first bad cell — must surface every time, and healthy
+// cells must still aggregate exactly like their sequential counterparts.
+TEST(Parallel, SweepContentionRacingExceptionsStayDeterministic) {
+  ExperimentConfig bad = tiny(Protocol::Epidemic, 1);
+  bad.scenario.trace_config.nodes = 1;  // invalid: throws in run_experiment
+  std::vector<SweepCell> cells;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    cells.push_back({tiny(Protocol::Epidemic, 20 + s), 2});
+  }
+  cells.insert(cells.begin() + 2, {bad, 2});  // flat indices 4..5 fail first
+  cells.push_back({bad, 1});                  // and a racing failure at the tail
+  for (int trial = 0; trial < 3; ++trial) {
+    EXPECT_THROW((void)run_sweep(cells, 8), std::invalid_argument) << trial;
+  }
 }
 
 TEST(Parallel, RepeatedParallelMatchesSequentialAggregate) {

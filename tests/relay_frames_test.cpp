@@ -56,6 +56,7 @@ TEST_F(RelayFrames, RelayRqstRoundTripAndSizeIdentity) {
   // The frame plus the control signature must cost exactly what the old
   // size-arithmetic path charged.
   EXPECT_EQ(b.size() + 64, wire::relay_rqst(64));
+  EXPECT_EQ(f.wire_size(), b.size());
   const RelayRqstFrame d = RelayRqstFrame::decode(b);
   EXPECT_EQ(d.h, f.h);
 }
@@ -148,6 +149,37 @@ TEST_F(RelayFrames, FqRqstRoundTripAndSizeIdentity) {
   const FqRqstFrame d = FqRqstFrame::decode(b);
   EXPECT_EQ(d.h, f.h);
   EXPECT_EQ(d.dst, f.dst);
+}
+
+// The codec-triple invariant g2g-lint enforces statically (wire-encode-triple)
+// pinned dynamically: every frame's arithmetic wire_size() is exactly its
+// encoded size, including the variable-length RelayData payload.
+TEST_F(RelayFrames, WireSizeMatchesEncodedSizeForEveryFrame) {
+  const MessageHash h = hash_of(0x99);
+  EXPECT_EQ(RelayRqstFrame{h}.wire_size(), RelayRqstFrame{h}.encode().size());
+  EXPECT_EQ((RelayOkFrame{h, true}).wire_size(), (RelayOkFrame{h, true}).encode().size());
+  EXPECT_EQ((RelayOkFrame{h, false}).wire_size(),
+            (RelayOkFrame{h, false}).encode().size());
+  KeyRevealFrame key;
+  key.h = h;
+  EXPECT_EQ(key.wire_size(), key.encode().size());
+  PorRqstFrame por;
+  por.h = h;
+  EXPECT_EQ(por.wire_size(), por.encode().size());
+  StoredRespFrame stored;
+  stored.h = h;
+  EXPECT_EQ(stored.wire_size(), stored.encode().size());
+  EXPECT_EQ(stored.wire_size(), StoredRespFrame::kWireBytes);
+  const FqRqstFrame fq{h, NodeId(7)};
+  EXPECT_EQ(fq.wire_size(), fq.encode().size());
+
+  RelayDataFrame data;
+  data.msg = message();
+  data.h = data.msg.hash();
+  EXPECT_EQ(data.wire_size(), data.encode().size());  // no attachments
+  data.attachments.push_back(declaration(0, 1.5));
+  data.attachments.push_back(declaration(1, 4.0));
+  EXPECT_EQ(data.wire_size(), data.encode().size());  // with attachments
 }
 
 TEST_F(RelayFrames, ForeignTagsAreRejected) {

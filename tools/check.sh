@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Local check driver. Tiers (see docs/TESTING.md):
+# Local check driver. Tiers (see docs/TESTING.md and docs/STATIC_ANALYSIS.md):
 #
+#   tools/check.sh --lint         # static gates only: g2g-lint (+ clang-tidy)
+#   tools/check.sh --tsan         # ThreadSanitizer lane: ctest -L tsan
 #   tools/check.sh --label fast   # unit tier only: ctest -L fast, seconds
-#   tools/check.sh --fast         # full suite, normal build only
-#   tools/check.sh                # full suite twice: normal + ASan/UBSan
+#   tools/check.sh --fast         # lint, then full suite, normal build only
+#   tools/check.sh                # lint, then full suite twice: normal + ASan/UBSan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,12 +25,51 @@ run_pass() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
 }
 
+# Static gates: g2g-lint always (built from this tree, so it can never drift
+# from the sources it scans), clang-tidy when the binary is installed.
+run_lint() {
+  echo "== lint: g2g-lint =="
+  cmake -B build -S . >/dev/null
+  cmake --build build --target g2g-lint -j "$jobs"
+  ./build/tools/lint/g2g-lint --root .
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy =="
+    # The normal build exports compile_commands.json; scan first-party
+    # sources only (tools/lint scans itself via the same database).
+    mapfile -t tidy_sources < <(find src tools/lint -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "== lint: clang-tidy not installed; skipped (CI runs it) =="
+  fi
+}
+
+case "${1:-}" in
+  --lint)
+    run_lint
+    echo "ok (lint)"
+    exit 0
+    ;;
+  --tsan)
+    echo "== ThreadSanitizer lane: parallel/sweep/obs subset =="
+    export TSAN_OPTIONS="suppressions=$PWD/tools/tsan.supp ${TSAN_OPTIONS:-}"
+    ctest_args=(-L tsan)
+    run_pass build-tsan -DG2G_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    echo "ok (tsan)"
+    exit 0
+    ;;
+esac
+
 if [[ ${#ctest_args[@]} -gt 0 ]]; then
   echo "== label-restricted pass: ${ctest_args[*]} =="
   run_pass build
   echo "ok (label tier)"
   exit 0
 fi
+
+# Full runs lint first: a determinism or wire-invariant finding fails in
+# seconds, before any simulation is built or run.
+run_lint
 
 echo "== pass 1: normal build =="
 run_pass build

@@ -1,0 +1,20 @@
+// Fixture: iterating an unordered container in experiment-feeding code.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::size_t sum_lengths() {
+  std::unordered_map<std::string, int> tallies;
+  tallies.emplace("a", 1);
+  std::size_t total = 0;
+  for (const auto& kv : tallies) {  // no-unordered-iter
+    total += kv.first.size();
+  }
+  auto it = tallies.begin();  // no-unordered-iter
+  (void)it;
+  return total;
+}
+
+}  // namespace fixture

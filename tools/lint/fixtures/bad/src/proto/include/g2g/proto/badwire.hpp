@@ -1,0 +1,38 @@
+// Fixture: a wire type declaring encode() without the rest of the codec
+// triple, and an allow() pragma with no justification.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct HalfCodec {  // wire-encode-triple: missing decode() and wire_size()
+  int field = 0;
+
+  [[nodiscard]] Bytes encode() const;
+};
+
+struct NoSizeCodec {  // wire-encode-triple: missing wire_size()
+  int field = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static NoSizeCodec decode(const Bytes& b);
+};
+
+struct FullCodec {  // clean: the full triple is declared
+  int field = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static FullCodec decode(const Bytes& b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+// g2g-lint: allow(wire-encode-triple)
+struct UnjustifiedCodec {  // allow-without-justification (and the allow is void)
+  [[nodiscard]] Bytes encode() const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: a frame catalogue whose newest frame never made it into the
+// decoder fuzz suite (see ../../../../../../tests/fuzz_decode_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct CoveredFrame {
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static CoveredFrame decode(const Bytes& b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+struct ForgottenFrame {  // frame-fuzz-coverage: absent from fuzz_decode_test.cpp
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static ForgottenFrame decode(const Bytes& b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: every determinism token rule must fire in a sim translation unit.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int libc_rand() { return rand() % 7; }                       // no-rand
+
+unsigned hardware_entropy() {
+  std::random_device dev;                                    // no-random-device
+  return dev();
+}
+
+long wall_clock_now() {
+  const auto t = std::chrono::system_clock::now();           // no-wall-clock
+  (void)t;
+  return time(nullptr);                                      // no-wall-clock
+}
+
+const char* config_from_env() { return std::getenv("G2G_FIXTURE"); }  // no-getenv
+
+}  // namespace fixture

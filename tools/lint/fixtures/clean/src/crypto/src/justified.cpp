@@ -1,0 +1,29 @@
+// Fixture: a clean tree — justified pragmas silence real uses, and the
+// deterministic alternatives pass without any pragma.
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct FakeRegistry {
+  int& counter(const std::string& name) { return slots[name]; }
+  std::map<std::string, int> slots;
+};
+
+// g2g-lint: allow(no-getenv) -- process-level feature toggle read once at
+// startup; never consulted during a run, so replays are unaffected.
+const char* feature_toggle() { return std::getenv("FIXTURE_TOGGLE"); }
+
+// g2g-lint: allow(no-adhoc-atomic) -- work-distribution cursor, not a
+// protocol counter; results are reduced in index order regardless.
+std::atomic<int> g_cursor{0};
+
+void bump(FakeRegistry& reg) {
+  reg.counter("g2g.fixture.bumps") += 1;  // registered prefix: clean
+  std::map<std::string, int> ordered;     // ordered container: iteration is fine
+  for (const auto& kv : ordered) (void)kv;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: the full codec triple, plus a same-line pragma.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+using Bytes = std::vector<unsigned char>;
+
+struct FullCodec {
+  int field = 0;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static FullCodec decode(const Bytes& b);
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+struct SignOnly {  // g2g-lint: allow(wire-encode-triple) -- one-way artefact: signed locally, never parsed back
+  [[nodiscard]] Bytes encode() const;
+};
+
+}  // namespace fixture

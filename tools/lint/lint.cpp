@@ -1,0 +1,462 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace g2g::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexical split: per line, the code with string contents blanked (token
+// rules), the code with string contents kept (counter-name rule), and the
+// comment text (pragmas). Block comments and literals are tracked across
+// lines; raw strings are treated as ordinary strings, which is safe for the
+// rules here (worst case a token inside a raw string is blanked).
+// ---------------------------------------------------------------------------
+
+struct SplitLine {
+  std::string code_blanked;  ///< comments removed, string/char contents blanked
+  std::string code;          ///< comments removed, literals kept
+  std::string comment;       ///< comment text only
+};
+
+std::vector<SplitLine> split_lines(const std::string& text) {
+  enum class State { Code, String, Char, LineComment, BlockComment };
+  State state = State::Code;
+  std::vector<SplitLine> lines;
+  SplitLine cur;
+  const auto flush = [&] {
+    lines.push_back(std::move(cur));
+    cur = SplitLine{};
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::LineComment) state = State::Code;
+      // Unterminated string at end of line: bail back to code (the compiler
+      // would reject it anyway; the lint must not derail on one bad line).
+      if (state == State::String || state == State::Char) state = State::Code;
+      flush();
+      continue;
+    }
+    switch (state) {
+      case State::Code:
+        if (c == '/' && n == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && n == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::String;
+          cur.code_blanked += '"';
+          cur.code += '"';
+        } else if (c == '\'') {
+          state = State::Char;
+          cur.code_blanked += '\'';
+          cur.code += '\'';
+        } else {
+          cur.code_blanked += c;
+          cur.code += c;
+        }
+        break;
+      case State::String:
+      case State::Char: {
+        cur.code += c;
+        const char quote = state == State::String ? '"' : '\'';
+        if (c == '\\' && n != '\0' && n != '\n') {
+          cur.code_blanked += ' ';
+          cur.code += n;
+          cur.code_blanked += ' ';
+          ++i;
+        } else if (c == quote) {
+          cur.code_blanked += quote;
+          state = State::Code;
+        } else {
+          cur.code_blanked += ' ';
+        }
+        break;
+      }
+      case State::LineComment:
+        cur.comment += c;
+        break;
+      case State::BlockComment:
+        if (c == '*' && n == '/') {
+          state = State::Code;
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+    }
+  }
+  flush();
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas: "g2g-lint: allow(rule-a, rule-b) -- justification". The allow
+// covers its own line and the next one (the idiom is a comment line directly
+// above the flagged statement). A missing justification is itself a finding.
+// ---------------------------------------------------------------------------
+
+struct PragmaTable {
+  // line (1-based) -> rules allowed on that line
+  std::map<std::size_t, std::set<std::string>> allowed;
+  std::vector<Finding> malformed;
+};
+
+PragmaTable collect_pragmas(const std::string& rel_path,
+                            const std::vector<SplitLine>& lines) {
+  static const std::regex kPragma(
+      R"(g2g-lint\s*:\s*allow\s*\(([^)]*)\)\s*(?:--\s*(\S.*))?)");
+  PragmaTable table;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i].comment, m, kPragma)) continue;
+    const std::size_t line_no = i + 1;
+    if (!m[2].matched) {
+      table.malformed.push_back(
+          {rel_path, line_no, "allow-without-justification",
+           "allow(...) pragma needs a reason: \"// g2g-lint: allow(rule) -- why\""});
+      continue;
+    }
+    std::set<std::string> rules;
+    std::stringstream list(m[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) rules.insert(rule.substr(b, e - b + 1));
+    }
+    // The allow covers the pragma's own line, and — when the pragma is a
+    // standalone comment (possibly with the justification wrapping onto
+    // further comment lines) — the next line that carries code.
+    const auto has_code = [&](std::size_t idx) {
+      return lines[idx].code_blanked.find_first_not_of(" \t") != std::string::npos;
+    };
+    std::size_t target = line_no;
+    if (!has_code(i)) {
+      for (std::size_t j = i + 1; j < lines.size(); ++j) {
+        if (has_code(j)) {
+          target = j + 1;
+          break;
+        }
+      }
+    }
+    table.allowed[line_no].insert(rules.begin(), rules.end());
+    table.allowed[target].insert(rules.begin(), rules.end());
+  }
+  return table;
+}
+
+bool is_allowed(const PragmaTable& table, std::size_t line, const std::string& rule) {
+  const auto it = table.allowed.find(line);
+  return it != table.allowed.end() && it->second.count(rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scopes. Paths are relative to the scanned root with '/' separators.
+// ---------------------------------------------------------------------------
+
+bool in_src(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
+bool in_tests(const std::string& rel) { return rel.rfind("tests/", 0) == 0; }
+bool in_obs(const std::string& rel) { return rel.rfind("src/obs/", 0) == 0; }
+bool in_proto_headers(const std::string& rel) {
+  return rel.rfind("src/proto/include/", 0) == 0;
+}
+
+bool is_header(const std::string& rel) {
+  return rel.size() > 4 && (rel.ends_with(".hpp") || rel.ends_with(".h"));
+}
+
+struct TokenRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+  bool applies_to_tests;
+};
+
+const std::vector<TokenRule>& token_rules() {
+  static const std::vector<TokenRule> rules = [] {
+    std::vector<TokenRule> r;
+    r.push_back({"no-rand", std::regex(R"(\b(?:srand|rand)\s*\()"),
+                 "libc rand()/srand() is nondeterministic across platforms; use g2g::Rng",
+                 true});
+    r.push_back({"no-random-device",
+                 std::regex(R"(\brandom_device\b)"),
+                 "std::random_device breaks seed reproducibility; use g2g::Rng",
+                 true});
+    r.push_back({"no-wall-clock",
+                 std::regex(R"(\bsystem_clock\b|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstd\s*::\s*time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))"),
+                 "wall-clock reads make runs non-replayable; use sim TimePoint "
+                 "(steady_clock is fine for profiling)",
+                 false});
+    r.push_back({"no-getenv", std::regex(R"(\bgetenv\b)"),
+                 "environment reads hide run configuration; thread it through "
+                 "ExperimentConfig",
+                 false});
+    return r;
+  }();
+  return rules;
+}
+
+const std::set<std::string>& registered_counter_prefixes() {
+  // The counter namespace of docs/OBSERVABILITY.md. New areas are added here
+  // deliberately, in the same commit that documents them.
+  static const std::set<std::string> prefixes = {
+      "buffer.", "detect.", "fastpath.", "g2g.", "hs.",
+      "msg.",    "pom.",    "session.",  "wire.",
+  };
+  return prefixes;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanning.
+// ---------------------------------------------------------------------------
+
+void scan_tokens(const std::string& rel, const std::vector<SplitLine>& lines,
+                 const PragmaTable& pragmas, std::vector<Finding>& out) {
+  const bool src = in_src(rel);
+  const bool tests = in_tests(rel);
+  if (!src && !tests) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const TokenRule& rule : token_rules()) {
+      if (tests && !rule.applies_to_tests) continue;
+      if (!std::regex_search(lines[i].code_blanked, rule.pattern)) continue;
+      if (is_allowed(pragmas, i + 1, rule.rule)) continue;
+      out.push_back({rel, i + 1, rule.rule, rule.message});
+    }
+  }
+}
+
+void scan_unordered_iteration(const std::string& rel,
+                              const std::vector<SplitLine>& lines,
+                              const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_src(rel)) return;
+  // Pass 1: names declared (in this file) with an unordered container type.
+  static const std::regex kDecl(R"(unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=(])");
+  std::set<std::string> unordered_names;
+  for (const SplitLine& line : lines) {
+    auto begin = std::sregex_iterator(line.code_blanked.begin(),
+                                      line.code_blanked.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_names.insert((*it)[1].str());
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Pass 2: range-for over, or begin() iteration of, one of those names.
+  static const std::regex kRangeFor(R"(for\s*\([^)]*:\s*(\w+)\s*\))");
+  static const std::regex kBegin(R"((\w+)\s*\.\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const auto* pattern : {&kRangeFor, &kBegin}) {
+      auto begin = std::sregex_iterator(lines[i].code_blanked.begin(),
+                                        lines[i].code_blanked.end(), *pattern);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (unordered_names.count(name) == 0) continue;
+        if (is_allowed(pragmas, i + 1, "no-unordered-iter")) continue;
+        out.push_back({rel, i + 1, "no-unordered-iter",
+                       "iteration over unordered container '" + name +
+                           "' has unspecified order; use std::map or sort first"});
+      }
+    }
+  }
+}
+
+void scan_wire_triple(const std::string& rel, const std::vector<SplitLine>& lines,
+                      const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_proto_headers(rel) || !is_header(rel)) return;
+  // Whole-file scan over blanked code: find each struct/class body and check
+  // that encode() is accompanied by decode() and wire_size().
+  std::string text;
+  std::vector<std::size_t> line_of_offset(1, 1);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    text += lines[i].code_blanked;
+    text += '\n';
+    line_of_offset.push_back(i + 2);
+  }
+  static const std::regex kStruct(R"((?:struct|class)\s+(\w+)[^;{]*\{)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kStruct);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    // Matching close brace.
+    std::size_t depth = 0;
+    std::size_t close = text.size();
+    for (std::size_t p = open; p < text.size(); ++p) {
+      if (text[p] == '{') ++depth;
+      if (text[p] == '}' && --depth == 0) {
+        close = p;
+        break;
+      }
+    }
+    const std::string body = text.substr(open, close - open);
+    static const std::regex kEncode(R"(\bencode\s*\(\s*\)\s*const)");
+    static const std::regex kDecode(R"(\bdecode\s*\()");
+    static const std::regex kWireSize(R"(\bwire_size\s*\(\s*\)\s*const)");
+    if (!std::regex_search(body, kEncode)) continue;
+    std::string missing;
+    if (!std::regex_search(body, kDecode)) missing = "decode()";
+    if (!std::regex_search(body, kWireSize)) {
+      if (!missing.empty()) missing += " and ";
+      missing += "wire_size()";
+    }
+    if (missing.empty()) continue;
+    const std::size_t line =
+        line_of_offset[static_cast<std::size_t>(
+            std::count(text.begin(), text.begin() + it->position(), '\n'))];
+    if (is_allowed(pragmas, line, "wire-encode-triple")) continue;
+    out.push_back({rel, line, "wire-encode-triple",
+                   "'" + (*it)[1].str() + "' declares encode() but not " + missing +
+                       "; every wire type carries the full codec triple"});
+  }
+}
+
+void scan_counters(const std::string& rel, const std::vector<SplitLine>& lines,
+                   const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_src(rel)) return;
+  static const std::regex kCall(R"(\b(?:counter|histogram)\s*\(\s*"([^"]*)\")");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto begin = std::sregex_iterator(lines[i].code.begin(), lines[i].code.end(), kCall);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      const auto& prefixes = registered_counter_prefixes();
+      const bool ok = std::any_of(prefixes.begin(), prefixes.end(),
+                                  [&](const std::string& p) {
+                                    return name.rfind(p, 0) == 0;
+                                  });
+      if (ok) continue;
+      if (is_allowed(pragmas, i + 1, "counter-name-prefix")) continue;
+      out.push_back({rel, i + 1, "counter-name-prefix",
+                     "counter/histogram name '" + name +
+                         "' lacks a registered area prefix (see "
+                         "docs/STATIC_ANALYSIS.md)"});
+    }
+  }
+}
+
+void scan_adhoc_atomics(const std::string& rel, const std::vector<SplitLine>& lines,
+                        const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_src(rel) || in_obs(rel)) return;
+  static const std::regex kAtomic(R"(\bstd\s*::\s*atomic\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_search(lines[i].code_blanked, kAtomic)) continue;
+    if (is_allowed(pragmas, i + 1, "no-adhoc-atomic")) continue;
+    out.push_back({rel, i + 1, "no-adhoc-atomic",
+                   "std::atomic outside src/obs — protocol counters go through "
+                   "obs::Registry; justify infrastructure atomics with an allow "
+                   "pragma"});
+  }
+}
+
+// Frame catalogue completeness: every struct *Frame in relay/frames.hpp must
+// be exercised by the decoder fuzz suite.
+void scan_frame_fuzz_coverage(const fs::path& root, std::vector<Finding>& out) {
+  const fs::path frames = root / "src/proto/include/g2g/proto/relay/frames.hpp";
+  if (!fs::exists(frames)) return;  // repo layout without a relay layer
+  std::ifstream in(frames);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::string fuzz_text;
+  const fs::path fuzz = root / "tests/fuzz_decode_test.cpp";
+  if (fs::exists(fuzz)) {
+    std::ifstream fin(fuzz);
+    std::stringstream fbuf;
+    fbuf << fin.rdbuf();
+    fuzz_text = fbuf.str();
+  }
+
+  static const std::regex kFrame(R"(struct\s+(\w+Frame)\b)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kFrame);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (fuzz_text.find(name) != std::string::npos) continue;
+    const auto line = static_cast<std::size_t>(
+                          std::count(text.begin(), text.begin() + it->position(), '\n')) +
+                      1;
+    out.push_back({"src/proto/include/g2g/proto/relay/frames.hpp", line,
+                   "frame-fuzz-coverage",
+                   "frame '" + name +
+                       "' is not exercised by tests/fuzz_decode_test.cpp; every "
+                       "decoder must survive the fuzz corpus"});
+  }
+}
+
+std::vector<fs::path> collect_files(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tests"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  // Directory iteration order is platform-dependent; the lint's own output
+  // must be deterministic.
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "no-rand",           "no-random-device",
+      "no-wall-clock",     "no-getenv",
+      "no-unordered-iter", "wire-encode-triple",
+      "frame-fuzz-coverage", "counter-name-prefix",
+      "no-adhoc-atomic",   "allow-without-justification",
+  };
+  return ids;
+}
+
+std::vector<Finding> run_lint(const Options& options) {
+  std::vector<Finding> findings;
+  const fs::path root = fs::absolute(options.root);
+  for (const fs::path& path : collect_files(root)) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::vector<SplitLine> lines = split_lines(buf.str());
+    const std::string rel = fs::relative(path, root).generic_string();
+
+    const PragmaTable pragmas = collect_pragmas(rel, lines);
+    findings.insert(findings.end(), pragmas.malformed.begin(), pragmas.malformed.end());
+
+    scan_tokens(rel, lines, pragmas, findings);
+    scan_unordered_iteration(rel, lines, pragmas, findings);
+    scan_wire_triple(rel, lines, pragmas, findings);
+    scan_counters(rel, lines, pragmas, findings);
+    scan_adhoc_atomics(rel, lines, pragmas, findings);
+  }
+  scan_frame_fuzz_coverage(root, findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+}  // namespace g2g::lint

@@ -1,0 +1,53 @@
+// g2g-lint: repo-specific static analysis for the Give2Get reproduction.
+//
+// The checker enforces the invariants the test suite can only pin
+// dynamically — deterministic simulation output and a complete wire-frame
+// catalogue — at analysis time, before a 25-second bit-identity diff gets a
+// chance to fail. Three rule families (docs/STATIC_ANALYSIS.md is the
+// user-facing catalogue):
+//
+//   determinism   no-rand, no-random-device, no-wall-clock, no-getenv,
+//                 no-unordered-iter
+//   wire          wire-encode-triple, frame-fuzz-coverage
+//   counters      counter-name-prefix, no-adhoc-atomic
+//
+// A finding is suppressed by a justified pragma on the same line or the
+// line directly above:
+//
+//   // g2g-lint: allow(no-getenv) -- process-level toggle, never per-run
+//
+// The justification after `--` is mandatory; an allow() without one is
+// itself a finding (allow-without-justification). The scanner is
+// line-oriented (comments and string literals are tracked, tokens are
+// matched with word boundaries); it trades full C++ parsing for zero
+// dependencies and a runtime of milliseconds over the whole tree.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace g2g::lint {
+
+struct Finding {
+  std::string file;  ///< path relative to the scanned root
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Repository root; `<root>/src` and `<root>/tests` are scanned.
+  std::filesystem::path root;
+};
+
+/// All rule identifiers, for --list-rules and the self-test.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Scan the tree and return every finding, ordered by (file, line).
+[[nodiscard]] std::vector<Finding> run_lint(const Options& options);
+
+/// "file:line: [rule] message" — the single line format CI greps.
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace g2g::lint

@@ -1,0 +1,99 @@
+// g2g-lint self-test: the bad fixture repo must trip every rule at the
+// expected file, the clean fixture repo (justified pragmas, deterministic
+// alternatives) must come back empty, and — the gate that matters — this
+// repository itself must lint clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace g2g::lint {
+namespace {
+
+std::vector<Finding> lint_of(const std::string& root) { return run_lint({root}); }
+
+bool has(const std::vector<Finding>& findings, const std::string& rule,
+         const std::string& file_substr) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.file.find(file_substr) != std::string::npos;
+  });
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+class BadFixture : public ::testing::Test {
+ protected:
+  static const std::vector<Finding>& findings() {
+    static const std::vector<Finding> f = lint_of(std::string(G2G_LINT_FIXTURE_DIR) + "/bad");
+    return f;
+  }
+};
+
+TEST_F(BadFixture, DeterminismTokenRulesFire) {
+  EXPECT_TRUE(has(findings(), "no-rand", "src/sim/src/nondet.cpp"));
+  EXPECT_TRUE(has(findings(), "no-random-device", "src/sim/src/nondet.cpp"));
+  EXPECT_TRUE(has(findings(), "no-wall-clock", "src/sim/src/nondet.cpp"));
+  EXPECT_TRUE(has(findings(), "no-getenv", "src/sim/src/nondet.cpp"));
+  // Both wall-clock reads (system_clock::now and time(nullptr)) are caught.
+  EXPECT_EQ(count_rule(findings(), "no-wall-clock"), 2u);
+}
+
+TEST_F(BadFixture, UnorderedIterationFires) {
+  EXPECT_TRUE(has(findings(), "no-unordered-iter", "src/core/src/unordered_iter.cpp"));
+  // Once for the range-for, once for the explicit begin().
+  EXPECT_EQ(count_rule(findings(), "no-unordered-iter"), 2u);
+}
+
+TEST_F(BadFixture, WireTripleFires) {
+  // HalfCodec (no decode/wire_size), NoSizeCodec (no wire_size), and the
+  // unjustified pragma's struct; FullCodec stays clean.
+  EXPECT_TRUE(has(findings(), "wire-encode-triple", "badwire.hpp"));
+  EXPECT_GE(count_rule(findings(), "wire-encode-triple"), 3u);
+  EXPECT_TRUE(has(findings(), "allow-without-justification", "badwire.hpp"));
+}
+
+TEST_F(BadFixture, FrameFuzzCoverageFires) {
+  EXPECT_TRUE(has(findings(), "frame-fuzz-coverage", "relay/frames.hpp"));
+  // CoveredFrame is mentioned in the fuzz suite; only ForgottenFrame trips.
+  EXPECT_EQ(count_rule(findings(), "frame-fuzz-coverage"), 1u);
+}
+
+TEST_F(BadFixture, CounterHygieneFires) {
+  EXPECT_TRUE(has(findings(), "counter-name-prefix", "rogue_counter.cpp"));
+  EXPECT_TRUE(has(findings(), "no-adhoc-atomic", "rogue_counter.cpp"));
+}
+
+TEST_F(BadFixture, EveryRuleFiresSomewhere) {
+  for (const std::string& rule : rule_ids()) {
+    EXPECT_GT(count_rule(findings(), rule), 0u) << rule;
+  }
+}
+
+TEST(CleanFixture, JustifiedPragmasAndOrderedContainersPass) {
+  const auto findings = lint_of(std::string(G2G_LINT_FIXTURE_DIR) + "/clean");
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+  EXPECT_TRUE(findings.empty());
+}
+
+// The acceptance gate: the repository itself carries zero findings — every
+// legitimate exception is annotated with a justified allow() pragma.
+TEST(Repo, LintsClean) {
+  const auto findings = lint_of(G2G_LINT_REPO_ROOT);
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Format, IsGreppable) {
+  const Finding f{"src/x.cpp", 12, "no-rand", "why"};
+  EXPECT_EQ(format(f), "src/x.cpp:12: [no-rand] why");
+}
+
+}  // namespace
+}  // namespace g2g::lint

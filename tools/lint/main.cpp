@@ -1,0 +1,38 @@
+// g2g-lint CLI. Exit 0 on a clean tree, 1 when findings exist, 2 on usage
+// errors. CI and tools/check.sh both run `g2g-lint --root .`.
+#include <cstring>
+#include <iostream>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& id : g2g::lint::rule_ids()) std::cout << id << "\n";
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: g2g-lint [--root <repo-root>] [--list-rules]\n"
+                   "Scans <root>/src and <root>/tests; see docs/STATIC_ANALYSIS.md\n";
+      return 0;
+    } else {
+      std::cerr << "g2g-lint: unknown argument '" << argv[i] << "'\n";
+      return 2;
+    }
+  }
+  if (!std::filesystem::exists(root / "src")) {
+    std::cerr << "g2g-lint: no src/ under '" << root.string()
+              << "' (pass --root <repo-root>)\n";
+    return 2;
+  }
+  const auto findings = g2g::lint::run_lint({root});
+  for (const auto& f : findings) std::cout << g2g::lint::format(f) << "\n";
+  if (findings.empty()) {
+    std::cout << "g2g-lint: clean\n";
+    return 0;
+  }
+  std::cout << "g2g-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
