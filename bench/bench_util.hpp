@@ -3,13 +3,17 @@
 // of one paper table or figure (see DESIGN.md's experiment index).
 #pragma once
 
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "g2g/core/experiment.hpp"
+#include "g2g/core/parallel.hpp"
 #include "g2g/core/report.hpp"
 #include "g2g/crypto/fastpath.hpp"
 #include "g2g/obs/tracer.hpp"
@@ -23,11 +27,24 @@ struct Options {
   std::uint64_t seed = 1;
   bool obs = false;        ///< print counters + stage times for one config
   std::string trace_out;   ///< stream one representative run as JSONL
+  std::string json_out;    ///< write BENCH_<name>.json telemetry here
   /// Disable the crypto fast path (SHA-NI, heavy-HMAC chain reuse, Schnorr
   /// tables, verification cache) and measure the reference implementations.
   bool no_fastpath = false;
   std::size_t threads = 0;  ///< sweep worker threads (0 = hardware)
 };
+
+/// Fail fast on an unwritable output path: a bench that runs for minutes must
+/// not discover at report time that its sink cannot be opened. Probed at flag
+/// parse time, so `--trace-out /bad/x --help` still exits non-zero.
+inline void require_writable(const std::string& path, const char* flag) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "error: cannot open " << path << " for writing (" << flag << ")\n";
+    std::exit(1);
+  }
+  std::fclose(f);
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
@@ -45,6 +62,10 @@ inline Options parse_options(int argc, char** argv) {
       opt.obs = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       opt.trace_out = argv[++i];
+      require_writable(opt.trace_out, "--trace-out");
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      opt.json_out = argv[++i];
+      require_writable(opt.json_out, "--json-out");
     } else if (arg == "--no-fastpath") {
       opt.no_fastpath = true;
       crypto::set_fast_path(false);
@@ -53,8 +74,14 @@ inline Options parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--quick] [--csv] [--runs N] [--seed S] [--obs]"
-                   " [--trace-out FILE] [--no-fastpath] [--threads N]\n";
+                   " [--trace-out FILE] [--json-out FILE] [--no-fastpath]"
+                   " [--threads N]\n";
       std::exit(0);
+    } else {
+      // A typo'd flag silently ignored is the same failure class as an
+      // unwritable sink: the sweep runs, the result is not what was asked.
+      std::cerr << "error: unknown option '" << arg << "' (see --help)\n";
+      std::exit(1);
     }
   }
   return opt;
@@ -80,41 +107,79 @@ inline void emit(const core::Table& table, const Options& opt) {
   std::cout << '\n';
 }
 
-/// Observability report: when --obs or --trace-out was given, re-run one
-/// representative config single-threaded with tracing attached and print its
-/// counter registry and stage profile. The parallel sweep itself stays
-/// untraced — one run, one ObsContext, one sink, no interleaving.
-inline void obs_report(core::ExperimentConfig cfg, const Options& opt) {
-  if (!opt.obs && opt.trace_out.empty()) return;
+/// Observability report: when --obs, --trace-out, or --json-out was given,
+/// re-run one representative config single-threaded with tracing attached.
+/// --obs/--trace-out print the counter registry and stage profile; --json-out
+/// reuses the same run's registry for the BENCH telemetry (the return value).
+/// The parallel sweep itself stays untraced — one run, one ObsContext, one
+/// sink, no interleaving. Exits non-zero if the trace sink cannot be opened.
+inline std::optional<core::ExperimentResult> obs_report(core::ExperimentConfig cfg,
+                                                        const Options& opt) {
+  if (!opt.obs && opt.trace_out.empty() && opt.json_out.empty()) return std::nullopt;
   cfg = with_options(std::move(cfg), opt);
   std::unique_ptr<obs::JsonlSink> sink;
   if (!opt.trace_out.empty()) {
     sink = obs::JsonlSink::open(opt.trace_out);
     if (!sink) {
       std::cerr << "error: cannot open " << opt.trace_out << " for writing\n";
-      return;
+      std::exit(1);
     }
     cfg.trace_sink = sink.get();
   }
-  const core::ExperimentResult r = core::run_experiment(cfg);
-  if (!opt.csv) {
-    std::cout << "observability report (one run: " << core::to_string(cfg.protocol)
-              << " on " << cfg.scenario.name << ", seed " << cfg.seed << ")\n";
+  core::ExperimentResult r = core::run_experiment(cfg);
+  if (opt.obs || !opt.trace_out.empty()) {
+    if (!opt.csv) {
+      std::cout << "observability report (one run: " << core::to_string(cfg.protocol)
+                << " on " << cfg.scenario.name << ", seed " << cfg.seed << ")\n";
+    }
+    core::Table counters({"counter", "value"});
+    for (const auto& [name, counter] : r.counters.counters()) {
+      if (counter.value() > 0) counters.add_row({name, std::to_string(counter.value())});
+    }
+    emit(counters, opt);
+    core::Table stages({"stage", "seconds"});
+    for (const auto& stage : r.stages.stages()) {
+      stages.add_row({stage.name, core::fmt(stage.seconds, 3)});
+    }
+    emit(stages, opt);
   }
-  core::Table counters({"counter", "value"});
-  for (const auto& [name, counter] : r.counters.counters()) {
-    if (counter.value() > 0) counters.add_row({name, std::to_string(counter.value())});
-  }
-  emit(counters, opt);
-  core::Table stages({"stage", "seconds"});
-  for (const auto& stage : r.stages.stages()) {
-    stages.add_row({stage.name, core::fmt(stage.seconds, 3)});
-  }
-  emit(stages, opt);
   if (sink) {
     std::cerr << "wrote " << sink->lines_written() << " events to " << opt.trace_out
               << "\n";
   }
+  return r;
+}
+
+/// The effective options as "config" key/value pairs for the BENCH report.
+inline std::vector<std::pair<std::string, std::string>> option_pairs(const Options& opt) {
+  return {{"quick", opt.quick ? "true" : "false"},
+          {"runs", std::to_string(opt.runs)},
+          {"seed", std::to_string(opt.seed)},
+          {"fastpath", opt.no_fastpath ? "false" : "true"}};
+}
+
+/// Assemble telemetry cells from a sweep's names + CellTelemetry rows.
+inline std::vector<BenchCell> telemetry_cells(const std::vector<std::string>& names,
+                                              const std::vector<core::CellTelemetry>& tel,
+                                              std::size_t runs) {
+  std::vector<BenchCell> out;
+  for (std::size_t i = 0; i < names.size() && i < tel.size(); ++i) {
+    out.push_back(BenchCell{names[i], runs, tel[i].wall_s, tel[i].sim_events});
+  }
+  return out;
+}
+
+/// Write BENCH_<name>.json when --json-out was given; exits non-zero when the
+/// write fails so CI never mistakes a missing report for a passing perf run.
+inline void write_report(const std::string& bench_name, const Options& opt,
+                         std::vector<BenchCell> cells, const obs::Registry* registry) {
+  if (opt.json_out.empty()) return;
+  BenchReport report;
+  report.bench = bench_name;
+  report.config = option_pairs(opt);
+  report.cells = std::move(cells);
+  report.registry = registry;
+  if (!report.write(opt.json_out)) std::exit(1);
 }
 
 /// Deviant-count sweep matching the paper's x axes (0..~nodes, step 5).

@@ -16,12 +16,14 @@ int main(int argc, char** argv) {
   std::cout << "== Fig. 4: dropper detection time in G2G Epidemic Forwarding ==\n"
             << "   (detection time measured after the Delta1/TTL of the message)\n\n";
 
+  std::vector<bench::BenchCell> bench_cells;
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
     // Whole-figure sweep: every (dropper count, outsiders, seed) run goes
     // through one work-stealing pool instead of per-cell round-robins.
     const std::vector<std::size_t> counts =
         bench::dropper_counts(scen.trace_config.nodes, opt.quick, /*include_zero=*/false);
     std::vector<SweepCell> cells;
+    std::vector<std::string> names;
     for (const std::size_t n : counts) {
       ExperimentConfig cfg;
       cfg.protocol = Protocol::G2GEpidemic;
@@ -31,12 +33,19 @@ int main(int argc, char** argv) {
       cfg.seed = opt.seed;
       cfg = bench::with_options(std::move(cfg), opt);
 
+      const std::string stem = scen.name + "/droppers=" + std::to_string(n);
       cfg.with_outsiders = false;
       cells.push_back({cfg, opt.runs});
+      names.push_back(stem + "/plain");
       cfg.with_outsiders = true;
       cells.push_back({cfg, opt.runs});
+      names.push_back(stem + "/outsiders");
     }
-    const std::vector<AggregateResult> agg = run_sweep(cells, opt.threads);
+    std::vector<CellTelemetry> telemetry;
+    const std::vector<AggregateResult> agg = run_sweep(cells, opt.threads, &telemetry);
+    for (const auto& cell : bench::telemetry_cells(names, telemetry, opt.runs)) {
+      bench_cells.push_back(cell);
+    }
 
     Table table({"scenario", "droppers", "detect% (plain)", "avg time (plain)",
                  "detect% (outsiders)", "avg time (outsiders)"});
@@ -58,7 +67,9 @@ int main(int argc, char** argv) {
     repr.deviation = proto::Behavior::Dropper;
     repr.deviant_count = 10;
     repr.seed = opt.seed;
-    bench::obs_report(repr, opt);
+    const auto repr_result = bench::obs_report(repr, opt);
+    bench::write_report("fig4", opt, std::move(bench_cells),
+                        repr_result ? &repr_result->counters : nullptr);
   }
   return 0;
 }

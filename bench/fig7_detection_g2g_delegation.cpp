@@ -16,12 +16,15 @@ int main(int argc, char** argv) {
             << "   (G2G Delegation Destination Last Contact; minutes after Delta1;\n"
             << "    '-' = no deviant was detected in the sampled runs)\n\n";
 
+  std::vector<bench::BenchCell> bench_cells;
   for (const Scenario& scen : bench::both_scenarios(opt.seed)) {
     Table table({"scenario", "count", "droppers", "droppers(out)", "liars", "liars(out)",
                  "cheaters", "cheaters(out)"});
     std::vector<std::size_t> counts = opt.quick ? std::vector<std::size_t>{10, 30}
                                                 : std::vector<std::size_t>{5, 10, 20, 30};
+    const std::size_t cell_runs = opt.quick ? 1 : opt.runs;
     std::vector<SweepCell> sweep;
+    std::vector<std::string> names;
     for (const std::size_t n : counts) {
       for (const proto::Behavior behavior :
            {proto::Behavior::Dropper, proto::Behavior::Liar, proto::Behavior::Cheater}) {
@@ -34,11 +37,21 @@ int main(int argc, char** argv) {
           cfg.with_outsiders = outsiders;
           cfg.seed = opt.seed;
           cfg = bench::with_options(std::move(cfg), opt);
-          sweep.push_back({cfg, opt.quick ? 1 : opt.runs});
+          sweep.push_back({cfg, cell_runs});
+          std::string name = scen.name + "/count=" + std::to_string(n) + "/";
+          name += behavior == proto::Behavior::Dropper ? "dropper"
+                  : behavior == proto::Behavior::Liar  ? "liar"
+                                                       : "cheater";
+          if (outsiders) name += "_out";
+          names.push_back(std::move(name));
         }
       }
     }
-    const std::vector<AggregateResult> aggs = run_sweep(sweep, opt.threads);
+    std::vector<CellTelemetry> telemetry;
+    const std::vector<AggregateResult> aggs = run_sweep(sweep, opt.threads, &telemetry);
+    for (const auto& cell : bench::telemetry_cells(names, telemetry, cell_runs)) {
+      bench_cells.push_back(cell);
+    }
 
     std::size_t k = 0;
     for (const std::size_t n : counts) {
@@ -60,7 +73,9 @@ int main(int argc, char** argv) {
     repr.deviation = proto::Behavior::Dropper;
     repr.deviant_count = 10;
     repr.seed = opt.seed;
-    bench::obs_report(repr, opt);
+    const auto repr_result = bench::obs_report(repr, opt);
+    bench::write_report("fig7", opt, std::move(bench_cells),
+                        repr_result ? &repr_result->counters : nullptr);
   }
   return 0;
 }

@@ -1,8 +1,13 @@
 // Micro-benchmarks of the cryptographic substrate (google-benchmark):
 // hashing, MACs, the storage-proof heavy HMAC, both signature suites, and
-// the sealed-box message encryption.
+// the sealed-box message encryption. Owns its main() so `--json-out FILE`
+// can emit BENCH_micro_crypto.json alongside the console table.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/hmac.hpp"
 #include "g2g/crypto/schnorr.hpp"
@@ -234,6 +239,65 @@ void BM_DhSharedSecret(benchmark::State& state) {
 }
 BENCHMARK(BM_DhSharedSecret);
 
+/// Console output plus one telemetry cell per benchmark: wall_s is the total
+/// measured real time, sim_events the iteration count, so events_per_s is
+/// iterations per second — raw Run fields only, stable across
+/// google-benchmark versions.
+class CellCollector final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      g2g::bench::BenchCell cell;
+      cell.name = run.benchmark_name();
+      cell.runs = 1;
+      cell.wall_s = run.real_accumulated_time;
+      cell.sim_events = static_cast<std::uint64_t>(run.iterations);
+      cells.push_back(std::move(cell));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<g2g::bench::BenchCell> cells;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json-out before google-benchmark parses the argv; probe the path
+  // up front so a bad sink fails before any benchmark runs.
+  std::string json_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_out.empty()) {
+    std::FILE* probe = std::fopen(json_out.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing (--json-out)\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+  }
+
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  CellCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    g2g::bench::BenchReport report;
+    report.bench = "micro_crypto";
+    report.cells = std::move(reporter.cells);
+    if (!report.write(json_out)) return 1;
+  }
+  return 0;
+}

@@ -52,11 +52,22 @@ struct SweepCell {
   std::size_t runs = 1;
 };
 
+/// Per-cell perf telemetry, summed over the cell's runs: wall seconds spent
+/// inside run_experiment and discrete events fired by the simulator (the
+/// `g2g.sim.events_fired` counter). Feeds bench_results/BENCH_*.json; never
+/// part of the scientific result, so it carries no determinism obligation.
+struct CellTelemetry {
+  double wall_s = 0.0;
+  std::uint64_t sim_events = 0;
+};
+
 /// Run a whole figure's worth of cells through one pool: every (cell, seed)
 /// pair becomes one unit of work, so parallelism is total-runs wide instead
 /// of runs-per-cell wide. Aggregates are positionally aligned with `cells`
-/// and identical to calling run_repeated on each cell.
+/// and identical to calling run_repeated on each cell. When `telemetry` is
+/// non-null it is resized to cells.size() and filled with per-cell totals.
 [[nodiscard]] std::vector<AggregateResult> run_sweep(const std::vector<SweepCell>& cells,
-                                                     std::size_t threads = 0);
+                                                     std::size_t threads = 0,
+                                                     std::vector<CellTelemetry>* telemetry = nullptr);
 
 }  // namespace g2g::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -33,6 +34,10 @@ struct RunSummary {
   bool has_detection_minutes = false;
   double detection_minutes_mean = 0.0;
   std::size_t false_positives = 0;
+  // Perf telemetry (CellTelemetry); rides along with the summary but is
+  // folded separately and never enters the AggregateResult.
+  double wall_s = 0.0;
+  std::uint64_t sim_events = 0;
 };
 
 RunSummary summarize(const ExperimentResult& r) {
@@ -48,6 +53,7 @@ RunSummary summarize(const ExperimentResult& r) {
     s.detection_minutes_mean = r.detection_minutes_after_delta1.mean();
   }
   s.false_positives = r.false_positives;
+  s.sim_events = r.counters.value("g2g.sim.events_fired");
   return s;
 }
 
@@ -161,7 +167,8 @@ AggregateResult run_repeated_parallel(const ExperimentConfig& base, std::size_t 
 }
 
 std::vector<AggregateResult> run_sweep(const std::vector<SweepCell>& cells,
-                                       std::size_t threads) {
+                                       std::size_t threads,
+                                       std::vector<CellTelemetry>* telemetry) {
   // Flatten every (cell, seed) pair into one global index space so the pool
   // is total-runs wide; per-run summaries land at their flat index and are
   // reduced per cell in seed order afterwards (deterministic regardless of
@@ -180,12 +187,24 @@ std::vector<AggregateResult> run_sweep(const std::vector<SweepCell>& cells,
   sharded_for(cell_of.size(), threads, [&](std::size_t i) {
     ExperimentConfig config = cells[cell_of[i]].config;
     config.seed += run_of[i];
+    // steady_clock: perf telemetry only; results are summarized from the
+    // run, never from the clock.
+    const auto t0 = std::chrono::steady_clock::now();
     summaries[i] = summarize(run_experiment(config));
+    summaries[i].wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   });
 
   std::vector<AggregateResult> aggregates(cells.size());
+  if (telemetry != nullptr) {
+    telemetry->assign(cells.size(), CellTelemetry{});
+  }
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     fold(aggregates[cell_of[i]], summaries[i]);
+    if (telemetry != nullptr) {
+      (*telemetry)[cell_of[i]].wall_s += summaries[i].wall_s;
+      (*telemetry)[cell_of[i]].sim_events += summaries[i].sim_events;
+    }
   }
   return aggregates;
 }

@@ -14,6 +14,7 @@ void Collector::message_generated(MessageId id, NodeId src, NodeId dst, TimePoin
     obs_->counters.generated->add();
     obs_->tracer.emit(
         {at, obs::EventKind::MessageGenerated, src, dst, id.value(), 0});
+    obs_->tracer.open_message_span(at, id.value(), src, dst);
   }
 }
 
@@ -43,6 +44,7 @@ void Collector::message_delivered(MessageId id, TimePoint at) {
     obs_->counters.delivery_delay_s->observe(delay.to_seconds());
     obs_->tracer.emit({at, obs::EventKind::MessageDelivered, it->second.src,
                        it->second.dst, id.value(), delay.count()});
+    obs_->tracer.mark_message_delivered(id.value());
   }
 }
 

@@ -62,6 +62,74 @@ void Tracer::record(const Event& e) {
   for (EventSink* sink : sinks_) sink->on_event(e);
 }
 
+void Tracer::record_span(const SpanRecord& s) {
+  for (EventSink* sink : sinks_) sink->on_span(s);
+}
+
+std::uint64_t Tracer::open_span(TimePoint at, const char* name,
+                                std::uint64_t parent, NodeId a, NodeId b,
+                                std::uint64_t ref) {
+  if (!enabled_) return 0;
+  SpanRecord s;
+  s.at = at;
+  s.id = next_span_id_++;
+  s.parent = parent;
+  s.name = name;
+  s.a = a;
+  s.b = b;
+  s.ref = ref;
+  if (wall_profiling_) open_wall_[s.id] = std::chrono::steady_clock::now();
+  record_span(s);
+  return s.id;
+}
+
+void Tracer::close_span(TimePoint at, std::uint64_t id, std::int64_t value) {
+  if (!enabled_ || id == 0) return;
+  SpanRecord s;
+  s.at = at;
+  s.id = id;
+  s.close = true;
+  s.value = value;
+  if (wall_profiling_) {
+    auto it = open_wall_.find(id);
+    if (it != open_wall_.end()) {
+      s.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - it->second)
+                      .count();
+      open_wall_.erase(it);
+    }
+  }
+  record_span(s);
+}
+
+void Tracer::open_message_span(TimePoint at, std::uint64_t ref, NodeId src,
+                               NodeId dst) {
+  if (!enabled_) return;
+  MsgSpan& m = msg_spans_[ref];
+  if (m.id != 0) return;  // regenerated ref: keep the original span
+  m.id = open_span(at, "msg", /*parent=*/0, src, dst, ref);
+}
+
+std::uint64_t Tracer::message_span(std::uint64_t ref) const {
+  auto it = msg_spans_.find(ref);
+  return it == msg_spans_.end() ? 0 : it->second.id;
+}
+
+void Tracer::mark_message_delivered(std::uint64_t ref) {
+  if (!enabled_) return;
+  auto it = msg_spans_.find(ref);
+  if (it != msg_spans_.end()) it->second.delivered = true;
+}
+
+void Tracer::close_message_spans(TimePoint at) {
+  // std::map iterates in ref order — deterministic close sequence.
+  for (const auto& [ref, m] : msg_spans_) {
+    (void)ref;
+    close_span(at, m.id, m.delivered ? 1 : 0);
+  }
+  msg_spans_.clear();
+}
+
 std::vector<Event> Tracer::ring() const {
   std::vector<Event> out;
   out.reserve(ring_.size());
@@ -96,6 +164,40 @@ void JsonlSink::on_event(const Event& e) {
                e.a.valid() ? static_cast<long long>(e.a.value()) : -1LL, b,
                static_cast<unsigned long long>(e.ref),
                static_cast<long long>(e.value));
+  ++lines_;
+}
+
+void JsonlSink::on_span(const SpanRecord& s) {
+  if (out_ == nullptr) return;
+  if (s.close) {
+    if (s.wall_ns >= 0) {
+      std::fprintf(out_,
+                   "{\"t_us\":%lld,\"span\":\"close\",\"id\":%llu,\"v\":%lld,"
+                   "\"wall_ns\":%lld}\n",
+                   static_cast<long long>(s.at.micros()),
+                   static_cast<unsigned long long>(s.id),
+                   static_cast<long long>(s.value),
+                   static_cast<long long>(s.wall_ns));
+    } else {
+      std::fprintf(out_,
+                   "{\"t_us\":%lld,\"span\":\"close\",\"id\":%llu,\"v\":%lld}\n",
+                   static_cast<long long>(s.at.micros()),
+                   static_cast<unsigned long long>(s.id),
+                   static_cast<long long>(s.value));
+    }
+  } else {
+    std::fprintf(out_,
+                 "{\"t_us\":%lld,\"span\":\"open\",\"name\":\"%s\","
+                 "\"id\":%llu,\"parent\":%llu,\"a\":%lld,\"b\":%lld,"
+                 "\"ref\":%llu}\n",
+                 static_cast<long long>(s.at.micros()),
+                 s.name != nullptr ? s.name : "unknown",
+                 static_cast<unsigned long long>(s.id),
+                 static_cast<unsigned long long>(s.parent),
+                 s.a.valid() ? static_cast<long long>(s.a.value()) : -1LL,
+                 s.b.valid() ? static_cast<long long>(s.b.value()) : -1LL,
+                 static_cast<unsigned long long>(s.ref));
+  }
   ++lines_;
 }
 

@@ -161,10 +161,14 @@ void NetworkBase::schedule_traffic(const std::vector<sim::TrafficDemand>& demand
 void NetworkBase::run() {
   const SimLogClock clock(sim_);
   const ScopedLogClock scoped(&clock);
-  sim_.run();
+  const std::size_t fired = sim_.run();
+  // g2g.* counters are excluded from core::to_json(ExperimentResult), so this
+  // telemetry-only counter never perturbs bit-identity checks.
+  obs_->registry.counter("g2g.sim.events_fired").add(fired);
   const TimePoint end =
       config_.horizon == TimePoint::zero() ? trace_->end_time() : config_.horizon;
   for (ProtocolNode* n : generic_nodes_) n->finalize(end);
+  obs_->tracer.close_message_spans(end);
   if (suite_cache_) {
     // Flushed once after the run; these counters live under the fastpath.*
     // prefix, which core::to_json(ExperimentResult) excludes so cache-on and
@@ -191,6 +195,8 @@ bool NetworkBase::open_session(Session& s, ProtocolNode& a, ProtocolNode& b) {
   batch.collect(a, b);
   batch.collect(b, a);
   if (!batch.empty()) {
+    const std::uint64_t span = obs_->tracer.open_span(
+        now(), "pom_gossip", /*parent=*/0, a.id(), b.id());
     const auto t0 = std::chrono::steady_clock::now();
     const bool all_ok = batch.verify(a.identity().suite(), roster_, obs_->counters);
     pom_batch_seconds_ +=
@@ -201,6 +207,7 @@ bool NetworkBase::open_session(Session& s, ProtocolNode& a, ProtocolNode& b) {
       gossip_poms(s, a, b);
       gossip_poms(s, b, a);
     }
+    obs_->tracer.close_span(now(), span, static_cast<std::int64_t>(batch.size()));
   }
   // If gossip revealed the peer is a known misbehaver, cut the session.
   return a.accepts_session_with(b.id()) && b.accepts_session_with(a.id());

@@ -28,8 +28,10 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     std::uint64_t ref;
     ProofOfRelay por;  // evidence if the digests disagree
     TimePoint relayed_at;
+    std::uint64_t span;  // audit_round span, closed when the batch resolves
   };
   std::vector<PendingStorageCheck> pending;
+  obs::Tracer& tracer = host_.env_.obs().tracer;
 
   for (PendingTest& t : tests_) {
     if (s.exhausted()) break;
@@ -43,6 +45,11 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
 
     const std::uint64_t ref = host_.env_.msg_ref(t.h);
     host_.counters().tests_by_sender->add();
+    // One audit_round span per test-by-sender challenge, child of the message
+    // span; the close value mirrors the TestBySender event (0 fail, 1 PoRs
+    // ok, 2 storage proof ok, 3 inconclusive).
+    const std::uint64_t span = tracer.open_span(
+        now, "audit_round", tracer.message_span(ref), host_.id(), peer.id(), ref);
     // The challenge crosses the session as a POR_RQST frame carrying a fresh
     // 32-byte seed; the responder answers from the decoded bytes.
     PorRqstFrame challenge;
@@ -66,6 +73,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
       // check detected a cheat and issued the PoM already).
       host_.counters().tests_failed->add();
       host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 0);
+      tracer.close_span(now, span, 0);
       continue;
     }
 
@@ -107,6 +115,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
       if (all_ok) {
         host_.counters().tests_passed->add();
         host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 1);
+        tracer.close_span(now, span, 1);
         continue;  // test passed: the relay showed its PoRs
       }
     }
@@ -122,7 +131,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
               batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
                         host_.config().heavy_hmac_iterations);
           pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
-                                                t.por, t.relayed_at});
+                                                t.por, t.relayed_at, span});
           continue;  // outcome resolves after the batch runs
         }
         const crypto::Digest expect = crypto::heavy_hmac(
@@ -130,10 +139,12 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
         if (crypto::digest_equal(expect, *resp.stored_hmac)) {
           host_.counters().tests_passed->add();
           host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
+          tracer.close_span(now, span, 2);
           continue;  // passed: the relay still stores the message
         }
       } else {
         host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 3);
+        tracer.close_span(now, span, 3);
         continue;  // source can no longer verify; give the benefit of the doubt
       }
     }
@@ -147,6 +158,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     pom.evidence_accepted = t.por;
     host_.issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
                     now - (t.relayed_at + host_.config().delta1));
+    tracer.close_span(now, span, 0);
   }
 
   if (pending.empty()) return;
@@ -155,6 +167,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     if (crypto::digest_equal(digests[c.expect_job], digests[c.peer_job])) {
       host_.counters().tests_passed->add();
       host_.trace_event(obs::EventKind::TestBySender, c.relay, c.ref, 2);
+      tracer.close_span(now, c.span, 2);
       continue;
     }
     host_.counters().tests_failed->add();
@@ -165,6 +178,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     pom.evidence_accepted = c.por;
     host_.issue_pom(std::move(pom), metrics::DetectionMethod::TestBySender,
                     now - (c.relayed_at + host_.config().delta1));
+    tracer.close_span(now, c.span, 0);
   }
 }
 

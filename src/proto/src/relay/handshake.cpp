@@ -77,20 +77,30 @@ void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
     candidates.push_back(h);
   }
 
+  obs::Tracer& tracer = host_.env_.obs().tracer;
   for (const MessageHash& h : candidates) {
     if (s.exhausted()) break;  // the contact cannot carry another handshake
     const auto it = hold_.find(h);
     if (it == hold_.end() || !it->second.has_msg) continue;
     Hold& hold = it->second;
 
+    // One relay_session span per handshake attempt, child of the message
+    // span; closed 0 on decline/abort, 1 when the relay completes.
+    const std::uint64_t ref = host_.env_.msg_ref(h);
+    const std::uint64_t span = tracer.open_span(
+        now, "relay_session", tracer.message_span(ref), host_.id(), taker.id(), ref);
+
     // Steps 1-4: policy-specific (epidemic offer vs. delegation negotiation).
     auto out = host_.relay_attempt(s, taker, h, hold);
-    if (!out.has_value()) continue;  // declined or aborted; accounting done
+    if (!out.has_value()) {
+      tracer.close_span(now, span, 0);
+      continue;  // declined or aborted; accounting done
+    }
 
     hold.pors.push_back(out->por);
     // Step 5: KEY.
     host_.counters().handshakes_completed->add();
-    host_.trace_event(obs::EventKind::HsKeyReveal, taker.id(), host_.env_.msg_ref(h));
+    host_.trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
     KeyRevealFrame key;
     key.h = h;
     const Bytes key_bytes = key.encode();
@@ -108,6 +118,7 @@ void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
       // Forwarding duty fulfilled: the payload may go, the PoRs stay.
       drop_payload(hold);
     }
+    tracer.close_span(now, span, 1);
   }
 }
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "g2g/core/experiment.hpp"
 #include "g2g/core/json.hpp"
@@ -145,6 +147,109 @@ TEST(JsonlSink, WritesOneParseableLinePerEvent) {
   std::fclose(f);
 }
 
+// -- spans --------------------------------------------------------------------
+
+/// Collects every SpanRecord the tracer emits, in order.
+struct SpanRecordingSink final : obs::EventSink {
+  void on_event(const obs::Event&) override {}
+  void on_span(const obs::SpanRecord& s) override { spans.push_back(s); }
+  std::vector<obs::SpanRecord> spans;
+};
+
+TEST(Spans, DisabledTracerReturnsZeroAndIgnoresCloses) {
+  obs::Tracer t;
+  EXPECT_EQ(t.open_span(TimePoint::from_seconds(1.0), "msg", 0, NodeId(0), NodeId(1)), 0u);
+  t.close_span(TimePoint::from_seconds(2.0), 0);  // must be a no-op
+  t.open_message_span(TimePoint::from_seconds(1.0), 7, NodeId(0), NodeId(1));
+  EXPECT_EQ(t.message_span(7), 0u);
+  EXPECT_EQ(t.spans_opened(), 0u);
+}
+
+TEST(Spans, IdsAreSequentialAndRecordsKeepEmissionOrder) {
+  obs::Tracer t;
+  SpanRecordingSink sink;
+  t.add_sink(&sink);
+  const TimePoint at = TimePoint::from_seconds(5.0);
+  const std::uint64_t a = t.open_span(at, "msg", 0, NodeId(0), NodeId(3), 42);
+  const std::uint64_t b = t.open_span(at, "relay_session", a, NodeId(0), NodeId(1), 42);
+  t.close_span(at, b, 1);
+  t.close_span(at, a, 0);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(t.spans_opened(), 2u);
+  ASSERT_EQ(sink.spans.size(), 4u);
+  EXPECT_FALSE(sink.spans[0].close);
+  EXPECT_STREQ(sink.spans[0].name, "msg");
+  EXPECT_EQ(sink.spans[0].ref, 42u);
+  EXPECT_EQ(sink.spans[1].parent, a);
+  EXPECT_TRUE(sink.spans[2].close);
+  EXPECT_EQ(sink.spans[2].id, b);
+  EXPECT_EQ(sink.spans[2].value, 1);
+  EXPECT_EQ(sink.spans[3].id, a);
+  // Wall profiling off: the close record carries the -1 sentinel.
+  EXPECT_EQ(sink.spans[2].wall_ns, -1);
+}
+
+TEST(Spans, MessageSpansCloseInRefOrderWithDeliveryOutcome) {
+  obs::Tracer t;
+  SpanRecordingSink sink;
+  t.add_sink(&sink);
+  const TimePoint at = TimePoint::from_seconds(0.0);
+  // Open out of ref order; the bulk close must still be deterministic (ref
+  // order), independent of open order.
+  t.open_message_span(at, 9, NodeId(0), NodeId(3));
+  t.open_message_span(at, 4, NodeId(1), NodeId(2));
+  const std::uint64_t span9 = t.message_span(9);
+  const std::uint64_t span4 = t.message_span(4);
+  EXPECT_NE(span9, 0u);
+  EXPECT_NE(span4, 0u);
+  t.mark_message_delivered(9);
+  t.close_message_spans(TimePoint::from_seconds(100.0));
+  ASSERT_EQ(sink.spans.size(), 4u);  // two opens + two closes
+  EXPECT_EQ(sink.spans[2].id, span4);
+  EXPECT_EQ(sink.spans[2].value, 0);  // never delivered
+  EXPECT_EQ(sink.spans[3].id, span9);
+  EXPECT_EQ(sink.spans[3].value, 1);  // delivered
+  // The table is cleared: later children of these refs become roots.
+  EXPECT_EQ(t.message_span(9), 0u);
+}
+
+TEST(Spans, WallProfilingStampsCloseRecords) {
+  obs::Tracer t;
+  SpanRecordingSink sink;
+  t.add_sink(&sink);
+  t.enable_wall_profiling();
+  const std::uint64_t id =
+      t.open_span(TimePoint::from_seconds(1.0), "msg", 0, NodeId(0), NodeId(1));
+  t.close_span(TimePoint::from_seconds(2.0), id);
+  ASSERT_EQ(sink.spans.size(), 2u);
+  EXPECT_GE(sink.spans[1].wall_ns, 0);
+}
+
+TEST(JsonlSink, SpanLinesAreGolden) {
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  {
+    obs::JsonlSink sink(f);
+    obs::Tracer t;
+    t.add_sink(&sink);
+    const std::uint64_t id =
+        t.open_span(TimePoint::from_seconds(1.5), "msg", 0, NodeId(3), NodeId(7), 42);
+    t.close_span(TimePoint::from_seconds(2.0), id, 1);
+    EXPECT_EQ(sink.lines_written(), 2u);
+  }
+  std::fflush(f);
+  std::rewind(f);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf,
+               "{\"t_us\":1500000,\"span\":\"open\",\"name\":\"msg\",\"id\":1,"
+               "\"parent\":0,\"a\":3,\"b\":7,\"ref\":42}\n");
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  EXPECT_STREQ(buf, "{\"t_us\":2000000,\"span\":\"close\",\"id\":1,\"v\":1}\n");
+  std::fclose(f);
+}
+
 TEST(StageProfile, RecordsAndSums) {
   obs::StageProfile profile;
   {
@@ -191,6 +296,74 @@ TEST(ObsDeterminism, TracedRunIsBitIdenticalToUntraced) {
   // Full serialized comparison: headline metrics, every message record, every
   // detection, every counter. Tracing must change nothing.
   EXPECT_EQ(core::to_json(traced), core::to_json(untraced));
+}
+
+TEST(ObsDeterminism, SpanTreeIsWellFormedOverAFullRun) {
+  core::ExperimentConfig cfg = guard_config();
+  SpanRecordingSink sink;
+  cfg.trace_sink = &sink;
+  (void)core::run_experiment(cfg);
+  ASSERT_FALSE(sink.spans.empty());
+
+  std::map<std::uint64_t, bool> live;  // id -> still open
+  std::map<std::string, std::uint64_t> opened_by_name;
+  std::uint64_t expected_id = 1;
+  for (const obs::SpanRecord& s : sink.spans) {
+    if (!s.close) {
+      // Ids are dense and sequential in emission order.
+      EXPECT_EQ(s.id, expected_id++);
+      EXPECT_EQ(live.count(s.id), 0u) << "span " << s.id << " opened twice";
+      if (s.parent != 0) {
+        const auto p = live.find(s.parent);
+        ASSERT_NE(p, live.end()) << "span " << s.id << " under unknown parent";
+        EXPECT_TRUE(p->second) << "span " << s.id << " under closed parent";
+      }
+      live[s.id] = true;
+      ASSERT_NE(s.name, nullptr);
+      ++opened_by_name[s.name];
+    } else {
+      const auto it = live.find(s.id);
+      ASSERT_NE(it, live.end()) << "close of unknown span " << s.id;
+      EXPECT_TRUE(it->second) << "span " << s.id << " closed twice";
+      it->second = false;
+    }
+  }
+  for (const auto& [id, open] : live) {
+    EXPECT_FALSE(open) << "span " << id << " never closed";
+  }
+  // The G2G run exercises the whole taxonomy: message lifecycles, relay
+  // sessions, and (with 4 droppers aboard) audit rounds.
+  EXPECT_GT(opened_by_name["msg"], 0u);
+  EXPECT_GT(opened_by_name["relay_session"], 0u);
+  EXPECT_GT(opened_by_name["audit_round"], 0u);
+}
+
+TEST(ObsDeterminism, TracedJsonlIsByteIdenticalAcrossRuns) {
+  const auto jsonl_of = [](const core::ExperimentConfig& base) {
+    std::FILE* f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    {
+      obs::JsonlSink sink(f);
+      core::ExperimentConfig cfg = base;
+      cfg.trace_sink = &sink;
+      (void)core::run_experiment(cfg);
+    }
+    std::fflush(f);
+    std::rewind(f);
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    return text;
+  };
+  const std::string first = jsonl_of(guard_config());
+  const std::string second = jsonl_of(guard_config());
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Span records are on the stream (and therefore covered by the identity).
+  EXPECT_NE(first.find("\"span\":\"open\""), std::string::npos);
+  EXPECT_NE(first.find("\"span\":\"close\""), std::string::npos);
 }
 
 TEST(ObsExperiment, CountersMatchHeadlineMetrics) {

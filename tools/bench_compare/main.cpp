@@ -1,0 +1,80 @@
+// g2g-bench-compare CLI: diff two BENCH_*.json files with tolerances.
+//
+//   g2g-bench-compare [--warn-ratio 1.25] [--fail-ratio 2.0] base.json new.json
+//
+// Exit codes: 0 no failures (warnings allowed), 1 at least one failure,
+// 2 usage / unreadable / unparseable input.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "compare.hpp"
+
+namespace {
+
+bool read_report(const std::string& path, g2g::tools::Value& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "g2g-bench-compare: cannot open " << path << '\n';
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  g2g::tools::ParseResult parsed = g2g::tools::parse_json(buf.str());
+  if (!parsed.ok) {
+    std::cerr << "g2g-bench-compare: " << path << ": " << parsed.error << " at byte "
+              << parsed.pos << '\n';
+    return false;
+  }
+  out = std::move(parsed.value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g2g::benchcompare::Options options;
+  std::string base_path;
+  std::string next_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-ratio" && i + 1 < argc) {
+      options.warn_ratio = std::stod(argv[++i]);
+    } else if (arg == "--fail-ratio" && i + 1 < argc) {
+      options.fail_ratio = std::stod(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: g2g-bench-compare [--warn-ratio R] [--fail-ratio R]"
+                   " base.json new.json\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "g2g-bench-compare: unknown option " << arg << '\n';
+      return 2;
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (next_path.empty()) {
+      next_path = arg;
+    } else {
+      std::cerr << "g2g-bench-compare: too many arguments\n";
+      return 2;
+    }
+  }
+  if (base_path.empty() || next_path.empty()) {
+    std::cerr << "usage: g2g-bench-compare [--warn-ratio R] [--fail-ratio R]"
+                 " base.json new.json\n";
+    return 2;
+  }
+
+  g2g::tools::Value base;
+  g2g::tools::Value next;
+  if (!read_report(base_path, base) || !read_report(next_path, next)) return 2;
+
+  const g2g::benchcompare::Comparison c =
+      g2g::benchcompare::compare(base, next, options);
+  for (const auto& diff : c.diffs) std::cout << g2g::benchcompare::format(diff) << '\n';
+  const std::size_t failures = c.count(g2g::benchcompare::Severity::Failure);
+  const std::size_t warnings = c.count(g2g::benchcompare::Severity::Warning);
+  std::cout << "bench-compare: " << failures << " failure(s), " << warnings
+            << " warning(s), " << c.diffs.size() - failures - warnings << " info\n";
+  return failures > 0 ? 1 : 0;
+}

@@ -1,0 +1,32 @@
+// Fixture: span/stage names invented at the call site instead of being
+// added to the registered set (span-name-registry).
+#include <cstdint>
+
+struct FakeTracer {
+  std::uint64_t open_span(int t, const char* name, std::uint64_t parent) {
+    (void)t;
+    (void)name;
+    return parent + 1;
+  }
+};
+
+struct FakeStages {
+  void add(const char* name, double s) {
+    (void)name;
+    (void)s;
+  }
+};
+
+struct StageTimer {
+  StageTimer(FakeStages& stages, const char* name) {
+    (void)stages;
+    (void)name;
+  }
+};
+
+void rogue_spans(FakeTracer& tracer, FakeStages& stages) {
+  tracer.open_span(0, "totally_new_span", 0);          // unregistered span
+  StageTimer timer(stages, "mystery_stage");           // unregistered stage
+  stages.add("another_mystery", 1.0);                  // unregistered stage
+  tracer.open_span(0, "relay_session", 0);             // registered: clean
+}

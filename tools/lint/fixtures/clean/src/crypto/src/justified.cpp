@@ -26,4 +26,19 @@ void bump(FakeRegistry& reg) {
   for (const auto& kv : ordered) (void)kv;
 }
 
+struct FakeTracer {
+  unsigned open_span(int t, const char* name, unsigned parent) {
+    (void)t;
+    (void)name;
+    return parent + 1;
+  }
+};
+
+void trace(FakeTracer& tracer) {
+  tracer.open_span(0, "audit_round", 0);  // registered span name: clean
+  // g2g-lint: allow(span-name-registry) -- fixture-local experiment span,
+  // deliberately outside the registered set to exercise the escape hatch.
+  tracer.open_span(0, "fixture_experiment", 0);
+}
+
 }  // namespace fixture

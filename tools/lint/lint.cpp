@@ -220,6 +220,20 @@ const std::set<std::string>& registered_counter_prefixes() {
   return prefixes;
 }
 
+const std::set<std::string>& registered_span_names() {
+  // The span/stage name set of docs/OBSERVABILITY.md ("Spans & causal
+  // tracing") and src/obs/include/g2g/obs/span.hpp; the three lists are kept
+  // in sync deliberately, in the same commit.
+  static const std::set<std::string> names = {
+      // spans
+      "msg", "relay_session", "audit_round", "pom_gossip",
+      // stages
+      "trace_gen", "communities", "warm_up", "simulation",
+      "pom_batch_verify", "extraction",
+  };
+  return names;
+}
+
 // ---------------------------------------------------------------------------
 // Per-file scanning.
 // ---------------------------------------------------------------------------
@@ -345,6 +359,33 @@ void scan_counters(const std::string& rel, const std::vector<SplitLine>& lines,
   }
 }
 
+void scan_span_names(const std::string& rel, const std::vector<SplitLine>& lines,
+                     const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_src(rel)) return;
+  // Three emission sites carry span/stage names as string literals:
+  // Tracer::open_span("..."), obs::StageTimer t(stages, "..."), and
+  // StageRegistry::add("..."). Call sites must keep the name literal (no
+  // constants) precisely so this rule can see it.
+  static const std::regex kOpenSpan(R"(\bopen_span\s*\([^"]*"([^"]*)\")");
+  static const std::regex kStageTimer(R"(\bStageTimer\s+\w+\s*\([^"]*"([^"]*)\")");
+  static const std::regex kStagesAdd(R"(\bstages\s*\.\s*add\s*\(\s*"([^"]*)\")");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const auto* pattern : {&kOpenSpan, &kStageTimer, &kStagesAdd}) {
+      auto begin =
+          std::sregex_iterator(lines[i].code.begin(), lines[i].code.end(), *pattern);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (registered_span_names().count(name) > 0) continue;
+        if (is_allowed(pragmas, i + 1, "span-name-registry")) continue;
+        out.push_back({rel, i + 1, "span-name-registry",
+                       "span/stage name '" + name +
+                           "' is not in the registered set (see "
+                           "docs/OBSERVABILITY.md and g2g/obs/span.hpp)"});
+      }
+    }
+  }
+}
+
 void scan_adhoc_atomics(const std::string& rel, const std::vector<SplitLine>& lines,
                         const PragmaTable& pragmas, std::vector<Finding>& out) {
   if (!in_src(rel) || in_obs(rel)) return;
@@ -421,7 +462,8 @@ const std::vector<std::string>& rule_ids() {
       "no-wall-clock",     "no-getenv",
       "no-unordered-iter", "wire-encode-triple",
       "frame-fuzz-coverage", "counter-name-prefix",
-      "no-adhoc-atomic",   "allow-without-justification",
+      "span-name-registry",  "no-adhoc-atomic",
+      "allow-without-justification",
   };
   return ids;
 }
@@ -443,6 +485,7 @@ std::vector<Finding> run_lint(const Options& options) {
     scan_unordered_iteration(rel, lines, pragmas, findings);
     scan_wire_triple(rel, lines, pragmas, findings);
     scan_counters(rel, lines, pragmas, findings);
+    scan_span_names(rel, lines, pragmas, findings);
     scan_adhoc_atomics(rel, lines, pragmas, findings);
   }
   scan_frame_fuzz_coverage(root, findings);

@@ -9,7 +9,7 @@
 //   determinism   no-rand, no-random-device, no-wall-clock, no-getenv,
 //                 no-unordered-iter
 //   wire          wire-encode-triple, frame-fuzz-coverage
-//   counters      counter-name-prefix, no-adhoc-atomic
+//   counters      counter-name-prefix, span-name-registry, no-adhoc-atomic
 //
 // A finding is suppressed by a justified pragma on the same line or the
 // line directly above:

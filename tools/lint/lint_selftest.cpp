@@ -70,6 +70,13 @@ TEST_F(BadFixture, CounterHygieneFires) {
   EXPECT_TRUE(has(findings(), "no-adhoc-atomic", "rogue_counter.cpp"));
 }
 
+TEST_F(BadFixture, SpanNameRegistryFires) {
+  EXPECT_TRUE(has(findings(), "span-name-registry", "src/obs/src/rogue_span.cpp"));
+  // open_span, StageTimer, and stages.add each carry one invented name; the
+  // registered "relay_session" stays clean.
+  EXPECT_EQ(count_rule(findings(), "span-name-registry"), 3u);
+}
+
 TEST_F(BadFixture, EveryRuleFiresSomewhere) {
   for (const std::string& rule : rule_ids()) {
     EXPECT_GT(count_rule(findings(), rule), 0u) << rule;

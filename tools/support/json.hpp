@@ -1,0 +1,49 @@
+// Minimal JSON reader shared by the repo tools (g2g-trace, g2g-bench-compare).
+//
+// The tools consume machine-generated JSON the repo itself writes — JSONL
+// trace lines from obs::JsonlSink and BENCH_*.json from bench/bench_json.hpp
+// — so the parser favours smallness over generality: recursive descent, one
+// Value variant, object keys kept in document order. Zero dependencies, same
+// rationale as tools/lint.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace g2g::tools {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  /// Numbers keep both views: `number` always holds the double value;
+  /// `integer` is exact when `is_integer` (no '.', 'e', overflow).
+  double number = 0.0;
+  long long integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  [[nodiscard]] double num_or(double fallback) const;
+  [[nodiscard]] long long int_or(long long fallback) const;
+  [[nodiscard]] std::string str_or(std::string fallback) const;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;      ///< empty when ok
+  std::size_t pos = 0;    ///< byte offset of the error
+};
+
+/// Parse one JSON document; trailing whitespace is allowed, trailing content
+/// is an error (JSONL callers parse line by line).
+[[nodiscard]] ParseResult parse_json(std::string_view text);
+
+}  // namespace g2g::tools

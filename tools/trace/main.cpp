@@ -1,0 +1,52 @@
+// g2g-trace CLI: analyze a JSONL trace produced with --trace-out.
+//
+//   g2g-trace trace.jsonl          print the report
+//   g2g-trace --check trace.jsonl  also exit 1 when anomalies were found
+//   g2g-trace -                    read the trace from stdin
+//
+// Exit codes: 0 clean, 1 anomalies found (with --check), 2 usage/IO error.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace.hpp"
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: g2g-trace [--check] <trace.jsonl|->\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "g2g-trace: unknown option " << arg << '\n';
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "g2g-trace: more than one input\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: g2g-trace [--check] <trace.jsonl|->\n";
+    return 2;
+  }
+
+  g2g::tracetool::Analysis analysis;
+  if (path == "-") {
+    analysis = g2g::tracetool::analyze(std::cin);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "g2g-trace: cannot open " << path << '\n';
+      return 2;
+    }
+    analysis = g2g::tracetool::analyze(in);
+  }
+  g2g::tracetool::print_report(std::cout, analysis);
+  return check && !analysis.anomalies.empty() ? 1 : 0;
+}

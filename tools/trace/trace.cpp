@@ -1,0 +1,380 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+#include "json.hpp"
+
+namespace g2g::tracetool {
+
+namespace {
+
+struct EventLine {
+  long long t = 0;
+  std::string ev;
+  long long a = -1;
+  long long b = -1;
+  std::uint64_t ref = 0;
+  long long v = 0;
+};
+
+std::string at_line(std::size_t line_no) {
+  return "line " + std::to_string(line_no) + ": ";
+}
+
+std::string fmt_minutes(long long us) {
+  if (us < 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(us) / 60e6);
+  return buf;
+}
+
+void pad(std::string& s, std::size_t width) {
+  while (s.size() < width) s.push_back(' ');
+}
+
+}  // namespace
+
+Analysis analyze(std::istream& in) {
+  Analysis a;
+  // Working state the final Analysis does not need to carry.
+  long long last_t = -1;
+  bool have_key_reveal = false;
+  // (ref, giver, taker, t) of every step-5 KeyReveal, to certify relays.
+  std::set<std::tuple<std::uint64_t, long long, long long, long long>> key_reveals;
+  struct RelaySeen {
+    std::size_t line;
+    std::uint64_t ref;
+    long long from, to, t;
+  };
+  std::vector<RelaySeen> relays_seen;
+  // (ref, t) of successful PoR verifications / storage challenges, to certify
+  // audit passes.
+  std::set<std::pair<std::uint64_t, long long>> pors_ok;
+  std::set<std::pair<std::uint64_t, long long>> storage_challenged;
+  struct AuditPass {
+    std::size_t line;
+    std::uint64_t ref;
+    long long t, v;
+  };
+  std::vector<AuditPass> audit_passes;
+  std::map<long long, long long> first_fail;  // culprit -> earliest failed check
+  std::map<long long, std::set<long long>> learners;  // culprit -> accepting nodes
+  std::set<long long> evicted;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const tools::ParseResult parsed = tools::parse_json(line);
+    if (!parsed.ok) {
+      a.anomalies.push_back(at_line(line_no) + "unparseable JSON (" + parsed.error + ")");
+      continue;
+    }
+    const tools::Value& obj = parsed.value;
+    const tools::Value* t_us = obj.find("t_us");
+    if (t_us == nullptr) {
+      a.anomalies.push_back(at_line(line_no) + "missing t_us");
+      continue;
+    }
+    const long long t = t_us->int_or(0);
+    if (t < last_t) {
+      a.anomalies.push_back(at_line(line_no) + "t_us went backwards (" +
+                            std::to_string(t) + " after " + std::to_string(last_t) + ")");
+    }
+    last_t = std::max(last_t, t);
+
+    if (const tools::Value* span = obj.find("span")) {
+      ++a.span_lines;
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(obj.find("id") ? obj.find("id")->int_or(0) : 0);
+      if (span->str_or("") == "open") {
+        const std::uint64_t parent = static_cast<std::uint64_t>(
+            obj.find("parent") ? obj.find("parent")->int_or(0) : 0);
+        SpanInfo info;
+        info.name = obj.find("name") ? obj.find("name")->str_or("?") : "?";
+        info.open_us = t;
+        info.parent = parent;
+        info.a = obj.find("a") ? obj.find("a")->int_or(-1) : -1;
+        info.b = obj.find("b") ? obj.find("b")->int_or(-1) : -1;
+        info.ref = static_cast<std::uint64_t>(
+            obj.find("ref") ? obj.find("ref")->int_or(0) : 0);
+        if (a.spans.count(id) != 0) {
+          a.anomalies.push_back(at_line(line_no) + "span " + std::to_string(id) +
+                                " opened twice");
+        }
+        if (parent != 0) {
+          const auto p = a.spans.find(parent);
+          if (p == a.spans.end()) {
+            a.anomalies.push_back(at_line(line_no) + "span " + std::to_string(id) +
+                                  " opened under unknown parent " + std::to_string(parent));
+          } else if (p->second.closed) {
+            a.anomalies.push_back(at_line(line_no) + "span " + std::to_string(id) +
+                                  " opened under closed parent " + std::to_string(parent));
+          }
+        }
+        a.spans[id] = std::move(info);
+      } else {
+        const auto it = a.spans.find(id);
+        if (it == a.spans.end()) {
+          a.anomalies.push_back(at_line(line_no) + "close of unknown span " +
+                                std::to_string(id));
+        } else if (it->second.closed) {
+          a.anomalies.push_back(at_line(line_no) + "span " + std::to_string(id) +
+                                " closed twice");
+        } else {
+          it->second.closed = true;
+          it->second.close_us = t;
+          it->second.value = obj.find("v") ? obj.find("v")->int_or(0) : 0;
+          it->second.wall_ns = obj.find("wall_ns") ? obj.find("wall_ns")->int_or(-1) : -1;
+        }
+      }
+      continue;
+    }
+
+    const tools::Value* ev = obj.find("ev");
+    if (ev == nullptr) {
+      a.anomalies.push_back(at_line(line_no) + "neither event nor span line");
+      continue;
+    }
+    ++a.event_lines;
+    EventLine e;
+    e.t = t;
+    e.ev = ev->str_or("?");
+    e.a = obj.find("a") ? obj.find("a")->int_or(-1) : -1;
+    e.b = obj.find("b") ? obj.find("b")->int_or(-1) : -1;
+    e.ref = static_cast<std::uint64_t>(obj.find("ref") ? obj.find("ref")->int_or(0) : 0);
+    e.v = obj.find("v") ? obj.find("v")->int_or(0) : 0;
+    ++a.event_counts[e.ev];
+
+    if (e.ev == "message_generated") {
+      MessageStats& m = a.messages[e.ref];
+      m.generated_us = e.t;
+      m.src = e.a;
+      m.dst = e.b;
+    } else if (e.ev == "message_relayed") {
+      const auto it = a.messages.find(e.ref);
+      if (it == a.messages.end()) {
+        a.anomalies.push_back(at_line(line_no) + "relay of never-generated message " +
+                              std::to_string(e.ref));
+      } else {
+        ++it->second.relays;
+      }
+      relays_seen.push_back({line_no, e.ref, e.a, e.b, e.t});
+    } else if (e.ev == "message_delivered") {
+      auto& m = a.messages[e.ref];
+      if (m.delivered_us < 0) m.delivered_us = e.t;
+    } else if (e.ev == "hs_key_reveal") {
+      have_key_reveal = true;
+      key_reveals.insert({e.ref, e.a, e.b, e.t});
+    } else if (e.ev == "por_verified") {
+      if (e.v == 1) pors_ok.insert({e.ref, e.t});
+    } else if (e.ev == "storage_challenge") {
+      storage_challenged.insert({e.ref, e.t});
+    } else if (e.ev == "test_by_sender") {
+      if (e.v == 0 && e.b >= 0) {
+        const auto [it, inserted] = first_fail.emplace(e.b, e.t);
+        if (!inserted) it->second = std::min(it->second, e.t);
+      }
+      if (e.v == 1 || e.v == 2) audit_passes.push_back({line_no, e.ref, e.t, e.v});
+    } else if (e.ev == "test_by_destination" || e.ev == "chain_check") {
+      if (e.v == 0 && e.b >= 0) {
+        const auto [it, inserted] = first_fail.emplace(e.b, e.t);
+        if (!inserted) it->second = std::min(it->second, e.t);
+      }
+    } else if (e.ev == "detection") {
+      // Fallback deviation marker when no explicit failed check preceded it.
+      if (e.b >= 0) first_fail.emplace(e.b, e.t);
+    } else if (e.ev == "pom_issued") {
+      if (e.b >= 0) {
+        DetectionTimeline& tl = a.timelines[e.b];
+        if (tl.first_pom_us < 0 || e.t < tl.first_pom_us) tl.first_pom_us = e.t;
+      }
+    } else if (e.ev == "eviction") {
+      if (e.b >= 0) {
+        evicted.insert(e.b);
+        DetectionTimeline& tl = a.timelines[e.b];
+        if (tl.eviction_us < 0 || e.t < tl.eviction_us) tl.eviction_us = e.t;
+      }
+    } else if (e.ev == "pom_learned") {
+      if (e.v == 1 && e.b >= 0) {
+        DetectionTimeline& tl = a.timelines[e.b];
+        tl.spread_done_us = std::max(tl.spread_done_us, e.t);
+        if (e.a >= 0) learners[e.b].insert(e.a);
+      }
+    }
+  }
+
+  // End-of-stream checks. Every open span must have closed.
+  for (const auto& [id, info] : a.spans) {
+    if (!info.closed) {
+      a.anomalies.push_back("span " + std::to_string(id) + " (" + info.name +
+                            ") never closed");
+    }
+  }
+  // Hold without KeyReveal: every relayed replica must be preceded by the
+  // step-5 reveal of the same (msg, giver, taker) at the same instant. The
+  // check is skipped for traces without a G2G handshake at all.
+  if (have_key_reveal) {
+    for (const RelaySeen& r : relays_seen) {
+      if (key_reveals.count({r.ref, r.from, r.to, r.t}) == 0) {
+        a.anomalies.push_back(at_line(r.line) + "message " + std::to_string(r.ref) +
+                              " relayed " + std::to_string(r.from) + "->" +
+                              std::to_string(r.to) + " without a key_reveal");
+      }
+    }
+  }
+  // Audit without proof: a passing test needs the matching evidence events.
+  for (const AuditPass& p : audit_passes) {
+    if (p.v == 1 && pors_ok.count({p.ref, p.t}) == 0) {
+      a.anomalies.push_back(at_line(p.line) + "test_by_sender passed on PoRs for message " +
+                            std::to_string(p.ref) + " without a verified PoR");
+    }
+    if (p.v == 2 && storage_challenged.count({p.ref, p.t}) == 0) {
+      a.anomalies.push_back(at_line(p.line) +
+                            "test_by_sender passed on storage for message " +
+                            std::to_string(p.ref) + " without a storage challenge");
+    }
+  }
+  // PoM without eviction, and the deviation/learner fold-in.
+  for (auto& [culprit, tl] : a.timelines) {
+    const auto f = first_fail.find(culprit);
+    if (f != first_fail.end()) tl.first_deviation_us = f->second;
+    const auto l = learners.find(culprit);
+    if (l != learners.end()) tl.learners = l->second.size();
+    if (tl.first_pom_us >= 0 && evicted.count(culprit) == 0) {
+      a.anomalies.push_back("pom issued against node " + std::to_string(culprit) +
+                            " but it was never evicted");
+    }
+  }
+  return a;
+}
+
+void print_report(std::ostream& out, const Analysis& a) {
+  out << "== g2g-trace report ==\n";
+  out << "lines: " << a.event_lines << " events, " << a.span_lines << " span records\n\n";
+
+  std::size_t delivered = 0;
+  for (const auto& [ref, m] : a.messages) {
+    if (m.delivered_us >= 0) ++delivered;
+  }
+  out << "messages: " << a.messages.size() << " generated, " << delivered << " delivered";
+  if (!a.messages.empty()) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.1f",
+                  100.0 * static_cast<double>(delivered) /
+                      static_cast<double>(a.messages.size()));
+    out << " (" << pct << "%)";
+  }
+  out << '\n';
+
+  // Delivery latency histogram (sim time from generation to first delivery).
+  static const struct { const char* label; long long bound_us; } kBuckets[] = {
+      {"<=1m", 60LL * 1000000}, {"<=5m", 300LL * 1000000},
+      {"<=15m", 900LL * 1000000}, {"<=30m", 1800LL * 1000000},
+      {"<=1h", 3600LL * 1000000}, {"<=2h", 7200LL * 1000000},
+      {">2h", -1}};
+  std::size_t latency[7] = {};
+  std::size_t hops[5] = {};  // 1, 2, 3, 4, >=5
+  for (const auto& [ref, m] : a.messages) {
+    if (m.delivered_us < 0 || m.generated_us < 0) continue;
+    const long long lat = m.delivered_us - m.generated_us;
+    std::size_t bucket = 6;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (lat <= kBuckets[i].bound_us) { bucket = i; break; }
+    }
+    ++latency[bucket];
+    const std::size_t h = m.relays == 0 ? 1 : m.relays;
+    ++hops[std::min<std::size_t>(h, 5) - 1];
+  }
+  out << "delivery latency (sim time):\n";
+  for (std::size_t i = 0; i < 7; ++i) {
+    std::string label = kBuckets[i].label;
+    pad(label, 6);
+    out << "  " << label << ' ' << latency[i] << '\n';
+  }
+  out << "relay hops per delivered message (all replicas):\n";
+  static const char* kHopLabels[] = {"1", "2", "3", "4", ">=5"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    std::string label = kHopLabels[i];
+    pad(label, 6);
+    out << "  " << label << ' ' << hops[i] << '\n';
+  }
+  out << '\n';
+
+  out << "handshake stages:\n";
+  static const char* kStages[] = {"hs_relay_rqst", "hs_relay_ok", "hs_relay_data",
+                                  "hs_por_signed", "hs_key_reveal", "fq_rqst", "fq_resp"};
+  for (const char* stage : kStages) {
+    const auto it = a.event_counts.find(stage);
+    if (it == a.event_counts.end()) continue;
+    std::string label = stage;
+    pad(label, 14);
+    out << "  " << label << ' ' << it->second << '\n';
+  }
+  out << '\n';
+
+  out << "spans:\n";
+  // name -> (opened, closed, outcome -> count); map keys give sorted order.
+  std::map<std::string, std::tuple<std::size_t, std::size_t, std::map<long long, std::size_t>>>
+      by_name;
+  for (const auto& [id, info] : a.spans) {
+    auto& [opened, closed, outcomes] = by_name[info.name];
+    ++opened;
+    if (info.closed) {
+      ++closed;
+      ++outcomes[info.value];
+    }
+  }
+  out << "  name           opened  closed  outcomes\n";
+  for (const auto& [name, row] : by_name) {
+    const auto& [opened, closed, outcomes] = row;
+    std::string label = name;
+    pad(label, 14);
+    std::string opened_s = std::to_string(opened);
+    pad(opened_s, 7);
+    std::string closed_s = std::to_string(closed);
+    pad(closed_s, 7);
+    out << "  " << label << ' ' << opened_s << ' ' << closed_s << ' ';
+    bool first = true;
+    for (const auto& [value, count] : outcomes) {
+      if (!first) out << ' ';
+      first = false;
+      out << value << '=' << count;
+    }
+    out << '\n';
+  }
+  out << '\n';
+
+  out << "detection timelines (sim minutes):\n";
+  if (a.timelines.empty()) {
+    out << "  (no convictions in this trace)\n";
+  } else {
+    out << "  culprit  first_deviation  first_pom  eviction  spread_done  learners\n";
+    for (const auto& [culprit, tl] : a.timelines) {
+      std::string c = std::to_string(culprit);
+      pad(c, 8);
+      std::string dev = fmt_minutes(tl.first_deviation_us);
+      pad(dev, 16);
+      std::string pom = fmt_minutes(tl.first_pom_us);
+      pad(pom, 10);
+      std::string ev = fmt_minutes(tl.eviction_us);
+      pad(ev, 9);
+      std::string spread = fmt_minutes(tl.spread_done_us);
+      pad(spread, 12);
+      out << "  " << c << ' ' << dev << ' ' << pom << ' ' << ev << ' ' << spread << ' '
+          << tl.learners << '\n';
+    }
+  }
+  out << '\n';
+
+  out << "anomalies: " << a.anomalies.size() << '\n';
+  for (const std::string& anomaly : a.anomalies) out << "  - " << anomaly << '\n';
+}
+
+}  // namespace g2g::tracetool

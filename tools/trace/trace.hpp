@@ -1,0 +1,78 @@
+// g2g-trace: the trace analyzer behind the span/causality layer.
+//
+// Ingests the JSONL stream obs::JsonlSink writes (flat events + span
+// open/close lines, see docs/OBSERVABILITY.md) and reconstructs the
+// per-message view the paper's figures are about:
+//
+//   * delivery latency and hop-count histograms over the msg spans,
+//   * handshake stage breakdowns (steps 1-5, relay_session outcomes,
+//     audit_round outcomes),
+//   * detection timelines per convicted node: first observed deviation ->
+//     first PoM -> eviction -> gossip spread,
+//   * protocol-anomaly checks: a relay hold without the step-5 KeyReveal, an
+//     audit pass without the proof that justifies it, a PoM without the
+//     matching eviction, and span-tree violations (close without open,
+//     double close, child opened under a closed parent, unclosed at EOF).
+//
+// A faithful run produces zero anomalies; the checks exist to catch protocol
+// regressions from the evidence stream alone, without rerunning the sim.
+// Zero dependencies beyond tools/support, same pattern as tools/lint.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace g2g::tracetool {
+
+struct MessageStats {
+  long long generated_us = -1;
+  long long delivered_us = -1;  ///< -1 = never delivered
+  std::size_t relays = 0;       ///< message_relayed events (hops over all replicas)
+  long long src = -1;
+  long long dst = -1;
+};
+
+struct SpanInfo {
+  std::string name;
+  long long open_us = 0;
+  long long close_us = -1;  ///< -1 = never closed (anomaly at EOF)
+  std::uint64_t parent = 0;
+  long long a = -1;
+  long long b = -1;
+  std::uint64_t ref = 0;
+  long long value = 0;      ///< close outcome
+  long long wall_ns = -1;
+  bool closed = false;
+};
+
+/// One convicted node's detection timeline, all sim-time microseconds
+/// (-1 = the phase never appeared in the trace).
+struct DetectionTimeline {
+  long long first_deviation_us = -1;  ///< earliest failed test/check against it
+  long long first_pom_us = -1;        ///< earliest pom_issued
+  long long eviction_us = -1;         ///< earliest eviction
+  long long spread_done_us = -1;      ///< latest accepted pom_learned
+  std::size_t learners = 0;           ///< distinct nodes that accepted the PoM
+};
+
+struct Analysis {
+  std::size_t event_lines = 0;
+  std::size_t span_lines = 0;
+  std::map<std::string, std::size_t> event_counts;          ///< by "ev" name
+  std::map<std::uint64_t, MessageStats> messages;           ///< by ref
+  std::map<std::uint64_t, SpanInfo> spans;                  ///< by span id
+  std::map<long long, DetectionTimeline> timelines;         ///< by culprit id
+  std::vector<std::string> anomalies;                       ///< human-readable, ordered
+};
+
+/// Parse + analyze one JSONL trace stream (a file or stdin).
+[[nodiscard]] Analysis analyze(std::istream& in);
+
+/// The full human-readable report (histograms, breakdowns, timelines,
+/// anomalies). Deterministic for a deterministic trace — golden-tested.
+void print_report(std::ostream& out, const Analysis& a);
+
+}  // namespace g2g::tracetool

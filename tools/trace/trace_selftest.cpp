@@ -1,0 +1,160 @@
+// Self-test of the trace analyzer: anomaly rules on synthetic streams, the
+// reconstruction logic, and a golden-output check over the checked-in
+// miniature trace (fixtures/mini_trace.jsonl + mini_trace.report).
+#include "trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace g2g::tracetool {
+namespace {
+
+Analysis analyze_text(const std::string& text) {
+  std::istringstream in(text);
+  return analyze(in);
+}
+
+TEST(TraceAnomalies, CleanStreamHasNone) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"message_generated\",\"a\":0,\"b\":1,\"ref\":7,\"v\":0}\n"
+      "{\"t_us\":0,\"span\":\"open\",\"name\":\"msg\",\"id\":1,\"parent\":0,"
+      "\"a\":0,\"b\":1,\"ref\":7}\n"
+      "{\"t_us\":5,\"span\":\"close\",\"id\":1,\"v\":0}\n");
+  EXPECT_TRUE(a.anomalies.empty());
+  EXPECT_EQ(a.event_lines, 1u);
+  EXPECT_EQ(a.span_lines, 2u);
+}
+
+TEST(TraceAnomalies, CloseOfUnknownSpan) {
+  const Analysis a = analyze_text("{\"t_us\":0,\"span\":\"close\",\"id\":9,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("unknown span 9"), std::string::npos);
+}
+
+TEST(TraceAnomalies, DoubleClose) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"span\":\"open\",\"name\":\"msg\",\"id\":1,\"parent\":0,"
+      "\"a\":0,\"b\":1,\"ref\":1}\n"
+      "{\"t_us\":1,\"span\":\"close\",\"id\":1,\"v\":0}\n"
+      "{\"t_us\":2,\"span\":\"close\",\"id\":1,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("closed twice"), std::string::npos);
+}
+
+TEST(TraceAnomalies, ChildUnderClosedParent) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"span\":\"open\",\"name\":\"msg\",\"id\":1,\"parent\":0,"
+      "\"a\":0,\"b\":1,\"ref\":1}\n"
+      "{\"t_us\":1,\"span\":\"close\",\"id\":1,\"v\":0}\n"
+      "{\"t_us\":2,\"span\":\"open\",\"name\":\"relay_session\",\"id\":2,"
+      "\"parent\":1,\"a\":0,\"b\":1,\"ref\":1}\n"
+      "{\"t_us\":3,\"span\":\"close\",\"id\":2,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("closed parent"), std::string::npos);
+}
+
+TEST(TraceAnomalies, UnclosedSpanAtEof) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"span\":\"open\",\"name\":\"msg\",\"id\":1,\"parent\":0,"
+      "\"a\":0,\"b\":1,\"ref\":1}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("never closed"), std::string::npos);
+}
+
+TEST(TraceAnomalies, TimeGoingBackwards) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":10,\"ev\":\"contact_up\",\"a\":0,\"b\":1,\"ref\":0,\"v\":0}\n"
+      "{\"t_us\":5,\"ev\":\"contact_up\",\"a\":0,\"b\":1,\"ref\":0,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("t_us went backwards"), std::string::npos);
+}
+
+TEST(TraceAnomalies, RelayWithoutKeyReveal) {
+  // One key_reveal exists (so the G2G check arms), but the second relay has
+  // no matching step-5 reveal — the "hold without KeyReveal" anomaly.
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"message_generated\",\"a\":0,\"b\":3,\"ref\":1,\"v\":0}\n"
+      "{\"t_us\":1,\"ev\":\"hs_key_reveal\",\"a\":0,\"b\":1,\"ref\":1,\"v\":0}\n"
+      "{\"t_us\":1,\"ev\":\"message_relayed\",\"a\":0,\"b\":1,\"ref\":1,\"v\":1}\n"
+      "{\"t_us\":2,\"ev\":\"message_relayed\",\"a\":1,\"b\":2,\"ref\":1,\"v\":1}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("without a key_reveal"), std::string::npos);
+}
+
+TEST(TraceAnomalies, KeyRevealCheckSkippedWithoutHandshakes) {
+  // Traces from non-G2G protocols carry relays but no handshake events; the
+  // KeyReveal rule must not fire there.
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"message_generated\",\"a\":0,\"b\":3,\"ref\":1,\"v\":0}\n"
+      "{\"t_us\":1,\"ev\":\"message_relayed\",\"a\":0,\"b\":1,\"ref\":1,\"v\":1}\n");
+  EXPECT_TRUE(a.anomalies.empty());
+}
+
+TEST(TraceAnomalies, AuditPassWithoutProof) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"test_by_sender\",\"a\":0,\"b\":1,\"ref\":1,\"v\":1}\n"
+      "{\"t_us\":1,\"ev\":\"test_by_sender\",\"a\":0,\"b\":2,\"ref\":2,\"v\":2}\n");
+  ASSERT_EQ(a.anomalies.size(), 2u);
+  EXPECT_NE(a.anomalies[0].find("without a verified PoR"), std::string::npos);
+  EXPECT_NE(a.anomalies[1].find("without a storage challenge"), std::string::npos);
+}
+
+TEST(TraceAnomalies, PomWithoutEviction) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"pom_issued\",\"a\":0,\"b\":5,\"ref\":1,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("never evicted"), std::string::npos);
+}
+
+TEST(TraceAnomalies, RelayOfNeverGeneratedMessage) {
+  const Analysis a = analyze_text(
+      "{\"t_us\":0,\"ev\":\"message_relayed\",\"a\":0,\"b\":1,\"ref\":9,\"v\":0}\n");
+  ASSERT_EQ(a.anomalies.size(), 1u);
+  EXPECT_NE(a.anomalies[0].find("never-generated"), std::string::npos);
+}
+
+TEST(TraceReconstruction, MiniTraceTimelinesAndStats) {
+  std::ifstream in(std::string(G2G_TRACE_FIXTURE_DIR) + "/mini_trace.jsonl");
+  ASSERT_TRUE(in.is_open());
+  const Analysis a = analyze(in);
+  EXPECT_TRUE(a.anomalies.empty());
+
+  ASSERT_EQ(a.messages.size(), 2u);
+  const MessageStats& m1 = a.messages.at(1);
+  EXPECT_EQ(m1.generated_us, 0);
+  EXPECT_EQ(m1.delivered_us, 180000000);
+  EXPECT_EQ(m1.relays, 2u);
+  EXPECT_EQ(a.messages.at(2).delivered_us, -1);
+
+  ASSERT_EQ(a.spans.size(), 9u);
+  for (const auto& [id, span] : a.spans) EXPECT_TRUE(span.closed) << "span " << id;
+
+  // The dropper (node 2): failed test -> PoM -> eviction at 15 sim-minutes,
+  // gossip spread done at 16, three distinct learners.
+  ASSERT_EQ(a.timelines.size(), 1u);
+  const DetectionTimeline& tl = a.timelines.at(2);
+  EXPECT_EQ(tl.first_deviation_us, 900000000);
+  EXPECT_EQ(tl.first_pom_us, 900000000);
+  EXPECT_EQ(tl.eviction_us, 900000000);
+  EXPECT_EQ(tl.spread_done_us, 960000000);
+  EXPECT_EQ(tl.learners, 3u);
+}
+
+TEST(TraceReport, GoldenOutputOverMiniTrace) {
+  std::ifstream in(std::string(G2G_TRACE_FIXTURE_DIR) + "/mini_trace.jsonl");
+  ASSERT_TRUE(in.is_open());
+  const Analysis a = analyze(in);
+  std::ostringstream got;
+  print_report(got, a);
+
+  std::ifstream golden_in(std::string(G2G_TRACE_FIXTURE_DIR) + "/mini_trace.report");
+  ASSERT_TRUE(golden_in.is_open());
+  std::ostringstream golden;
+  golden << golden_in.rdbuf();
+  EXPECT_EQ(got.str(), golden.str());
+}
+
+}  // namespace
+}  // namespace g2g::tracetool
