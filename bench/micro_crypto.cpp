@@ -10,6 +10,7 @@
 #include "bench_json.hpp"
 #include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/hmac.hpp"
+#include "g2g/crypto/montgomery.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/crypto/sealed_box.hpp"
 #include "g2g/crypto/sha256.hpp"
@@ -63,6 +64,29 @@ void BM_HeavyHmacReference(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(heavy_hmac_reference(msg, seed, iterations));
 }
 BENCHMARK(BM_HeavyHmacReference)->Arg(256)->Arg(1024)->Arg(4096);
+
+// One Montgomery CIOS product vs one schoolbook shift-subtract mul_mod over
+// the default group's 256-bit prime. The ratio is the per-multiply fast-path
+// win that compounds through every exponentiation chain; the differential
+// corpus (crypto_fastpath_diff_test) owns correctness.
+void BM_MontMul(benchmark::State& state) {
+  const SchnorrGroup& group = SchnorrGroup::default_group();
+  const MontgomeryParams params = MontgomeryParams::for_modulus(group.p);
+  Rng rng(3);
+  const U256 a = to_mont(random_below(rng, group.p), params);
+  const U256 b = to_mont(random_below(rng, group.p), params);
+  for (auto _ : state) benchmark::DoNotOptimize(mont_mul(a, b, params));
+}
+BENCHMARK(BM_MontMul);
+
+void BM_MulModClassic(benchmark::State& state) {
+  const SchnorrGroup& group = SchnorrGroup::default_group();
+  Rng rng(3);
+  const U256 a = random_below(rng, group.p);
+  const U256 b = random_below(rng, group.p);
+  for (auto _ : state) benchmark::DoNotOptimize(mul_mod(a, b, group.p));
+}
+BENCHMARK(BM_MulModClassic);
 
 void BM_SchnorrSign(benchmark::State& state) {
   const SuitePtr suite = make_schnorr_suite(SchnorrGroup::default_group());

@@ -11,6 +11,9 @@
 //  - SHA-256 compression: SHA-NI hardware rounds vs the scalar FIPS 180-4 loop
 //  - heavy_hmac: precomputed-pad-state chain vs heavy_hmac_reference
 //  - Schnorr: fixed-base window tables vs square-and-multiply pow_mod
+//  - U256 modular arithmetic: Montgomery-form CIOS kernels (montgomery.hpp —
+//    mont window tables, multi_exp chains, the mont_pow ladder behind
+//    pow_mod_fast) vs the schoolbook shift-subtract mod in uint256.cpp
 //
 // NOT covered: the per-run verification cache (CachingSuite), which is gated
 // per experiment via ExperimentConfig::crypto_fast_path so cache-on/off runs

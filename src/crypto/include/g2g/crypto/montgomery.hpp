@@ -1,0 +1,70 @@
+// Montgomery-form arithmetic for U256 (R = 2^256) — the fast path behind
+// the modular reductions that dominate Schnorr verification.
+//
+// A value x is represented in Montgomery form as x·R mod m; mont_mul
+// computes a·b·R⁻¹ mod m with the CIOS (coarsely integrated operand
+// scanning) word loop — one 64-bit multiply-accumulate pass and one
+// reduction pass per limb, no 512-bit shift-subtract division. Converting
+// in and out of the form costs one mont_mul each, so it pays off exactly
+// where schnorr.cpp uses it: exponentiation chains and window tables that
+// stay in the domain across hundreds of multiplies.
+//
+// Oracle policy (docs/TESTING.md): everything here is a fast path behind
+// crypto::set_fast_path. The schoolbook shift-subtract reducer in
+// uint256.cpp (mod / mul_mod / pow_mod) is the always-available reference,
+// and the differential corpus in tests/crypto_fastpath_diff_test.cpp pins
+// every routine below to it bit for bit.
+//
+// Contracts (enforced by the differential corpus, not by runtime checks):
+//  * the modulus must be odd and > 1 — for_modulus throws otherwise;
+//  * mont_mul requires at least one operand < m (the other may be any
+//    U256); both < m is the normal case and what the chains maintain;
+//  * to_mont accepts ANY U256 and reduces it (x ≥ m is folded to
+//    x mod m — rr < m makes the CIOS bound absorb the excess);
+//  * every result is the canonical representative in [0, m), which is what
+//    makes the fast path byte-identical to the classic path.
+#pragma once
+
+#include "g2g/crypto/uint256.hpp"
+
+namespace g2g::crypto {
+
+/// Per-modulus precomputation for Montgomery arithmetic with R = 2^256.
+struct MontgomeryParams {
+  U256 m;                    ///< the (odd, > 1) modulus
+  std::uint64_t n0inv = 0;   ///< -m⁻¹ mod 2⁶⁴ (Newton–Hensel inverse)
+  U256 one;                  ///< R mod m — the Montgomery form of 1
+  U256 rr;                   ///< R² mod m — to_mont's multiplier
+
+  /// Precompute for `modulus`; throws std::invalid_argument unless the
+  /// modulus is odd and > 1 (Montgomery reduction needs gcd(m, R) = 1).
+  [[nodiscard]] static MontgomeryParams for_modulus(const U256& modulus);
+};
+
+/// CIOS Montgomery product a·b·R⁻¹ mod m. For Montgomery-form inputs ã, b̃
+/// this is the Montgomery form of a·b. Requires at least one operand < m;
+/// the result is canonical (< m).
+[[nodiscard]] U256 mont_mul(const U256& a, const U256& b, const MontgomeryParams& params);
+
+/// x·R mod m — enter the Montgomery domain. Accepts any U256; values ≥ m
+/// are reduced (the result equals to_mont(mod(x, m), params)).
+[[nodiscard]] U256 to_mont(const U256& x, const MontgomeryParams& params);
+
+/// x·R⁻¹ mod m — leave the Montgomery domain. Requires x < m (every value
+/// produced by mont_mul / to_mont qualifies); canonical result.
+[[nodiscard]] U256 from_mont(const U256& x, const MontgomeryParams& params);
+
+/// base^exp mod m over a Montgomery-form base, via the Montgomery ladder
+/// (two mont_muls per exponent bit, no secret-dependent branch pattern).
+/// `base_mont` must already be in the domain (< m); the result is in the
+/// domain too — from_mont it to compare against pow_mod.
+[[nodiscard]] U256 mont_pow(const U256& base_mont, const U256& exp,
+                            const MontgomeryParams& params);
+
+/// base^exp mod m through the Montgomery ladder when the fast path is on
+/// and m is odd; the classic square-and-multiply pow_mod otherwise.
+/// Byte-identical either way — this is the drop-in for pow_mod call sites
+/// whose moduli are the (odd) group primes.
+[[nodiscard]] U256 pow_mod_fast(const U256& base, const U256& exp, const U256& m);
+
+}  // namespace g2g::crypto

@@ -10,9 +10,11 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "g2g/crypto/montgomery.hpp"
 #include "g2g/crypto/sha256.hpp"
 #include "g2g/crypto/uint256.hpp"
 #include "g2g/util/bytes.hpp"
@@ -86,7 +88,10 @@ struct SchnorrSignatureRS {
 /// Precomputed fixed-base exponentiation (4-bit windows):
 /// table[w][d] = base^(d * 16^w) mod m, so pow(e) is one modular multiply per
 /// non-zero hex digit of e — ~n/4 multiplies for an n-bit exponent instead of
-/// the ~n squarings + ~n/2 multiplies of square-and-multiply. Exact: the
+/// the ~n squarings + ~n/2 multiplies of square-and-multiply. For an odd
+/// modulus the windows are mirrored into Montgomery form and, while the
+/// global fast path is on, pow() runs the whole digit chain in the domain
+/// (one mont_mul per digit plus a final from_mont). Exact either way: the
 /// result is bit-identical to pow_mod(base, e, m).
 class FixedBaseTable {
  public:
@@ -103,6 +108,11 @@ class FixedBaseTable {
  private:
   U256 modulus_;
   std::vector<std::array<U256, 16>> windows_;
+  // Montgomery mirror of windows_ (present iff the modulus is odd and > 1).
+  // The classic windows_ are always built first, classically, so the
+  // reference digit chain exists untouched when the fast path is off.
+  std::optional<MontgomeryParams> mont_;
+  std::vector<std::array<U256, 16>> mont_windows_;
 };
 
 /// One base/exponent pair for multi_exp.
@@ -127,10 +137,12 @@ struct SchnorrRSVerifyItem {
 
 /// Per-group precomputation for the hot Schnorr operations: a fixed-base
 /// table for g sized to exponents mod q (keygen's g^x, sign's g^k, verify's
-/// g^s are all bounded by q). Produces byte-identical keys/signatures/
-/// verdicts to the free functions above — the table only changes how the
-/// power is computed. When the global fast path is off, every operation
-/// falls back to the reference pow_mod route.
+/// g^s are all bounded by q), plus cached MontgomeryParams for p and q so
+/// variable-base powers (y^e), modular products, and the batch combination
+/// all run in Montgomery form. Produces byte-identical keys/signatures/
+/// verdicts to the free functions above — the accelerators only change how
+/// each canonical residue is computed. When the global fast path is off,
+/// every operation falls back to the reference pow_mod/mul_mod route.
 class SchnorrEngine {
  public:
   explicit SchnorrEngine(const SchnorrGroup& group);
@@ -156,9 +168,17 @@ class SchnorrEngine {
 
  private:
   [[nodiscard]] U256 pow_g(const U256& exponent) const;
+  /// base^exponent mod p — Montgomery ladder when the fast path is on.
+  [[nodiscard]] U256 pow_p(const U256& base, const U256& exponent) const;
+  /// a*b mod p / mod q — one to_mont + one mont_mul when the fast path is on.
+  [[nodiscard]] U256 mul_p(const U256& a, const U256& b) const;
+  [[nodiscard]] U256 mul_q(const U256& a, const U256& b) const;
 
   SchnorrGroup group_;
   FixedBaseTable g_table_;
+  // Cached per-modulus precomputations (engaged iff the modulus is odd, > 1).
+  std::optional<MontgomeryParams> mont_p_;
+  std::optional<MontgomeryParams> mont_q_;
 };
 
 }  // namespace g2g::crypto

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "g2g/crypto/fastpath.hpp"
+#include "g2g/crypto/montgomery.hpp"
 
 namespace g2g::crypto {
 
@@ -63,7 +64,7 @@ SchnorrGroup SchnorrGroup::generate(std::size_t p_bits, std::size_t q_bits, std:
     // 3. Find a generator of the order-q subgroup: g = h^m mod p != 1.
     for (;;) {
       const U256 h = add_mod(random_below(rng, sub_mod(p, U256(3), p)), U256(2), p);
-      const U256 g = pow_mod(h, m, p);
+      const U256 g = pow_mod_fast(h, m, p);
       if (g != U256(1) && !g.is_zero()) {
         return SchnorrGroup{p, q, g};
       }
@@ -88,7 +89,7 @@ bool SchnorrGroup::valid(Rng& rng) const {
   // q | p-1  <=>  (p-1) mod q == 0
   if (!mod(p_minus_1, q).is_zero()) return false;
   if (g == U256(1) || g.is_zero()) return false;
-  return pow_mod(g, q, p) == U256(1);
+  return pow_mod_fast(g, q, p) == U256(1);
 }
 
 Bytes SchnorrSignature::encode() const {
@@ -120,14 +121,14 @@ SchnorrSignatureRS SchnorrSignatureRS::decode(BytesView b) {
 SchnorrKeyPair schnorr_keygen(const SchnorrGroup& group, Rng& rng) {
   bool borrow = false;
   const U256 x = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
-  return SchnorrKeyPair{x, pow_mod(group.g, x, group.p)};
+  return SchnorrKeyPair{x, pow_mod_fast(group.g, x, group.p)};
 }
 
 SchnorrSignature schnorr_sign(const SchnorrGroup& group, const U256& secret, BytesView message,
                               Rng& rng) {
   bool borrow = false;
   const U256 k = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
-  const U256 r = pow_mod(group.g, k, group.p);
+  const U256 r = pow_mod_fast(group.g, k, group.p);
   const U256 e = challenge(group, r, message);
   const U256 s = sub_mod(k, mul_mod(secret, e, group.q), group.q);
   return SchnorrSignature{e, s};
@@ -137,8 +138,8 @@ bool schnorr_verify(const SchnorrGroup& group, const U256& public_key, BytesView
                     const SchnorrSignature& sig) {
   if (sig.e >= group.q || sig.s >= group.q) return false;
   // r' = g^s * y^e mod p;   valid iff H(r' || m) == e
-  const U256 gs = pow_mod(group.g, sig.s, group.p);
-  const U256 ye = pow_mod(public_key, sig.e, group.p);
+  const U256 gs = pow_mod_fast(group.g, sig.s, group.p);
+  const U256 ye = pow_mod_fast(public_key, sig.e, group.p);
   const U256 r = mul_mod(gs, ye, group.p);
   return challenge(group, r, message) == sig.e;
 }
@@ -149,7 +150,7 @@ SchnorrSignatureRS schnorr_rs_sign(const SchnorrGroup& group, const U256& secret
   // changes, so the two forms stay interconvertible for the same nonce.
   bool borrow = false;
   const U256 k = add_mod(random_below(rng, sub(group.q, U256(1), borrow)), U256(1), group.q);
-  const U256 r = pow_mod(group.g, k, group.p);
+  const U256 r = pow_mod_fast(group.g, k, group.p);
   const U256 e = challenge(group, r, message);
   const U256 s = sub_mod(k, mul_mod(secret, e, group.q), group.q);
   return SchnorrSignatureRS{r, s};
@@ -161,13 +162,13 @@ bool schnorr_rs_verify(const SchnorrGroup& group, const U256& public_key, BytesV
   // e = H(R || m);   valid iff g^s * y^e == R (a group equation, so several
   // signatures can be folded into one randomized combination — verify_batch_rs).
   const U256 e = challenge(group, sig.r, message);
-  const U256 gs = pow_mod(group.g, sig.s, group.p);
-  const U256 ye = pow_mod(public_key, e, group.p);
+  const U256 gs = pow_mod_fast(group.g, sig.s, group.p);
+  const U256 ye = pow_mod_fast(public_key, e, group.p);
   return mul_mod(gs, ye, group.p) == sig.r;
 }
 
 U256 dh_shared_secret(const SchnorrGroup& group, const U256& my_secret, const U256& peer_public) {
-  return pow_mod(peer_public, my_secret, group.p);
+  return pow_mod_fast(peer_public, my_secret, group.p);
 }
 
 FixedBaseTable::FixedBaseTable(const U256& base, const U256& modulus, std::size_t exp_bits)
@@ -180,10 +181,51 @@ FixedBaseTable::FixedBaseTable(const U256& base, const U256& modulus, std::size_
     for (int d = 2; d < 16; ++d) window[d] = mul_mod(window[d - 1], cur, modulus_);
     cur = mul_mod(window[15], cur, modulus_);
   }
+  // Mirror the classically-built windows into Montgomery form (canonical
+  // residues map one-to-one, so both digit chains compute identical values).
+  if (modulus_.bit(0) && modulus_ != U256(1)) {
+    mont_ = MontgomeryParams::for_modulus(modulus_);
+    mont_windows_.resize(windows_.size());
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+      for (std::size_t d = 0; d < 16; ++d) {
+        mont_windows_[w][d] = to_mont(windows_[w][d], *mont_);
+      }
+    }
+  }
 }
 
 U256 multi_exp(std::span<const MultiExpTerm> terms, const U256& modulus) {
   if (terms.empty()) return U256(1);
+  if (fast_path_enabled() && modulus.bit(0) && modulus != U256(1)) {
+    // Same window/squaring schedule as the classic loop below, run entirely
+    // in the Montgomery domain: every intermediate is the Montgomery image of
+    // the classic intermediate, so the final from_mont is bit-identical.
+    const MontgomeryParams params = MontgomeryParams::for_modulus(modulus);
+    std::vector<std::array<U256, 16>> pows(terms.size());
+    std::size_t max_bits = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      pows[i][1] = to_mont(terms[i].base, params);  // reduces bases >= m
+      for (int d = 2; d < 16; ++d) pows[i][d] = mont_mul(pows[i][d - 1], pows[i][1], params);
+      max_bits = std::max(max_bits, terms[i].exponent.bit_length());
+    }
+    U256 result = params.one;
+    bool started = false;
+    for (std::size_t w = (max_bits + 3) / 4; w-- > 0;) {
+      if (started) {
+        for (int sq = 0; sq < 4; ++sq) result = mont_mul(result, result, params);
+      }
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        const std::size_t bit = 4 * w;
+        const unsigned digit =
+            static_cast<unsigned>(terms[i].exponent.limb[bit / 64] >> (bit % 64)) & 0xF;
+        if (digit != 0) {
+          result = mont_mul(result, pows[i][digit], params);
+          started = true;
+        }
+      }
+    }
+    return from_mont(result, params);
+  }
   // Per-term odd-and-even window table: pows[i][d] = base_i^d for d in 1..15.
   std::vector<std::array<U256, 16>> pows(terms.size());
   std::size_t max_bits = 0;
@@ -212,6 +254,15 @@ U256 multi_exp(std::span<const MultiExpTerm> terms, const U256& modulus) {
 }
 
 U256 FixedBaseTable::pow(const U256& exponent) const {
+  if (fast_path_enabled() && mont_) {
+    U256 result = mont_->one;
+    for (std::size_t w = 0; w < mont_windows_.size(); ++w) {
+      const std::size_t bit = 4 * w;
+      const unsigned digit = static_cast<unsigned>(exponent.limb[bit / 64] >> (bit % 64)) & 0xF;
+      if (digit != 0) result = mont_mul(result, mont_windows_[w][digit], *mont_);
+    }
+    return from_mont(result, *mont_);
+  }
   U256 result(1);
   for (std::size_t w = 0; w < windows_.size(); ++w) {
     // A 4-bit window never straddles a 64-bit limb.
@@ -223,13 +274,34 @@ U256 FixedBaseTable::pow(const U256& exponent) const {
 }
 
 SchnorrEngine::SchnorrEngine(const SchnorrGroup& group)
-    : group_(group), g_table_(group.g, group.p, group.q.bit_length()) {}
+    : group_(group), g_table_(group.g, group.p, group.q.bit_length()) {
+  if (group.p.bit(0) && group.p != U256(1)) mont_p_ = MontgomeryParams::for_modulus(group.p);
+  if (group.q.bit(0) && group.q != U256(1)) mont_q_ = MontgomeryParams::for_modulus(group.q);
+}
 
 U256 SchnorrEngine::pow_g(const U256& exponent) const {
   if (fast_path_enabled() && exponent.bit_length() <= g_table_.exp_bits()) {
     return g_table_.pow(exponent);
   }
-  return pow_mod(group_.g, exponent, group_.p);
+  return pow_p(group_.g, exponent);
+}
+
+U256 SchnorrEngine::pow_p(const U256& base, const U256& exponent) const {
+  if (fast_path_enabled() && mont_p_) {
+    return from_mont(mont_pow(to_mont(base, *mont_p_), exponent, *mont_p_), *mont_p_);
+  }
+  return pow_mod(base, exponent, group_.p);
+}
+
+U256 SchnorrEngine::mul_p(const U256& a, const U256& b) const {
+  // mont_mul(a*R, b) = a*b mod p — one conversion, one product, no divide.
+  if (fast_path_enabled() && mont_p_) return mont_mul(to_mont(a, *mont_p_), b, *mont_p_);
+  return mul_mod(a, b, group_.p);
+}
+
+U256 SchnorrEngine::mul_q(const U256& a, const U256& b) const {
+  if (fast_path_enabled() && mont_q_) return mont_mul(to_mont(a, *mont_q_), b, *mont_q_);
+  return mul_mod(a, b, group_.q);
 }
 
 SchnorrKeyPair SchnorrEngine::keygen(Rng& rng) const {
@@ -244,7 +316,7 @@ SchnorrSignature SchnorrEngine::sign(const U256& secret, BytesView message, Rng&
   const U256 k = add_mod(random_below(rng, sub(group_.q, U256(1), borrow)), U256(1), group_.q);
   const U256 r = pow_g(k);
   const U256 e = challenge(group_, r, message);
-  const U256 s = sub_mod(k, mul_mod(secret, e, group_.q), group_.q);
+  const U256 s = sub_mod(k, mul_q(secret, e), group_.q);
   return SchnorrSignature{e, s};
 }
 
@@ -254,8 +326,8 @@ bool SchnorrEngine::verify(const U256& public_key, BytesView message,
   // g^s from the table (s < q by the check above); y^e stays generic since
   // the base varies per signer.
   const U256 gs = pow_g(sig.s);
-  const U256 ye = pow_mod(public_key, sig.e, group_.p);
-  const U256 r = mul_mod(gs, ye, group_.p);
+  const U256 ye = pow_p(public_key, sig.e);
+  const U256 r = mul_p(gs, ye);
   return challenge(group_, r, message) == sig.e;
 }
 
@@ -264,7 +336,7 @@ SchnorrSignatureRS SchnorrEngine::sign_rs(const U256& secret, BytesView message,
   const U256 k = add_mod(random_below(rng, sub(group_.q, U256(1), borrow)), U256(1), group_.q);
   const U256 r = pow_g(k);
   const U256 e = challenge(group_, r, message);
-  const U256 s = sub_mod(k, mul_mod(secret, e, group_.q), group_.q);
+  const U256 s = sub_mod(k, mul_q(secret, e), group_.q);
   return SchnorrSignatureRS{r, s};
 }
 
@@ -273,8 +345,8 @@ bool SchnorrEngine::verify_rs(const U256& public_key, BytesView message,
   if (sig.s >= group_.q || sig.r >= group_.p || sig.r.is_zero()) return false;
   const U256 e = challenge(group_, sig.r, message);
   const U256 gs = pow_g(sig.s);
-  const U256 ye = pow_mod(public_key, e, group_.p);
-  return mul_mod(gs, ye, group_.p) == sig.r;
+  const U256 ye = pow_p(public_key, e);
+  return mul_p(gs, ye) == sig.r;
 }
 
 namespace {
@@ -328,7 +400,7 @@ bool SchnorrEngine::verify_batch_rs(std::span<const SchnorrRSVerifyItem> items) 
   std::vector<MultiExpTerm> rhs_terms(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     const U256 zi(z[i]);
-    s_acc = add_mod(s_acc, mul_mod(zi, items[i].sig.s, group_.q), group_.q);
+    s_acc = add_mod(s_acc, mul_q(zi, items[i].sig.s), group_.q);
     const U256 e = challenge(group_, items[i].sig.r, items[i].message);
     const U512 ze = mul_full(zi, e);
     U256 ze256;
@@ -336,7 +408,7 @@ bool SchnorrEngine::verify_batch_rs(std::span<const SchnorrRSVerifyItem> items) 
     lhs_terms[i] = MultiExpTerm{items[i].public_key, ze256};
     rhs_terms[i] = MultiExpTerm{items[i].sig.r, zi};
   }
-  const U256 lhs = mul_mod(pow_g(s_acc), multi_exp(lhs_terms, group_.p), group_.p);
+  const U256 lhs = mul_p(pow_g(s_acc), multi_exp(lhs_terms, group_.p));
   return lhs == multi_exp(rhs_terms, group_.p);
 }
 

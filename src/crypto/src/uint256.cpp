@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "g2g/crypto/montgomery.hpp"
+
 namespace g2g::crypto {
 
 namespace {
@@ -255,7 +257,10 @@ bool is_probable_prime(const U256& n, Rng& rng, int rounds) {
   for (int round = 0; round < rounds; ++round) {
     bool b2 = false;
     const U256 a = add_mod(random_below(rng, sub(n, U256(3), b2)), U256(2), n);
-    U256 x = pow_mod(a, d, n);
+    // is_probable_prime is a consumer of the arithmetic, not one of the
+    // oracle primitives above — n is odd here (evens fell to trial division),
+    // so the witness power may take the Montgomery ladder.
+    U256 x = pow_mod_fast(a, d, n);
     if (x == U256(1) || x == n_minus_1) continue;
     bool witness = true;
     for (std::size_t i = 0; i + 1 < r; ++i) {

@@ -152,6 +152,81 @@ TEST_F(RsBatchSuite, CachingWrapperComposesWithRsBatch) {
   EXPECT_GT(cached.stats().verify_hits, 0u);
 }
 
+TEST_F(RsBatchSuite, AdversarialMatrixIdenticalWithMontgomeryOnAndOff) {
+  // The full adversarial matrix (forge at every index, replay, truncation)
+  // with the Montgomery fast path forced on vs forced off: the verdict
+  // vectors must be identical element for element. FastPathScope(true) takes
+  // the Montgomery multi-exp/ladder route; false takes the schoolbook oracle.
+  enum class Tamper { kForge, kReplay, kTruncate };
+  for (const Tamper tamper : {Tamper::kForge, Tamper::kReplay, Tamper::kTruncate}) {
+    for (std::size_t bad = 0; bad < 6; ++bad) {
+      auto corpus = make_corpus(*suite_, 6, 20 + bad);
+      switch (tamper) {
+        case Tamper::kForge:
+          corpus[bad].sig[17] ^= 0x20;
+          break;
+        case Tamper::kReplay:
+          corpus[bad].sig = corpus[(bad + 1) % 6].sig;
+          break;
+        case Tamper::kTruncate:
+          corpus[bad].sig.pop_back();
+          break;
+      }
+      const auto reqs = requests_of(corpus);
+      bool mont_on[6];
+      bool mont_off[6];
+      {
+        const FastPathScope scope(true);
+        suite_->verify_batch(reqs, mont_on);
+      }
+      {
+        const FastPathScope scope(false);
+        suite_->verify_batch(reqs, mont_off);
+      }
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(mont_on[i], mont_off[i])
+            << "tamper " << static_cast<int>(tamper) << ", bad " << bad << ", index " << i;
+        EXPECT_EQ(mont_on[i], i != bad)
+            << "tamper " << static_cast<int>(tamper) << ", bad " << bad << ", index " << i;
+      }
+    }
+  }
+}
+
+TEST_F(RsBatchSuite, CacheCounterSemanticsIdenticalWithMontgomeryOnAndOff) {
+  // The fastpath.* obs counters are flushed from CachingSuite stats at the
+  // end of a run; identical request streams must produce identical hit/miss
+  // accounting whichever arithmetic backend answered the misses.
+  CachingSuite::Stats stats_on;
+  CachingSuite::Stats stats_off;
+  for (const bool mont : {true, false}) {
+    const FastPathScope scope(mont);
+    const CachingSuite cached(suite_);
+    auto corpus = make_corpus(*suite_, 6, 30);
+    corpus[3].sig[12] ^= 0x08;
+    auto reqs = requests_of(corpus);
+    reqs.push_back(reqs[1]);  // intra-batch repeat: dedup accounting
+    bool verdicts[7];
+    cached.verify_batch(reqs, verdicts);
+    cached.verify_batch(reqs, verdicts);  // second round answered by the memo
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(verdicts[i], i != 3) << "mont=" << mont << ", index " << i;
+    }
+    Rng rng(31);
+    const KeyPair kp = cached.keygen(rng);
+    const KeyPair peer = cached.keygen(rng);
+    (void)cached.shared_secret(kp.secret_key, peer.public_key);
+    (void)cached.shared_secret(kp.secret_key, peer.public_key);
+    (mont ? stats_on : stats_off) = cached.stats();
+  }
+  EXPECT_EQ(stats_on.verify_hits, stats_off.verify_hits);
+  EXPECT_EQ(stats_on.verify_misses, stats_off.verify_misses);
+  EXPECT_EQ(stats_on.secret_hits, stats_off.secret_hits);
+  EXPECT_EQ(stats_on.secret_misses, stats_off.secret_misses);
+  EXPECT_GT(stats_on.verify_hits, 0u);
+  EXPECT_GT(stats_on.secret_hits, 0u);
+}
+
 // Cross-suite differential: the (R,s) and (e,s) suites share keygen and the
 // deterministic nonce derivation, so on the same corpus they must agree on
 // every verdict — including under corruption.
@@ -186,6 +261,41 @@ TEST(CrossSuiteDifferential, VerdictsAgreeOnSameCorpora) {
       EXPECT_EQ(verdict_es[i], verdict_rs[i]) << "seed " << seed << ", index " << i;
       EXPECT_EQ(verdict_rs[i], !bad[i]) << "seed " << seed << ", index " << i;
     }
+  }
+}
+
+TEST(CrossSuiteDifferential, VerdictsAgreeWithMontgomeryOnAndOff) {
+  // The cross-suite matrix again, under both arithmetic backends: all four
+  // verdict vectors — (e,s) and (R,s), Montgomery on and off — must agree.
+  const SuitePtr es = make_schnorr_suite(SchnorrGroup::small_group());
+  const SuitePtr rs = make_schnorr_rs_suite(SchnorrGroup::small_group());
+  auto corpus_es = make_corpus(*es, 8, 50);
+  auto corpus_rs = make_corpus(*rs, 8, 50);
+  for (const std::size_t i : {std::size_t{1}, std::size_t{6}}) {
+    corpus_es[i].msg[0] ^= 0x55;
+    corpus_rs[i].msg[0] ^= 0x55;
+  }
+  const auto reqs_es = requests_of(corpus_es);
+  const auto reqs_rs = requests_of(corpus_rs);
+  bool es_on[8];
+  bool es_off[8];
+  bool rs_on[8];
+  bool rs_off[8];
+  {
+    const FastPathScope scope(true);
+    es->verify_batch(reqs_es, es_on);
+    rs->verify_batch(reqs_rs, rs_on);
+  }
+  {
+    const FastPathScope scope(false);
+    es->verify_batch(reqs_es, es_off);
+    rs->verify_batch(reqs_rs, rs_off);
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(es_on[i], es_off[i]) << "index " << i;
+    EXPECT_EQ(rs_on[i], rs_off[i]) << "index " << i;
+    EXPECT_EQ(es_on[i], rs_on[i]) << "index " << i;
+    EXPECT_EQ(es_on[i], i != 1 && i != 6) << "index " << i;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "g2g/crypto/fastpath.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/crypto/sealed_box.hpp"
 
@@ -110,6 +111,46 @@ TEST_P(SuiteTest, DistinctKeygens) {
   const KeyPair b = suite->keygen(rng);
   EXPECT_NE(a.public_key, b.public_key);
   EXPECT_NE(a.secret_key, b.secret_key);
+}
+
+TEST_P(SuiteTest, ArtifactsAndVerdictsIdenticalWithMontgomeryOnAndOff) {
+  // Every suite must produce bit-identical keys, signatures, shared secrets,
+  // and accept/reject verdicts whether the Montgomery fast path answers the
+  // arithmetic or the classic schoolbook oracle does.
+  const SuitePtr suite = make();
+  KeyPair kp[2];
+  KeyPair peer[2];
+  Bytes sig[2];
+  Bytes secret[2];
+  bool verdicts[2][3];
+  const Bytes msg = to_bytes("relay proof, epoch 9");
+  for (const bool mont : {true, false}) {
+    const std::size_t side = mont ? 0 : 1;
+    const FastPathScope scope(mont);
+    Rng rng(11);  // same draws on both sides
+    kp[side] = suite->keygen(rng);
+    peer[side] = suite->keygen(rng);
+    sig[side] = suite->sign(kp[side].secret_key, msg);
+    secret[side] = suite->shared_secret(kp[side].secret_key, peer[side].public_key);
+    Bytes tampered_sig = sig[side];
+    tampered_sig[5] ^= 0x10;
+    Bytes tampered_msg = msg;
+    tampered_msg[0] ^= 0x01;
+    const VerifyRequest reqs[] = {
+        {BytesView(kp[side].public_key), BytesView(msg), BytesView(sig[side])},
+        {BytesView(kp[side].public_key), BytesView(tampered_msg), BytesView(sig[side])},
+        {BytesView(kp[side].public_key), BytesView(msg), BytesView(tampered_sig)},
+    };
+    suite->verify_batch(reqs, verdicts[side]);
+  }
+  EXPECT_EQ(kp[0].public_key, kp[1].public_key);
+  EXPECT_EQ(kp[0].secret_key, kp[1].secret_key);
+  EXPECT_EQ(sig[0], sig[1]);
+  EXPECT_EQ(secret[0], secret[1]);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(verdicts[0][i], verdicts[1][i]) << "request " << i;
+    EXPECT_EQ(verdicts[0][i], i == 0) << "request " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSuites, SuiteTest,

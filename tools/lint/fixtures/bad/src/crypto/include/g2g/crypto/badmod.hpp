@@ -1,0 +1,11 @@
+// Fixture for mod-param-diff-coverage: rogue_reduce takes a modulus
+// parameter but is never named in the fixture's differential corpus, so the
+// rule must fire on it; covered_reduce is named there and stays clean.
+#pragma once
+
+struct U256 {};
+struct MontgomeryParams {};
+
+U256 rogue_reduce(const U256& x, const U256& m);
+U256 covered_reduce(const U256& x, const U256& modulus);
+U256 covered_domain_op(const U256& x, const MontgomeryParams& params);

@@ -1,0 +1,5 @@
+// Fixture differential corpus: names covered_reduce and covered_domain_op;
+// the third badmod.hpp declaration is deliberately absent so the coverage
+// rule fires on it.
+void covered_reduce_is_pinned_to_the_oracle_here();
+void covered_domain_op_is_pinned_to_the_oracle_here();

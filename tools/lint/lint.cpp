@@ -435,6 +435,57 @@ void scan_frame_fuzz_coverage(const fs::path& root, std::vector<Finding>& out) {
   }
 }
 
+// Differential-oracle completeness: every function declared in a src/crypto
+// header that takes a modulus parameter (`const U256& m`/`modulus` or
+// `const MontgomeryParams& params`) must be named in the Montgomery-vs-classic
+// corpus in tests/crypto_fastpath_diff_test.cpp, so a future fast-path kernel
+// cannot land without a pinned comparison against the schoolbook oracle.
+void scan_mod_param_diff_coverage(const fs::path& root, std::vector<Finding>& out) {
+  const fs::path include = root / "src/crypto/include";
+  if (!fs::exists(include)) return;  // repo layout without the crypto layer
+
+  std::string corpus_text;
+  const fs::path corpus = root / "tests/crypto_fastpath_diff_test.cpp";
+  if (fs::exists(corpus)) {
+    std::ifstream in(corpus);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    corpus_text = buf.str();
+  }
+
+  static const std::regex kModFn(
+      R"((\w+)\s*\([^)]*const\s+(?:U256|MontgomeryParams)\s*&\s*(?:modulus|params|m)\s*[,)])");
+  std::vector<fs::path> headers;
+  for (const auto& entry : fs::recursive_directory_iterator(include)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
+      headers.push_back(entry.path());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  for (const fs::path& header : headers) {
+    std::ifstream in(header);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string rel = fs::relative(header, root).generic_string();
+    std::set<std::string> reported;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kModFn);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      if (corpus_text.find(name) != std::string::npos) continue;
+      if (!reported.insert(name).second) continue;
+      const auto line = static_cast<std::size_t>(
+                            std::count(text.begin(), text.begin() + it->position(), '\n')) +
+                        1;
+      out.push_back({rel, line, "mod-param-diff-coverage",
+                     "'" + name +
+                         "' takes a modulus parameter but is not named in the "
+                         "differential corpus (tests/crypto_fastpath_diff_test.cpp); "
+                         "modular kernels must be pinned to the classic oracle"});
+    }
+  }
+}
+
 std::vector<fs::path> collect_files(const fs::path& root) {
   std::vector<fs::path> files;
   for (const char* top : {"src", "tests"}) {
@@ -461,9 +512,9 @@ const std::vector<std::string>& rule_ids() {
       "no-rand",           "no-random-device",
       "no-wall-clock",     "no-getenv",
       "no-unordered-iter", "wire-encode-triple",
-      "frame-fuzz-coverage", "counter-name-prefix",
-      "span-name-registry",  "no-adhoc-atomic",
-      "allow-without-justification",
+      "frame-fuzz-coverage", "mod-param-diff-coverage",
+      "counter-name-prefix", "span-name-registry",
+      "no-adhoc-atomic",     "allow-without-justification",
   };
   return ids;
 }
@@ -489,6 +540,7 @@ std::vector<Finding> run_lint(const Options& options) {
     scan_adhoc_atomics(rel, lines, pragmas, findings);
   }
   scan_frame_fuzz_coverage(root, findings);
+  scan_mod_param_diff_coverage(root, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -65,6 +65,13 @@ TEST_F(BadFixture, FrameFuzzCoverageFires) {
   EXPECT_EQ(count_rule(findings(), "frame-fuzz-coverage"), 1u);
 }
 
+TEST_F(BadFixture, ModParamDiffCoverageFires) {
+  EXPECT_TRUE(has(findings(), "mod-param-diff-coverage", "crypto/badmod.hpp"));
+  // covered_reduce and covered_domain_op are named in the fixture corpus;
+  // only rogue_reduce trips.
+  EXPECT_EQ(count_rule(findings(), "mod-param-diff-coverage"), 1u);
+}
+
 TEST_F(BadFixture, CounterHygieneFires) {
   EXPECT_TRUE(has(findings(), "counter-name-prefix", "rogue_counter.cpp"));
   EXPECT_TRUE(has(findings(), "no-adhoc-atomic", "rogue_counter.cpp"));
