@@ -31,6 +31,9 @@ struct BenchCell {
   std::size_t runs = 1;
   double wall_s = 0.0;
   std::uint64_t sim_events = 0;
+  /// Heap allocations per operation (g2g_alloc_probe); negative = not
+  /// measured, and the field is omitted from the JSON.
+  double allocs_per_op = -1.0;
   [[nodiscard]] double events_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(sim_events) / wall_s : 0.0;
   }
@@ -82,7 +85,12 @@ struct BenchReport {
       out += std::string(",\"wall_s\":") + num;
       out += ",\"sim_events\":" + std::to_string(c.sim_events);
       std::snprintf(num, sizeof(num), "%.3f", c.events_per_s());
-      out += std::string(",\"events_per_s\":") + num + "}";
+      out += std::string(",\"events_per_s\":") + num;
+      if (c.allocs_per_op >= 0.0) {
+        std::snprintf(num, sizeof(num), "%.3f", c.allocs_per_op);
+        out += std::string(",\"allocs_per_op\":") + num;
+      }
+      out += "}";
     }
     out += ']';
     if (registry != nullptr) out += ",\"obs\":" + core::to_json(*registry);

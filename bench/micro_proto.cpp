@@ -5,9 +5,16 @@
 // crypto fast path on and off.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "g2g/crypto/fastpath.hpp"
+#include "g2g/util/alloc_probe.hpp"
+#include "g2g/util/arena.hpp"
 #include "g2g/crypto/schnorr.hpp"
 #include "g2g/metrics/collector.hpp"
 #include "g2g/obs/context.hpp"
@@ -23,6 +30,18 @@ namespace {
 
 using namespace g2g;
 using namespace g2g::proto;
+
+/// Per-bench heap-allocation telemetry (this binary links g2g_alloc_probe).
+/// Construct after setup, report after the loop: the counter lands in the
+/// telemetry cell as allocs/op and g2g-bench-compare holds the line on it.
+struct AllocMeter {
+  std::size_t before = heap_alloc_count();
+  void report(benchmark::State& state) {
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(heap_alloc_count() - before) /
+        static_cast<double>(state.iterations()));
+  }
+};
 
 struct Fixture {
   explicit Fixture(crypto::SuitePtr suite_in)
@@ -157,12 +176,14 @@ void BM_FrameSmallRoundTrips(benchmark::State& state) {
   stored.h = h;
   stored.seed.fill(0x0C);
   stored.digest.fill(0x0D);
+  AllocMeter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(relay::RelayRqstFrame::decode(relay::RelayRqstFrame{h}.encode()));
     benchmark::DoNotOptimize(relay::KeyRevealFrame::decode(key.encode()));
     benchmark::DoNotOptimize(relay::PorRqstFrame::decode(rqst.encode()));
     benchmark::DoNotOptimize(relay::StoredRespFrame::decode(stored.encode()));
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations() * 4);
 }
 BENCHMARK(BM_FrameSmallRoundTrips);
@@ -175,12 +196,61 @@ void BM_FrameRelayDataRoundTrip(benchmark::State& state) {
   frame.h = frame.msg.hash();
   frame.attachments.push_back(make_declaration(f, 1, 2.5));
   frame.attachments.push_back(make_declaration(f, 2, 4.0));
+  AllocMeter allocs;
   for (auto _ : state) {
     benchmark::DoNotOptimize(relay::RelayDataFrame::decode(frame.encode()));
   }
+  allocs.report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FrameRelayDataRoundTrip);
+
+/// The zero-copy wire path of one 5-step handshake: arena encodes, borrowed-
+/// parts RELAY_DATA, non-owning view decodes, arena-built PoR payload — the
+/// codec work giver_pass does per attempt, minus signatures and the Hold.
+/// Pinned allocation-free in steady state (tests/alloc_path_test.cpp and the
+/// checked-in BENCH_micro_proto.json baseline).
+void BM_FrameCodecArenaPath(benchmark::State& state) {
+  Fixture& f = fast_fixture();
+  const SealedMessage msg = make_message(f.identities[0], f.roster.get(NodeId(1)),
+                                         MessageId(88), Bytes(64, 0x42), f.rng);
+  const MessageHash h = msg.hash();
+  ProofOfRelay por;
+  por.h = h;
+  por.giver = NodeId(0);
+  por.taker = NodeId(1);
+  por.at = TimePoint::from_seconds(10.0);
+  por.taker_signature = f.identities[1].sign(por.signed_payload());
+  Arena arena;
+  const auto run_once = [&] {
+    arena.reset();
+    std::size_t sink = 0;
+    const BytesView rqst = arena_encode(arena, relay::RelayRqstFrame{h});
+    sink += relay::RelayRqstFrame::decode(rqst).h[0];
+    const BytesView ok = arena_encode(arena, relay::RelayOkFrame{h, true});
+    sink += relay::RelayOkFrame::decode(ok).accept ? 1u : 0u;
+    const BytesView data = relay::arena_relay_data(arena, h, msg, {});
+    const relay::RelayDataFrameView view = relay::RelayDataFrameView::decode(data);
+    sink += view.msg.hash()[0];
+    const std::span<std::uint8_t> payload = arena.alloc(por.signed_payload_size());
+    SpanWriter pw(payload);
+    por.signed_payload_into(pw);
+    pw.expect_full();
+    const BytesView por_wire = arena_encode(arena, por);
+    sink += ProofOfRelayView::decode(por_wire).taker_signature.size();
+    const BytesView key = arena_encode(arena, relay::KeyRevealFrame{h, {}});
+    sink += relay::KeyRevealFrame::decode(key).key[0];
+    return sink;
+  };
+  benchmark::DoNotOptimize(run_once());  // warm the arena chunks
+  AllocMeter allocs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once());
+  }
+  allocs.report(state);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameCodecArenaPath);
 
 /// A tiny Network whose event loop never runs: node 0 holds one message for a
 /// far-away destination, and the bench drives sessions by hand. kTakers
@@ -221,6 +291,8 @@ void BM_HandshakeRelayPass(benchmark::State& state) {
   const bool prev = crypto::set_fast_path(state.range(0) != 0);
   auto world = std::make_unique<RelayWorld>();
   std::uint32_t next = 1;
+  AllocMeter allocs;  // includes the periodic world rebuilds: durable-state
+                      // cost (Holds, PoRs) is the point of this telemetry
   for (auto _ : state) {
     if (next > RelayWorld::kTakers) {
       state.PauseTiming();
@@ -233,6 +305,7 @@ void BM_HandshakeRelayPass(benchmark::State& state) {
     Session s(*world->net, giver, taker);
     giver.handshake().giver_pass(s, taker);
   }
+  allocs.report(state);
   crypto::set_fast_path(prev);
   state.SetItemsProcessed(state.iterations());
 }
@@ -250,10 +323,12 @@ void BM_AuditStorageProof(benchmark::State& state) {
     src.handshake().giver_pass(s, relay_node);
   }
   const Bytes seed(32, 0xAB);
+  AllocMeter allocs;
   for (auto _ : state) {
     Session s(*world.net, src, relay_node);
     benchmark::DoNotOptimize(relay_node.respond_test(s, world.h, seed));
   }
+  allocs.report(state);
   crypto::set_fast_path(prev);
   state.SetItemsProcessed(state.iterations());
 }
@@ -293,6 +368,65 @@ void BM_PomGossipBatchVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_PomGossipBatchVerify);
 
+/// Console output plus one telemetry cell per benchmark; allocs/op rides
+/// along when the bench set an AllocMeter counter.
+class CellCollector final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      g2g::bench::BenchCell cell;
+      cell.name = run.benchmark_name();
+      cell.runs = 1;
+      cell.wall_s = run.real_accumulated_time;
+      cell.sim_events = static_cast<std::uint64_t>(run.iterations);
+      const auto it = run.counters.find("allocs_per_op");
+      if (it != run.counters.end()) cell.allocs_per_op = it->second;
+      cells.push_back(std::move(cell));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<g2g::bench::BenchCell> cells;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json-out before google-benchmark parses the argv; probe the path
+  // up front so a bad sink fails before any benchmark runs.
+  std::string json_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_out.empty()) {
+    std::FILE* probe = std::fopen(json_out.c_str(), "w");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing (--json-out)\n",
+                   json_out.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+  }
+
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  CellCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    g2g::bench::BenchReport report;
+    report.bench = "micro_proto";
+    report.cells = std::move(reporter.cells);
+    if (!report.write(json_out)) return 1;
+  }
+  return 0;
+}

@@ -44,10 +44,31 @@ struct SealedMessage {
   [[nodiscard]] MessageHash hash() const;
   /// Canonical wire bytes (what gets shipped in the RELAY step).
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
+  /// Strict decode of exactly one message: rejects trailing bytes.
   [[nodiscard]] static SealedMessage decode(BytesView b);
   /// Streaming decode for frames that embed a message mid-stream.
   [[nodiscard]] static SealedMessage decode(Reader& r);
   [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Non-owning decode of a SealedMessage: field views into the buffer the
+/// message was decoded from, zero copies. Valid only while that buffer
+/// lives; to_owned() materializes a SealedMessage when the message must be
+/// stored past the buffer's lifetime (e.g. into a relay Hold).
+struct SealedMessageView {
+  NodeId dst;
+  BytesView ephemeral_public;
+  BytesView ciphertext;
+  /// The exact canonical encoding the view was decoded from.
+  BytesView wire;
+
+  /// H(m) over the original wire bytes — no re-encode, no allocation.
+  [[nodiscard]] MessageHash hash() const;
+  [[nodiscard]] SealedMessage to_owned() const;
+  [[nodiscard]] std::size_t wire_size() const { return wire.size(); }
+  /// Strict: the whole of `b` must be exactly one message.
+  [[nodiscard]] static SealedMessageView decode(BytesView b);
 };
 
 /// Decrypted content, available to the destination only.

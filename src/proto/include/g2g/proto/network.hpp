@@ -71,6 +71,7 @@ class NetworkBase : public sim::ContactListener, public Env {
   }
   [[nodiscard]] std::size_t node_count() const final { return node_count_; }
   [[nodiscard]] obs::ObsContext& obs() final { return *obs_; }
+  [[nodiscard]] Arena& wire_arena() final { return wire_arena_; }
   [[nodiscard]] std::uint64_t msg_ref(const MessageHash& h) const final;
   void notify_delivered(const MessageHash& h, NodeId dst) final;
   void notify_relayed(const MessageHash& h, NodeId from, NodeId to) final;
@@ -124,6 +125,9 @@ class NetworkBase : public sim::ContactListener, public Env {
   Rng rng_;
   sim::Simulator sim_;
   Roster roster_;
+  /// Per-run wire-path scratch: one arena per network keeps parallel sweep
+  /// runs isolated while every contact of a run reuses the same warm chunks.
+  Arena wire_arena_;
   metrics::Collector* collector_;
   std::map<MessageHash, MessageId> hash_to_id_;
   std::vector<BehaviorConfig> behaviors_;

@@ -16,6 +16,7 @@
 #include "g2g/proto/message.hpp"
 #include "g2g/proto/relay/pom.hpp"
 #include "g2g/proto/wire.hpp"
+#include "g2g/util/arena.hpp"
 #include "g2g/util/rng.hpp"
 #include "g2g/util/time.hpp"
 
@@ -92,6 +93,13 @@ class Env {
   /// test Envs need not provide one; NetworkBase overrides with a per-run
   /// context (a requirement for parallel sweeps).
   [[nodiscard]] virtual obs::ObsContext& obs();
+  /// Scratch arena for the zero-copy wire path: encoded frames and signed
+  /// payloads of the current handshake/audit step live here. The engines
+  /// reset() it at the start of every handshake attempt and audit challenge,
+  /// so arena-backed views never outlive the step that produced them (see
+  /// DESIGN.md "Buffer ownership"). The default is a per-thread arena for
+  /// lightweight test Envs; NetworkBase overrides with a per-run arena.
+  [[nodiscard]] virtual Arena& wire_arena();
   /// Trace reference for a message hash: the MessageId where the Env knows
   /// the mapping, otherwise the hash's first 8 bytes.
   [[nodiscard]] virtual std::uint64_t msg_ref(const MessageHash& h) const;
@@ -122,6 +130,8 @@ class Session {
 
   [[nodiscard]] TimePoint now() const;
   [[nodiscard]] Env& env() { return env_; }
+  /// The Env's wire-path scratch arena (see Env::wire_arena).
+  [[nodiscard]] Arena& arena() { return env_.wire_arena(); }
 
   /// Account an unsigned transfer of `bytes` from `from` to the other side.
   /// `kind` feeds the per-wire-message-kind byte counters.

@@ -20,10 +20,12 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "g2g/proto/message.hpp"
 #include "g2g/proto/wire.hpp"
+#include "g2g/util/arena.hpp"
 
 namespace g2g::proto::relay {
 
@@ -46,6 +48,7 @@ struct RelayRqstFrame {
   MessageHash h{};
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static RelayRqstFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
@@ -56,6 +59,7 @@ struct RelayOkFrame {
   bool accept = true;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static RelayOkFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
@@ -70,8 +74,24 @@ struct RelayDataFrame {
   std::vector<QualityDeclaration> attachments;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static RelayDataFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Non-owning decode of a RelayData frame: the sealed message is a
+/// SealedMessageView into the frame bytes and the attachments stay encoded
+/// (back-to-back declarations in `attachments_wire`) until explicitly
+/// materialized. The epidemic handshake never carries attachments, so its
+/// receive path decodes through this view without touching the heap.
+struct RelayDataFrameView {
+  MessageHash h{};
+  SealedMessageView msg;
+  BytesView attachments_wire;
+
+  /// Decode the embedded declarations (empty for Epidemic frames).
+  [[nodiscard]] std::vector<QualityDeclaration> decode_attachments() const;
+  [[nodiscard]] static RelayDataFrameView decode(BytesView b);
 };
 
 /// Step 5: the key reveal. The simulation emulates the encryption (the box
@@ -82,6 +102,7 @@ struct KeyRevealFrame {
   std::array<std::uint8_t, 32> key{};
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static KeyRevealFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
@@ -93,6 +114,7 @@ struct PorRqstFrame {
   std::array<std::uint8_t, 32> seed{};
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static PorRqstFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
@@ -108,9 +130,23 @@ struct StoredRespFrame {
   crypto::Digest digest{};
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static StoredRespFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };
+
+/// Borrowed-parts encoding of a RelayData frame: identical bytes to
+/// RelayDataFrame::encode() for the same (h, msg, attachments), but straight
+/// from the hold's message and declaration spans — no frame struct, no
+/// message copy. This is what the handshake hot path uses.
+[[nodiscard]] std::size_t relay_data_wire_size(const SealedMessage& msg,
+                                               std::span<const QualityDeclaration> attachments);
+void relay_data_encode_into(SpanWriter& w, const MessageHash& h, const SealedMessage& msg,
+                            std::span<const QualityDeclaration> attachments);
+/// relay_data_encode_into through an exactly-reserved arena span.
+[[nodiscard]] BytesView arena_relay_data(Arena& arena, const MessageHash& h,
+                                         const SealedMessage& msg,
+                                         std::span<const QualityDeclaration> attachments);
 
 /// Delegation step 8: request a signed quality declaration toward D'.
 struct FqRqstFrame {
@@ -118,6 +154,7 @@ struct FqRqstFrame {
   NodeId dst;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   [[nodiscard]] static FqRqstFrame decode(BytesView b);
   [[nodiscard]] std::size_t wire_size() const;
 };

@@ -41,15 +41,17 @@ class HandshakeEngine {
 
   /// Taker side of steps 2/4 for the epidemic handshake: decode the RELAY_RQST
   /// frame, answer with RELAY_OK or a decline, and countersign a PoR. Returns
-  /// the encoded PoR, or nullopt on decline (message already handled).
-  [[nodiscard]] std::optional<Bytes> answer_relay_rqst(Session& s, RelayNode& giver,
-                                                       BytesView rqst_frame);
+  /// the encoded PoR — a view into the session arena, valid for the current
+  /// handshake attempt — or nullopt on decline (message already handled).
+  [[nodiscard]] std::optional<BytesView> answer_relay_rqst(Session& s, RelayNode& giver,
+                                                           BytesView rqst_frame);
 
   /// Taker side of step 4 alone: sign `por`, account its transfer, and return
-  /// its canonical encoding (the giver decodes and verifies). The delegation
-  /// handshake builds the PoR giver-side (it knows D', f_m, f_BD') and only
-  /// needs the countersignature.
-  [[nodiscard]] Bytes countersign(Session& s, RelayNode& giver, ProofOfRelay por);
+  /// its canonical encoding (the giver decodes and verifies; the bytes live in
+  /// the session arena for the current attempt). The delegation handshake
+  /// builds the PoR giver-side (it knows D', f_m, f_BD') and only needs the
+  /// countersignature.
+  [[nodiscard]] BytesView countersign(Session& s, RelayNode& giver, ProofOfRelay por);
 
   /// Taker side after the key reveal (step 5): decode the data and key
   /// frames, then store / deliver / drop per behaviour.

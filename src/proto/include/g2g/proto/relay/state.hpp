@@ -57,7 +57,10 @@ struct TestResponse {
 /// tail (PoR bookkeeping, key reveal, completion, test arming).
 struct HandshakeOutcome {
   ProofOfRelay por;  ///< verified PoR the taker signed
-  Bytes data_frame;  ///< the encoded RelayDataFrame already accounted
+  /// The encoded RelayDataFrame, already accounted. A view into the session
+  /// arena: valid for the current handshake attempt only (the engine resets
+  /// the arena before the next attempt begins).
+  BytesView data_frame;
   /// Delegation relabels f_m with the taker's declared quality on a true
   /// delegation step; Epidemic never does.
   bool update_fm = false;

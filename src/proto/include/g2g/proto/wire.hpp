@@ -53,7 +53,11 @@ struct QualityDeclaration {
   Bytes signature;
 
   [[nodiscard]] Bytes signed_payload() const;
+  [[nodiscard]] std::size_t signed_payload_size() const;
+  void signed_payload_into(SpanWriter& w) const;
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
+  /// Strict decode of exactly one declaration: rejects trailing bytes.
   [[nodiscard]] static QualityDeclaration decode(BytesView b);
   /// Streaming decode for frames that embed declarations mid-stream.
   [[nodiscard]] static QualityDeclaration decode(Reader& r);
@@ -77,9 +81,42 @@ struct ProofOfRelay {
   Bytes taker_signature;
 
   [[nodiscard]] Bytes signed_payload() const;
+  [[nodiscard]] std::size_t signed_payload_size() const;
+  void signed_payload_into(SpanWriter& w) const;
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
+  /// Strict decode of exactly one PoR: rejects trailing bytes.
   [[nodiscard]] static ProofOfRelay decode(BytesView b);
+  /// Streaming decode for encodings embedded mid-stream.
+  [[nodiscard]] static ProofOfRelay decode(Reader& r);
   [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Non-owning decode of a ProofOfRelay: identical fields, but the signature
+/// is a view into the buffer the PoR was decoded from. The handshake wire
+/// path decodes and verifies through this view without touching the heap;
+/// to_owned() materializes a ProofOfRelay when it must be stored (Holds,
+/// PoM evidence) past the buffer's lifetime.
+struct ProofOfRelayView {
+  MessageHash h{};
+  NodeId giver;
+  NodeId taker;
+  TimePoint at;
+
+  bool delegation = false;
+  NodeId declared_dst;
+  double msg_quality = 0.0;
+  double taker_quality = 0.0;
+  std::int64_t quality_frame = -1;
+
+  BytesView taker_signature;
+
+  [[nodiscard]] std::size_t signed_payload_size() const;
+  void signed_payload_into(SpanWriter& w) const;
+  [[nodiscard]] ProofOfRelay to_owned() const;
+  [[nodiscard]] std::size_t wire_size() const;
+  /// Strict decode of exactly one PoR: rejects trailing bytes.
+  [[nodiscard]] static ProofOfRelayView decode(BytesView b);
 };
 
 /// Network-wide accusation with verifiable evidence.
@@ -105,6 +142,7 @@ struct ProofOfMisbehavior {
   std::optional<QualityDeclaration> evidence_declaration;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(SpanWriter& w) const;
   /// Strict inverse of encode(): rejects unknown kinds, non-boolean presence
   /// flags, trailing bytes, and evidence that does not match the claimed kind
   /// (e.g. a RelayFailure without the accepted PoR). Throws DecodeError.

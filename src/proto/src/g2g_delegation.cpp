@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -79,7 +80,7 @@ std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
   // Step 8: FQ_RQST.
   counters().handshakes_started->add();
   trace_event(obs::EventKind::FqRqst, taker.id(), ref);
-  const Bytes rq_bytes = relay::FqRqstFrame{h, dprime}.encode();
+  const BytesView rq_bytes = arena_encode(s.arena(), relay::FqRqstFrame{h, dprime});
   counters().frames_encoded->add();
   s.signed_control(*this, rq_bytes.size() + sig, obs::WireKind::FqRqst);
   // Step 9: the taker answers from the decoded frame.
@@ -94,10 +95,16 @@ std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
   // Verify the declaration signature (it may be stored as evidence).
   count_verification();
   const auto* taker_cert = env_.roster().find(taker.id());
-  const bool decl_ok =
-      taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime &&
-      identity().suite().verify(taker_cert->public_key, decl->signed_payload(),
-                                decl->signature);
+  bool decl_ok = taker_cert != nullptr && decl->declarer == taker.id() && decl->dst == dprime;
+  if (decl_ok) {
+    const std::span<std::uint8_t> decl_payload = s.arena().alloc(decl->signed_payload_size());
+    SpanWriter dw(decl_payload);
+    decl->signed_payload_into(dw);
+    dw.expect_full();
+    decl_ok = identity().suite().verify(taker_cert->public_key,
+                                        BytesView(decl_payload.data(), decl_payload.size()),
+                                        decl->signature);
+  }
   if (!decl_ok) {
     counters().handshakes_aborted->add();
     return std::nullopt;
@@ -119,18 +126,19 @@ std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
     return std::nullopt;
   }
 
-  // Step 10: RELAY with f_m and the embedded declarations.
-  std::vector<QualityDeclaration> attachments = hold.attachments;
+  // Step 10: RELAY with f_m and the embedded declarations. A source ships its
+  // archived failed-candidate declarations; a relay forwards the attachments
+  // it received — borrowed straight from the hold, no copies.
+  std::vector<QualityDeclaration> source_decls;
   if (hold.is_source) {
-    attachments.assign(hold.failed_candidates.begin(), hold.failed_candidates.end());
+    source_decls.assign(hold.failed_candidates.begin(), hold.failed_candidates.end());
   }
+  const std::span<const QualityDeclaration> attachments =
+      hold.is_source ? std::span<const QualityDeclaration>(source_decls)
+                     : std::span<const QualityDeclaration>(hold.attachments);
   std::size_t attach_bytes = 0;
   for (const auto& a : attachments) attach_bytes += a.wire_size();
-  relay::RelayDataFrame data_frame;
-  data_frame.h = h;
-  data_frame.msg = hold.msg;
-  data_frame.attachments = std::move(attachments);
-  Bytes data = data_frame.encode();
+  const BytesView data = relay::arena_relay_data(s.arena(), h, hold.msg, attachments);
   counters().frames_encoded->add();
   trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
               static_cast<std::int64_t>(hold.msg_bytes + attach_bytes));
@@ -149,12 +157,17 @@ std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
   proto_por.msg_quality = sent_fm;
   proto_por.taker_quality = decl->value;
   proto_por.quality_frame = decl->frame;
-  const ProofOfRelay por =
-      ProofOfRelay::decode(taker.handshake().countersign(s, *this, std::move(proto_por)));
+  const ProofOfRelayView por =
+      ProofOfRelayView::decode(taker.handshake().countersign(s, *this, std::move(proto_por)));
   counters().frames_decoded->add();
 
   count_verification();
-  const bool por_ok = identity().suite().verify(taker_cert->public_key, por.signed_payload(),
+  const std::span<std::uint8_t> payload = s.arena().alloc(por.signed_payload_size());
+  SpanWriter pw(payload);
+  por.signed_payload_into(pw);
+  pw.expect_full();
+  const bool por_ok = identity().suite().verify(taker_cert->public_key,
+                                                BytesView(payload.data(), payload.size()),
                                                 por.taker_signature);
   trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
   if (!por_ok) {
@@ -164,7 +177,7 @@ std::optional<relay::HandshakeOutcome> G2GDelegationNode::relay_attempt(
   counters().pors_verified->add();
   // "Label both messages with the forwarding quality of node B" — only on a
   // true delegation step; a delivery to the destination leaves f_m as-is.
-  return relay::HandshakeOutcome{por, std::move(data), !to_dst, decl->value};
+  return relay::HandshakeOutcome{por.to_owned(), data, !to_dst, decl->value};
 }
 
 std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
@@ -174,7 +187,7 @@ std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
   if (handshake().has_handled(h)) {
     const std::size_t sig = identity().suite().signature_size();
     trace_event(obs::EventKind::HsRelayOk, giver.id(), env_.msg_ref(h), 0);
-    const Bytes decline = relay::RelayOkFrame{h, false}.encode();  // decline notice
+    const BytesView decline = arena_encode(s.arena(), relay::RelayOkFrame{h, false});
     counters().frames_encoded->add();
     s.signed_control(*this, decline.size() + sig, obs::WireKind::RelayOk);
     return std::nullopt;
@@ -192,7 +205,13 @@ std::optional<QualityDeclaration> G2GDelegationNode::respond_fq(Session& s,
     decl.value = min_quality(config().quality_kind);
   }
   count_signature();
-  decl.signature = identity().sign(decl.signed_payload());
+  {
+    const std::span<std::uint8_t> payload = s.arena().alloc(decl.signed_payload_size());
+    SpanWriter pw(payload);
+    decl.signed_payload_into(pw);
+    pw.expect_full();
+    decl.signature = identity().sign(BytesView(payload.data(), payload.size()));
+  }
   trace_event(obs::EventKind::FqResp, giver.id(), env_.msg_ref(h),
               static_cast<std::int64_t>(decl.value * 1e6));
   s.transfer(*this, decl.wire_size(), obs::WireKind::QualityDecl);
@@ -206,9 +225,19 @@ void G2GDelegationNode::check_attachments(Session& s,
     if (decl.dst != id()) continue;  // declarations are about quality toward me
     count_verification();
     const auto* cert = env_.roster().find(decl.declarer);
-    if (cert == nullptr ||
-        !identity().suite().verify(cert->public_key, decl.signed_payload(),
-                                   decl.signature)) {
+    bool sig_ok = cert != nullptr;
+    if (sig_ok) {
+      // Signed payload built in the session arena (still the current
+      // handshake attempt's generation — this runs from complete_relay).
+      const std::span<std::uint8_t> payload = s.arena().alloc(decl.signed_payload_size());
+      SpanWriter pw(payload);
+      decl.signed_payload_into(pw);
+      pw.expect_full();
+      sig_ok = identity().suite().verify(cert->public_key,
+                                         BytesView(payload.data(), payload.size()),
+                                         decl.signature);
+    }
+    if (!sig_ok) {
       trace_event(obs::EventKind::TestByDestination, decl.declarer, 0, 2);
       continue;
     }

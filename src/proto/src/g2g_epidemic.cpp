@@ -1,5 +1,6 @@
 #include "g2g/proto/g2g_epidemic.hpp"
 
+#include <span>
 #include <utility>
 
 #include "g2g/proto/relay/frames.hpp"
@@ -14,7 +15,7 @@ std::optional<relay::HandshakeOutcome> G2GEpidemicNode::relay_attempt(
   // Step 1: RELAY_RQST.
   counters().handshakes_started->add();
   trace_event(obs::EventKind::HsRelayRqst, taker.id(), ref);
-  const Bytes rqst = relay::RelayRqstFrame{h}.encode();
+  const BytesView rqst = arena_encode(s.arena(), relay::RelayRqstFrame{h});
   counters().frames_encoded->add();
   s.signed_control(*this, rqst.size() + sig, obs::WireKind::RelayRqst);
   // Steps 2/3/4: the taker answers, the message travels, the PoR returns.
@@ -23,33 +24,38 @@ std::optional<relay::HandshakeOutcome> G2GEpidemicNode::relay_attempt(
     counters().handshakes_declined->add();
     return std::nullopt;  // taker declined (already handled)
   }
-  const ProofOfRelay por = ProofOfRelay::decode(*por_wire);
+  const ProofOfRelayView por = ProofOfRelayView::decode(*por_wire);
   counters().frames_decoded->add();
 
-  // Step 3 accounting: E_k(m).
-  relay::RelayDataFrame data_frame;
-  data_frame.h = h;
-  data_frame.msg = hold.msg;
-  Bytes data = data_frame.encode();
+  // Step 3 accounting: E_k(m). Encoded straight from the hold into the arena.
+  const BytesView data = relay::arena_relay_data(s.arena(), h, hold.msg, {});
   counters().frames_encoded->add();
   trace_event(obs::EventKind::HsRelayData, taker.id(), ref,
               static_cast<std::int64_t>(hold.msg_bytes));
   s.signed_control(*this, data.size() + sig, obs::WireKind::RelayData);
 
-  // Verify the PoR before revealing the key.
+  // Verify the PoR before revealing the key (signed payload built in the
+  // arena; the signature is checked against the view in place).
   count_verification();
   const auto* taker_cert = env_.roster().find(taker.id());
-  const bool por_ok =
-      taker_cert != nullptr && por.h == h && por.giver == id() && por.taker == taker.id() &&
-      identity().suite().verify(taker_cert->public_key, por.signed_payload(),
-                                por.taker_signature);
+  bool por_ok =
+      taker_cert != nullptr && por.h == h && por.giver == id() && por.taker == taker.id();
+  if (por_ok) {
+    const std::span<std::uint8_t> payload = s.arena().alloc(por.signed_payload_size());
+    SpanWriter pw(payload);
+    por.signed_payload_into(pw);
+    pw.expect_full();
+    por_ok = identity().suite().verify(taker_cert->public_key,
+                                       BytesView(payload.data(), payload.size()),
+                                       por.taker_signature);
+  }
   trace_event(obs::EventKind::PorVerified, taker.id(), ref, por_ok ? 1 : 0);
   if (!por_ok) {
     counters().handshakes_aborted->add();
     return std::nullopt;  // never happens with conforming takers
   }
   counters().pors_verified->add();
-  return relay::HandshakeOutcome{por, std::move(data), false, 0.0};
+  return relay::HandshakeOutcome{por.to_owned(), data, false, 0.0};
 }
 
 }  // namespace g2g::proto

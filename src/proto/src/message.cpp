@@ -27,17 +27,19 @@ const crypto::Certificate& Roster::get(NodeId n) const {
 
 MessageHash SealedMessage::hash() const { return crypto::sha256(encode()); }
 
-Bytes SealedMessage::encode() const {
-  Writer w(16 + box.ephemeral_public.size() + box.ciphertext.size());
+void SealedMessage::encode_into(SpanWriter& w) const {
   w.u32(dst.value());
   w.blob(box.ephemeral_public);
   w.blob(box.ciphertext);
-  return std::move(w).take();
 }
+
+Bytes SealedMessage::encode() const { return encode_exact(*this); }
 
 SealedMessage SealedMessage::decode(BytesView b) {
   Reader r(b);
-  return decode(r);
+  SealedMessage m = decode(r);
+  if (!r.done()) throw DecodeError("trailing bytes after SealedMessage");
+  return m;
 }
 
 SealedMessage SealedMessage::decode(Reader& r) {
@@ -50,6 +52,27 @@ SealedMessage SealedMessage::decode(Reader& r) {
 
 std::size_t SealedMessage::wire_size() const {
   return 4 + 8 + box.ephemeral_public.size() + box.ciphertext.size();
+}
+
+MessageHash SealedMessageView::hash() const { return crypto::sha256(wire); }
+
+SealedMessage SealedMessageView::to_owned() const {
+  SealedMessage m;
+  m.dst = dst;
+  m.box.ephemeral_public.assign(ephemeral_public.begin(), ephemeral_public.end());
+  m.box.ciphertext.assign(ciphertext.begin(), ciphertext.end());
+  return m;
+}
+
+SealedMessageView SealedMessageView::decode(BytesView b) {
+  Reader r(b);
+  SealedMessageView v;
+  v.dst = NodeId(r.u32());
+  v.ephemeral_public = r.blob_view();
+  v.ciphertext = r.blob_view();
+  if (!r.done()) throw DecodeError("trailing bytes after SealedMessage");
+  v.wire = b;
+  return v;
 }
 
 SealedMessage make_message(const crypto::NodeIdentity& sender,

@@ -20,6 +20,13 @@ obs::ObsContext& Env::obs() {
   return fallback;
 }
 
+Arena& Env::wire_arena() {
+  // Per-thread fallback for lightweight test Envs; NetworkBase overrides with
+  // a per-run arena so parallel sweeps never share scratch across runs.
+  static thread_local Arena fallback;
+  return fallback;
+}
+
 std::uint64_t Env::msg_ref(const MessageHash& h) const {
   std::uint64_t ref = 0;
   for (std::size_t i = 0; i < 8 && i < h.size(); ++i) {

@@ -39,6 +39,9 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     if (now < t.relayed_at + host_.config().delta1) continue;  // not testable yet
     if (now > t.relayed_at + host_.config().delta2) continue;  // window closed
     t.done = true;
+    // One arena generation per challenge: frames and signed payloads encoded
+    // below live until this reset at the start of the next challenge.
+    s.arena().reset();
 
     NodeId real_dst = NodeId::invalid();
     if (!host_.begin_test(t, real_dst)) continue;  // policy record gone
@@ -54,18 +57,20 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
     // 32-byte seed; the responder answers from the decoded bytes.
     PorRqstFrame challenge;
     challenge.h = t.h;
-    {
-      Writer w(32);
-      for (int i = 0; i < 4; ++i) w.u64(host_.env_.rng().next());
-      const Bytes seed_bytes = std::move(w).take();
-      std::copy(seed_bytes.begin(), seed_bytes.end(), challenge.seed.begin());
+    // Four little-endian rng words fill the seed in place (byte-identical to
+    // the former Writer-built buffer).
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::uint64_t word = host_.env_.rng().next();
+      for (std::size_t j = 0; j < 8; ++j) {
+        challenge.seed[i * 8 + j] = static_cast<std::uint8_t>(word >> (8 * j));
+      }
     }
-    const Bytes challenge_bytes = challenge.encode();
+    const BytesView challenge_bytes = arena_encode(s.arena(), challenge);
     host_.counters().frames_encoded->add();
     s.signed_control(host_, challenge_bytes.size() + sig, obs::WireKind::PorRqst);
     const PorRqstFrame rq = PorRqstFrame::decode(challenge_bytes);
     peer.counters().frames_decoded->add();
-    const Bytes seed(rq.seed.begin(), rq.seed.end());
+    const BytesView seed(rq.seed.data(), rq.seed.size());
     const TestResponse resp = peer.audit().respond(s, rq.h, seed, &batch);
 
     if (!host_.screen_pors(t, resp.pors, real_dst, now)) {
@@ -83,11 +88,11 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
       // PoRs are rejected up front, the rest go to the suite together (the
       // caching suite answers repeats from its memo and forwards only fresh
       // signatures inward). Verdicts, counters, and trace order are
-      // identical to a per-PoR verify loop.
-      std::vector<Bytes> payloads;
+      // identical to a per-PoR verify loop. Signed payloads are built in the
+      // arena and stay valid through the batch call (no reset until the next
+      // challenge).
       std::vector<crypto::VerifyRequest> requests;
       std::vector<std::size_t> request_of(resp.pors.size(), SIZE_MAX);
-      payloads.reserve(resp.pors.size());
       requests.reserve(resp.pors.size());
       for (std::size_t i = 0; i < resp.pors.size(); ++i) {
         const auto& por = resp.pors[i];
@@ -95,8 +100,12 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
         const auto* cert = host_.env_.roster().find(por.taker);
         if (por.h == t.h && por.giver == peer.id() && cert != nullptr) {
           request_of[i] = requests.size();
-          payloads.push_back(por.signed_payload());
-          requests.push_back({BytesView(cert->public_key), BytesView(payloads.back()),
+          const std::span<std::uint8_t> payload = s.arena().alloc(por.signed_payload_size());
+          SpanWriter pw(payload);
+          por.signed_payload_into(pw);
+          pw.expect_full();
+          requests.push_back({BytesView(cert->public_key),
+                              BytesView(payload.data(), payload.size()),
                               BytesView(por.taker_signature)});
         }
       }
@@ -127,6 +136,9 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
       if (it != holds.end() && it->second.has_msg) {
         host_.count_heavy_hmac();
         if (resp.stored_job.has_value()) {
+          // The batch outlives the challenge's arena generation, so it owns
+          // its message and seed copies.
+          // g2g-lint: allow(no-owning-buffer-hot-path) -- HeavyHmacBatch inputs must outlive the challenge scope
           const std::size_t expect_job =
               batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
                         host_.config().heavy_hmac_iterations);
@@ -135,7 +147,7 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
           continue;  // outcome resolves after the batch runs
         }
         const crypto::Digest expect = crypto::heavy_hmac(
-            it->second.msg.encode(), seed, host_.config().heavy_hmac_iterations);
+            arena_encode(s.arena(), it->second.msg), seed, host_.config().heavy_hmac_iterations);
         if (crypto::digest_equal(expect, *resp.stored_hmac)) {
           host_.counters().tests_passed->add();
           host_.trace_event(obs::EventKind::TestBySender, peer.id(), ref, 2);
@@ -226,18 +238,23 @@ void AuditEngine::storage_proof(Session& s, const Hold& hold, const MessageHash&
   host_.trace_event(obs::EventKind::StorageChallenge, s.peer_of(host_).id(),
                     host_.env_.msg_ref(h), host_.config().heavy_hmac_iterations);
   if (defer != nullptr) {
+    // The batch outlives the challenge's arena generation, so it owns its
+    // message and seed copies.
+    // g2g-lint: allow(no-owning-buffer-hot-path) -- HeavyHmacBatch inputs must outlive the challenge scope
     resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
                                  host_.config().heavy_hmac_iterations);
     // The digest is not known yet; the STORED_RESP frame is accounted at its
     // canonical size either way (the challenger resolves it from the batch).
     host_.counters().frames_encoded->add();
   } else {
-    // Eager path: the digest rides a real STORED_RESP frame round trip.
+    // Eager path: the digest rides a real STORED_RESP frame round trip; the
+    // message encoding and the frame live in the challenge's arena span.
     StoredRespFrame frame;
     frame.h = h;
     std::copy(seed.begin(), seed.end(), frame.seed.begin());
-    frame.digest = crypto::heavy_hmac(hold.msg.encode(), seed, host_.config().heavy_hmac_iterations);
-    const Bytes frame_bytes = frame.encode();
+    frame.digest = crypto::heavy_hmac(arena_encode(s.arena(), hold.msg), seed,
+                                      host_.config().heavy_hmac_iterations);
+    const BytesView frame_bytes = arena_encode(s.arena(), frame);
     host_.counters().frames_encoded->add();
     resp.stored_hmac = StoredRespFrame::decode(frame_bytes).digest;
     static_cast<RelayNode&>(s.peer_of(host_)).counters().frames_decoded->add();

@@ -4,7 +4,7 @@ namespace g2g::proto::relay {
 
 namespace {
 
-void put_tag(Writer& w, FrameTag tag) { w.u8(static_cast<std::uint8_t>(tag)); }
+void put_tag(SpanWriter& w, FrameTag tag) { w.u8(static_cast<std::uint8_t>(tag)); }
 
 FrameTag take_tag(Reader& r, FrameTag expected) {
   const std::uint8_t tag = r.u8();
@@ -12,7 +12,7 @@ FrameTag take_tag(Reader& r, FrameTag expected) {
   return expected;
 }
 
-void put_hash(Writer& w, const MessageHash& h) { w.raw(BytesView(h.data(), h.size())); }
+void put_hash(SpanWriter& w, const MessageHash& h) { w.raw(BytesView(h.data(), h.size())); }
 
 void take_hash(Reader& r, MessageHash& h) {
   const BytesView hv = r.raw(h.size());
@@ -33,12 +33,12 @@ void expect_done(const Reader& r) {
 
 std::size_t RelayRqstFrame::wire_size() const { return 1 + 32; }
 
-Bytes RelayRqstFrame::encode() const {
-  Writer w(wire_size());
+void RelayRqstFrame::encode_into(SpanWriter& w) const {
   put_tag(w, FrameTag::RelayRqst);
   put_hash(w, h);
-  return std::move(w).take();
 }
+
+Bytes RelayRqstFrame::encode() const { return encode_exact(*this); }
 
 RelayRqstFrame RelayRqstFrame::decode(BytesView b) {
   Reader r(b);
@@ -51,12 +51,12 @@ RelayRqstFrame RelayRqstFrame::decode(BytesView b) {
 
 std::size_t RelayOkFrame::wire_size() const { return 1 + 32; }
 
-Bytes RelayOkFrame::encode() const {
-  Writer w(wire_size());
+void RelayOkFrame::encode_into(SpanWriter& w) const {
   put_tag(w, accept ? FrameTag::RelayOk : FrameTag::RelayDecline);
   put_hash(w, h);
-  return std::move(w).take();
 }
+
+Bytes RelayOkFrame::encode() const { return encode_exact(*this); }
 
 RelayOkFrame RelayOkFrame::decode(BytesView b) {
   Reader r(b);
@@ -80,21 +80,11 @@ std::size_t RelayDataFrame::wire_size() const {
   return 1 + 32 + 8 + inner;
 }
 
-Bytes RelayDataFrame::encode() const {
-  // Payload: the message's canonical bytes, then the attachments' canonical
-  // bytes back to back (each QualityDeclaration encoding is self-delimiting).
-  Writer payload(msg.wire_size());
-  payload.raw(msg.encode());
-  for (const auto& a : attachments) payload.raw(a.encode());
-  const Bytes& inner = payload.bytes();
-
-  Writer w(wire_size());
-  put_tag(w, FrameTag::RelayData);
-  put_hash(w, h);
-  w.u64(inner.size());
-  w.raw(inner);
-  return std::move(w).take();
+void RelayDataFrame::encode_into(SpanWriter& w) const {
+  relay_data_encode_into(w, h, msg, attachments);
 }
+
+Bytes RelayDataFrame::encode() const { return encode_exact(*this); }
 
 RelayDataFrame RelayDataFrame::decode(BytesView b) {
   Reader r(b);
@@ -110,15 +100,75 @@ RelayDataFrame RelayDataFrame::decode(BytesView b) {
   return f;
 }
 
+std::size_t relay_data_wire_size(const SealedMessage& msg,
+                                 std::span<const QualityDeclaration> attachments) {
+  std::size_t inner = msg.wire_size();
+  for (const auto& a : attachments) inner += a.wire_size();
+  return 1 + 32 + 8 + inner;
+}
+
+void relay_data_encode_into(SpanWriter& w, const MessageHash& h, const SealedMessage& msg,
+                            std::span<const QualityDeclaration> attachments) {
+  // Payload: the message's canonical bytes, then the attachments' canonical
+  // bytes back to back (each QualityDeclaration encoding is self-delimiting).
+  // Everything is written straight into the destination span — no
+  // intermediate payload buffer.
+  std::size_t inner = msg.wire_size();
+  for (const auto& a : attachments) inner += a.wire_size();
+
+  put_tag(w, FrameTag::RelayData);
+  put_hash(w, h);
+  w.u64(inner);
+  msg.encode_into(w);
+  for (const auto& a : attachments) a.encode_into(w);
+}
+
+BytesView arena_relay_data(Arena& arena, const MessageHash& h, const SealedMessage& msg,
+                           std::span<const QualityDeclaration> attachments) {
+  const std::span<std::uint8_t> out = arena.alloc(relay_data_wire_size(msg, attachments));
+  SpanWriter w(out);
+  relay_data_encode_into(w, h, msg, attachments);
+  w.expect_full();
+  return {out.data(), out.size()};
+}
+
+std::vector<QualityDeclaration> RelayDataFrameView::decode_attachments() const {
+  std::vector<QualityDeclaration> out;
+  Reader r(attachments_wire);
+  while (!r.done()) out.push_back(QualityDeclaration::decode(r));
+  return out;
+}
+
+RelayDataFrameView RelayDataFrameView::decode(BytesView b) {
+  Reader r(b);
+  take_tag(r, FrameTag::RelayData);
+  RelayDataFrameView f;
+  take_hash(r, f.h);
+  const std::uint64_t len = r.u64();
+  if (len > r.remaining()) throw DecodeError("truncated relay-data payload");
+  const BytesView payload = r.raw(static_cast<std::size_t>(len));
+  // The message view must span exactly the message's bytes; walk its fields
+  // once to find the boundary, then bind the view to that sub-span.
+  Reader probe(payload);
+  (void)probe.u32();        // dst
+  (void)probe.blob_view();  // ephemeral_public
+  (void)probe.blob_view();  // ciphertext
+  const std::size_t msg_len = payload.size() - probe.remaining();
+  f.msg = SealedMessageView::decode(payload.subspan(0, msg_len));
+  f.attachments_wire = payload.subspan(msg_len);
+  expect_done(r);
+  return f;
+}
+
 std::size_t KeyRevealFrame::wire_size() const { return 1 + 32 + 32; }
 
-Bytes KeyRevealFrame::encode() const {
-  Writer w(wire_size());
+void KeyRevealFrame::encode_into(SpanWriter& w) const {
   put_tag(w, FrameTag::KeyReveal);
   put_hash(w, h);
   w.raw(BytesView(key.data(), key.size()));
-  return std::move(w).take();
 }
+
+Bytes KeyRevealFrame::encode() const { return encode_exact(*this); }
 
 KeyRevealFrame KeyRevealFrame::decode(BytesView b) {
   Reader r(b);
@@ -132,13 +182,13 @@ KeyRevealFrame KeyRevealFrame::decode(BytesView b) {
 
 std::size_t PorRqstFrame::wire_size() const { return 1 + 32 + 32; }
 
-Bytes PorRqstFrame::encode() const {
-  Writer w(wire_size());
+void PorRqstFrame::encode_into(SpanWriter& w) const {
   put_tag(w, FrameTag::PorRqst);
   put_hash(w, h);
   w.raw(BytesView(seed.data(), seed.size()));
-  return std::move(w).take();
 }
+
+Bytes PorRqstFrame::encode() const { return encode_exact(*this); }
 
 PorRqstFrame PorRqstFrame::decode(BytesView b) {
   Reader r(b);
@@ -152,14 +202,14 @@ PorRqstFrame PorRqstFrame::decode(BytesView b) {
 
 std::size_t StoredRespFrame::wire_size() const { return kWireBytes; }
 
-Bytes StoredRespFrame::encode() const {
-  Writer w(kWireBytes);
+void StoredRespFrame::encode_into(SpanWriter& w) const {
   put_tag(w, FrameTag::StoredResp);
   put_hash(w, h);
   w.raw(BytesView(seed.data(), seed.size()));
   w.raw(BytesView(digest.data(), digest.size()));
-  return std::move(w).take();
 }
+
+Bytes StoredRespFrame::encode() const { return encode_exact(*this); }
 
 StoredRespFrame StoredRespFrame::decode(BytesView b) {
   Reader r(b);
@@ -175,13 +225,13 @@ StoredRespFrame StoredRespFrame::decode(BytesView b) {
 
 std::size_t FqRqstFrame::wire_size() const { return 1 + 32 + 4; }
 
-Bytes FqRqstFrame::encode() const {
-  Writer w(wire_size());
+void FqRqstFrame::encode_into(SpanWriter& w) const {
   put_tag(w, FrameTag::FqRqst);
   put_hash(w, h);
   w.u32(dst.value());
-  return std::move(w).take();
 }
+
+Bytes FqRqstFrame::encode() const { return encode_exact(*this); }
 
 FqRqstFrame FqRqstFrame::decode(BytesView b) {
   Reader r(b);

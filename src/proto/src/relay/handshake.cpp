@@ -80,6 +80,9 @@ void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
   obs::Tracer& tracer = host_.env_.obs().tracer;
   for (const MessageHash& h : candidates) {
     if (s.exhausted()) break;  // the contact cannot carry another handshake
+    // One arena generation per handshake attempt: every frame and payload
+    // encoded below lives until this reset at the start of the next attempt.
+    s.arena().reset();
     const auto it = hold_.find(h);
     if (it == hold_.end() || !it->second.has_msg) continue;
     Hold& hold = it->second;
@@ -103,7 +106,7 @@ void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
     host_.trace_event(obs::EventKind::HsKeyReveal, taker.id(), ref);
     KeyRevealFrame key;
     key.h = h;
-    const Bytes key_bytes = key.encode();
+    const BytesView key_bytes = arena_encode(s.arena(), key);
     host_.counters().frames_encoded->add();
     s.signed_control(host_, key_bytes.size() + sig, obs::WireKind::KeyReveal);
     host_.env_.notify_relayed(h, host_.id(), taker.id());
@@ -122,8 +125,8 @@ void HandshakeEngine::giver_pass(Session& s, RelayNode& taker) {
   }
 }
 
-std::optional<Bytes> HandshakeEngine::answer_relay_rqst(Session& s, RelayNode& giver,
-                                                        BytesView rqst_frame) {
+std::optional<BytesView> HandshakeEngine::answer_relay_rqst(Session& s, RelayNode& giver,
+                                                            BytesView rqst_frame) {
   const RelayRqstFrame rq = RelayRqstFrame::decode(rqst_frame);
   host_.counters().frames_decoded->add();
   const std::size_t sig = host_.identity().suite().signature_size();
@@ -132,14 +135,14 @@ std::optional<Bytes> HandshakeEngine::answer_relay_rqst(Session& s, RelayNode& g
     // "node B informs S that it should not be chosen as a relay" — and it
     // answers honestly, because it cannot know whether it is the destination.
     host_.trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 0);
-    const Bytes decline = RelayOkFrame{rq.h, false}.encode();
+    const BytesView decline = arena_encode(s.arena(), RelayOkFrame{rq.h, false});
     host_.counters().frames_encoded->add();
     s.signed_control(host_, decline.size() + sig, obs::WireKind::RelayOk);
     return std::nullopt;
   }
   // Step 2: RELAY_OK.
   host_.trace_event(obs::EventKind::HsRelayOk, giver.id(), ref, 1);
-  const Bytes ok = RelayOkFrame{rq.h, true}.encode();
+  const BytesView ok = arena_encode(s.arena(), RelayOkFrame{rq.h, true});
   host_.counters().frames_encoded->add();
   s.signed_control(host_, ok.size() + sig, obs::WireKind::RelayOk);
 
@@ -153,42 +156,51 @@ std::optional<Bytes> HandshakeEngine::answer_relay_rqst(Session& s, RelayNode& g
   return countersign(s, giver, std::move(por));
 }
 
-Bytes HandshakeEngine::countersign(Session& s, RelayNode& giver, ProofOfRelay por) {
+BytesView HandshakeEngine::countersign(Session& s, RelayNode& giver, ProofOfRelay por) {
   host_.count_signature();
-  por.taker_signature = host_.identity().sign(por.signed_payload());
+  // The signed payload is built in the arena; the signature it produces is
+  // owned by the PoR (it outlives the attempt inside Holds and PoMs).
+  Arena& arena = s.arena();
+  const std::span<std::uint8_t> payload = arena.alloc(por.signed_payload_size());
+  SpanWriter pw(payload);
+  por.signed_payload_into(pw);
+  pw.expect_full();
+  por.taker_signature = host_.identity().sign(BytesView(payload.data(), payload.size()));
   host_.counters().pors_issued->add();
   const std::uint64_t ref = host_.env_.msg_ref(por.h);
   host_.trace_event(obs::EventKind::HsPorSigned, giver.id(), ref);
   host_.trace_event(obs::EventKind::PorIssued, giver.id(), ref);
   s.transfer(host_, por.wire_size(), obs::WireKind::Por);
-  return por.encode();
+  return arena_encode(arena, por);
 }
 
 void HandshakeEngine::complete_relay(Session& s, RelayNode& giver, BytesView data_frame,
                                      BytesView key_frame, double new_fm, TimePoint expires) {
-  const RelayDataFrame data = RelayDataFrame::decode(data_frame);
+  // In-place decode: the message and attachments are read from the frame
+  // bytes through views; only what the Hold must own is materialized.
+  const RelayDataFrameView data = RelayDataFrameView::decode(data_frame);
   const KeyRevealFrame key = KeyRevealFrame::decode(key_frame);
   host_.counters().frames_decoded->add(2);
   (void)key;  // the box seal emulates E_k; see KeyRevealFrame
-  const SealedMessage& m = data.msg;
-  const MessageHash h = m.hash();
+  // H(m) over the message's wire bytes as they arrived — no re-encode.
+  const MessageHash h = data.msg.hash();
   handled_.insert(h);
 
   Hold hold;
-  hold.msg = m;
-  hold.msg_bytes = m.wire_size();
+  hold.msg = data.msg.to_owned();
+  hold.msg_bytes = data.msg.wire_size();
   hold.fm = new_fm;
   hold.received = s.now();
   // Global TTL: the expiry travels with the message; per-holder otherwise.
   hold.expires = host_.config().global_ttl ? expires : s.now() + host_.config().delta1;
   hold.giver = giver.id();
-  hold.attachments = data.attachments;
+  hold.attachments = data.decode_attachments();
 
-  if (m.dst == host_.id()) {
-    const auto opened = open_message(host_.identity(), m, s.env().roster());
+  if (hold.msg.dst == host_.id()) {
+    const auto opened = open_message(host_.identity(), hold.msg, s.env().roster());
     host_.count_verification();
     if (opened.has_value() && opened->authentic) s.env().notify_delivered(h, host_.id());
-    host_.on_delivered(s, data.attachments);  // test by the destination
+    host_.on_delivered(s, hold.attachments);  // test by the destination
     // The destination keeps the message (it must still answer a possible
     // storage test — it cannot reveal that it is the destination by design).
     hold.is_destination = true;

@@ -1,6 +1,8 @@
 #include "g2g/proto/wire.hpp"
 
 #include <cmath>
+#include <span>
+#include <string_view>
 
 namespace g2g::proto {
 
@@ -20,31 +22,49 @@ double min_quality(QualityKind kind) {
   return 0.0;
 }
 
-Bytes QualityDeclaration::signed_payload() const {
-  Writer w(64);
-  w.str("g2g-fqresp-v1");
+namespace {
+constexpr std::string_view kFqRespDomain = "g2g-fqresp-v1";
+constexpr std::string_view kPorDomain = "g2g-por-v1";
+}  // namespace
+
+std::size_t QualityDeclaration::signed_payload_size() const {
+  // domain string + declarer + dst + value + frame + at.
+  return 4 + kFqRespDomain.size() + 4 + 4 + 8 + 8 + 8;
+}
+
+void QualityDeclaration::signed_payload_into(SpanWriter& w) const {
+  w.str(kFqRespDomain);
   w.u32(declarer.value());
   w.u32(dst.value());
   w.f64(value);
   w.i64(frame);
   w.i64(at.micros());
-  return std::move(w).take();
 }
 
-Bytes QualityDeclaration::encode() const {
-  Writer w(64 + signature.size());
+Bytes QualityDeclaration::signed_payload() const {
+  Bytes out(signed_payload_size());
+  SpanWriter w(std::span<std::uint8_t>(out.data(), out.size()));
+  signed_payload_into(w);
+  w.expect_full();
+  return out;
+}
+
+void QualityDeclaration::encode_into(SpanWriter& w) const {
   w.u32(declarer.value());
   w.u32(dst.value());
   w.f64(value);
   w.i64(frame);
   w.i64(at.micros());
   w.blob(signature);
-  return std::move(w).take();
 }
+
+Bytes QualityDeclaration::encode() const { return encode_exact(*this); }
 
 QualityDeclaration QualityDeclaration::decode(BytesView b) {
   Reader r(b);
-  return decode(r);
+  QualityDeclaration d = decode(r);
+  if (!r.done()) throw DecodeError("trailing bytes after QualityDeclaration");
+  return d;
 }
 
 QualityDeclaration QualityDeclaration::decode(Reader& r) {
@@ -63,25 +83,64 @@ std::size_t QualityDeclaration::wire_size() const {
   return 4 + 4 + 8 + 8 + 8 + 4 + signature.size();
 }
 
-Bytes ProofOfRelay::signed_payload() const {
-  Writer w(96);
-  w.str("g2g-por-v1");
-  w.raw(BytesView(h.data(), h.size()));
-  w.u32(giver.value());
-  w.u32(taker.value());
-  w.i64(at.micros());
-  w.u8(delegation ? 1 : 0);
-  if (delegation) {
-    w.u32(declared_dst.value());
-    w.f64(msg_quality);
-    w.f64(taker_quality);
-    w.i64(quality_frame);
-  }
-  return std::move(w).take();
+namespace {
+
+// ProofOfRelay and ProofOfRelayView carry identical non-signature fields, so
+// the canonical layouts are written and read once, generically over both.
+template <typename P>
+std::size_t por_payload_size(const P& p) {
+  // domain string + h + giver + taker + at + flag [+ delegation extension].
+  return 4 + kPorDomain.size() + 32 + 4 + 4 + 8 + 1 + (p.delegation ? 4 + 8 + 8 + 8 : 0);
 }
 
-Bytes ProofOfRelay::encode() const {
-  Writer w(128 + taker_signature.size());
+template <typename P>
+void por_payload_into(SpanWriter& w, const P& p) {
+  w.str(kPorDomain);
+  w.raw(BytesView(p.h.data(), p.h.size()));
+  w.u32(p.giver.value());
+  w.u32(p.taker.value());
+  w.i64(p.at.micros());
+  w.u8(p.delegation ? 1 : 0);
+  if (p.delegation) {
+    w.u32(p.declared_dst.value());
+    w.f64(p.msg_quality);
+    w.f64(p.taker_quality);
+    w.i64(p.quality_frame);
+  }
+}
+
+/// Everything up to (not including) the trailing signature blob.
+template <typename P>
+void por_fields_from(Reader& r, P& p) {
+  const BytesView hv = r.raw(p.h.size());
+  std::copy(hv.begin(), hv.end(), p.h.begin());
+  p.giver = NodeId(r.u32());
+  p.taker = NodeId(r.u32());
+  p.at = TimePoint(r.i64());
+  p.delegation = r.u8() != 0;
+  if (p.delegation) {
+    p.declared_dst = NodeId(r.u32());
+    p.msg_quality = r.f64();
+    p.taker_quality = r.f64();
+    p.quality_frame = r.i64();
+  }
+}
+
+}  // namespace
+
+std::size_t ProofOfRelay::signed_payload_size() const { return por_payload_size(*this); }
+
+void ProofOfRelay::signed_payload_into(SpanWriter& w) const { por_payload_into(w, *this); }
+
+Bytes ProofOfRelay::signed_payload() const {
+  Bytes out(signed_payload_size());
+  SpanWriter w(std::span<std::uint8_t>(out.data(), out.size()));
+  signed_payload_into(w);
+  w.expect_full();
+  return out;
+}
+
+void ProofOfRelay::encode_into(SpanWriter& w) const {
   w.raw(BytesView(h.data(), h.size()));
   w.u32(giver.value());
   w.u32(taker.value());
@@ -96,25 +155,53 @@ Bytes ProofOfRelay::encode() const {
     w.i64(quality_frame);
   }
   w.blob(taker_signature);
-  return std::move(w).take();
 }
+
+Bytes ProofOfRelay::encode() const { return encode_exact(*this); }
 
 ProofOfRelay ProofOfRelay::decode(BytesView b) {
   Reader r(b);
+  ProofOfRelay p = decode(r);
+  if (!r.done()) throw DecodeError("trailing bytes after PoR");
+  return p;
+}
+
+ProofOfRelay ProofOfRelay::decode(Reader& r) {
   ProofOfRelay p;
-  const BytesView hv = r.raw(p.h.size());
-  std::copy(hv.begin(), hv.end(), p.h.begin());
-  p.giver = NodeId(r.u32());
-  p.taker = NodeId(r.u32());
-  p.at = TimePoint(r.i64());
-  p.delegation = r.u8() != 0;
-  if (p.delegation) {
-    p.declared_dst = NodeId(r.u32());
-    p.msg_quality = r.f64();
-    p.taker_quality = r.f64();
-    p.quality_frame = r.i64();
-  }
+  por_fields_from(r, p);
   p.taker_signature = r.blob();
+  return p;
+}
+
+std::size_t ProofOfRelayView::signed_payload_size() const { return por_payload_size(*this); }
+
+void ProofOfRelayView::signed_payload_into(SpanWriter& w) const { por_payload_into(w, *this); }
+
+ProofOfRelay ProofOfRelayView::to_owned() const {
+  ProofOfRelay p;
+  p.h = h;
+  p.giver = giver;
+  p.taker = taker;
+  p.at = at;
+  p.delegation = delegation;
+  p.declared_dst = declared_dst;
+  p.msg_quality = msg_quality;
+  p.taker_quality = taker_quality;
+  p.quality_frame = quality_frame;
+  p.taker_signature.assign(taker_signature.begin(), taker_signature.end());
+  return p;
+}
+
+std::size_t ProofOfRelayView::wire_size() const {
+  return 32 + 4 + 4 + 8 + 1 + (delegation ? 4 + 8 + 8 + 8 : 0) + 4 + taker_signature.size();
+}
+
+ProofOfRelayView ProofOfRelayView::decode(BytesView b) {
+  Reader r(b);
+  ProofOfRelayView p;
+  por_fields_from(r, p);
+  p.taker_signature = r.blob_view();
+  if (!r.done()) throw DecodeError("trailing bytes after PoR");
   return p;
 }
 
@@ -123,20 +210,26 @@ std::size_t ProofOfRelay::wire_size() const {
   return 32 + 4 + 4 + 8 + 1 + (delegation ? 4 + 8 + 8 + 8 : 0) + 4 + taker_signature.size();
 }
 
-Bytes ProofOfMisbehavior::encode() const {
-  Writer w(256);
+void ProofOfMisbehavior::encode_into(SpanWriter& w) const {
+  // Evidence artefacts are written in place as length-prefixed sub-encodings
+  // (no intermediate buffers); the prefix is the artefact's own wire_size().
+  const auto nested = [&w](const auto& evidence) {
+    w.u32(static_cast<std::uint32_t>(evidence.wire_size()));
+    evidence.encode_into(w);
+  };
   w.u8(static_cast<std::uint8_t>(kind));
   w.u32(culprit.value());
   w.u32(accuser.value());
   w.i64(at.micros());
   w.u8(evidence_accepted.has_value() ? 1 : 0);
-  if (evidence_accepted) w.blob(evidence_accepted->encode());
+  if (evidence_accepted) nested(*evidence_accepted);
   w.u8(evidence_forwarded.has_value() ? 1 : 0);
-  if (evidence_forwarded) w.blob(evidence_forwarded->encode());
+  if (evidence_forwarded) nested(*evidence_forwarded);
   w.u8(evidence_declaration.has_value() ? 1 : 0);
-  if (evidence_declaration) w.blob(evidence_declaration->encode());
-  return std::move(w).take();
+  if (evidence_declaration) nested(*evidence_declaration);
 }
+
+Bytes ProofOfMisbehavior::encode() const { return encode_exact(*this); }
 
 ProofOfMisbehavior ProofOfMisbehavior::decode(BytesView b) {
   Reader r(b);
@@ -152,9 +245,12 @@ ProofOfMisbehavior ProofOfMisbehavior::decode(BytesView b) {
     if (f > 1) throw DecodeError("bad PoM evidence flag");
     return f == 1;
   };
-  if (read_flag()) p.evidence_accepted = ProofOfRelay::decode(r.blob());
-  if (read_flag()) p.evidence_forwarded = ProofOfRelay::decode(r.blob());
-  if (read_flag()) p.evidence_declaration = QualityDeclaration::decode(r.blob());
+  // Each evidence blob is decoded in place through a bounded view; the strict
+  // BytesView decode rejects evidence blobs with trailing junk, so an
+  // accepted PoM's blob is exactly the artefact's canonical encoding.
+  if (read_flag()) p.evidence_accepted = ProofOfRelay::decode(r.blob_view());
+  if (read_flag()) p.evidence_forwarded = ProofOfRelay::decode(r.blob_view());
+  if (read_flag()) p.evidence_declaration = QualityDeclaration::decode(r.blob_view());
   if (!r.done()) throw DecodeError("trailing bytes after PoM");
 
   // A PoM is gossiped network-wide, so the decoder enforces that exactly the

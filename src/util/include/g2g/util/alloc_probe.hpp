@@ -1,0 +1,24 @@
+// Heap-allocation probe for allocation-count regression tests and benches.
+//
+// Linking `g2g_alloc_probe` into a binary replaces the global operator
+// new/delete family with counting wrappers around malloc/free. The counter is
+// thread-local, so a probe read brackets exactly the work of the calling
+// thread. Link this library ONLY into binaries that exist to measure
+// allocations (the alloc regression test, micro_proto); it is deliberately
+// kept out of every simulation and experiment target.
+//
+// Usage:
+//   const std::size_t before = g2g::heap_alloc_count();
+//   ... code under test ...
+//   EXPECT_EQ(g2g::heap_alloc_count() - before, 0u);
+#pragma once
+
+#include <cstddef>
+
+namespace g2g {
+
+/// Allocations (operator new calls, all variants) on this thread since start.
+/// Returns 0 forever unless g2g_alloc_probe is linked into the binary.
+[[nodiscard]] std::size_t heap_alloc_count();
+
+}  // namespace g2g

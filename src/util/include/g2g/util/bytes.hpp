@@ -24,6 +24,14 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by SpanWriter when an encode disagrees with its wire_size().
+/// Unlike DecodeError (hostile input), this is a programming error: every
+/// wire type's wire_size() is arithmetic and must match its encode exactly.
+class EncodeError : public std::logic_error {
+ public:
+  explicit EncodeError(const std::string& what) : std::logic_error(what) {}
+};
+
 /// Append-only canonical encoder (little-endian, length-prefixed blobs).
 class Writer {
  public:
@@ -65,6 +73,68 @@ class Writer {
   Bytes out_;
 };
 
+/// Canonical encoder writing into a caller-provided, exactly-reserved span
+/// (typically an Arena allocation of wire_size() bytes). Identical byte
+/// output to Writer, but never allocates and never grows: running past the
+/// end of the span throws EncodeError, and expect_full() verifies the encode
+/// filled the reservation exactly — together they pin the
+/// encode()/wire_size() contract at the seam for every wire type.
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<std::uint8_t> out) : out_(out) {}
+
+  void u8(std::uint8_t v) { *grab(1) = v; }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  /// Raw bytes, no length prefix (use for fixed-size fields like hashes).
+  void raw(BytesView b) {
+    std::uint8_t* p = grab(b.size());
+    if (!b.empty()) std::memcpy(p, b.data(), b.size());
+  }
+  /// Length-prefixed blob.
+  void blob(BytesView b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b);
+  }
+  void str(std::string_view s) {
+    blob(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  [[nodiscard]] std::size_t size() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return out_.size() - pos_; }
+  /// View of what has been written so far.
+  [[nodiscard]] BytesView view() const { return {out_.data(), pos_}; }
+  /// Every canonical encode fills its reservation exactly; anything short
+  /// means wire_size() over-reported.
+  void expect_full() const {
+    if (pos_ != out_.size()) throw EncodeError("encode under-filled its wire_size() reservation");
+  }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    std::uint8_t* p = grab(sizeof(T));
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      p[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i));
+    }
+  }
+  [[nodiscard]] std::uint8_t* grab(std::size_t n) {
+    if (remaining() < n) throw EncodeError("encode overran its wire_size() reservation");
+    std::uint8_t* p = out_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
+};
+
 /// Canonical decoder; throws DecodeError on truncation.
 class Reader {
  public:
@@ -86,6 +156,12 @@ class Reader {
     const auto n = u32();
     const auto b = take(n);
     return Bytes(b.begin(), b.end());
+  }
+  /// Non-owning view of a length-prefixed blob: same wire format as blob(),
+  /// zero copies. Valid only while the buffer under the Reader lives.
+  [[nodiscard]] BytesView blob_view() {
+    const auto n = u32();
+    return take(n);
   }
   [[nodiscard]] std::string str() {
     const auto b = blob();
@@ -114,6 +190,19 @@ class Reader {
   BytesView in_;
   std::size_t pos_ = 0;
 };
+
+/// Owning encode through the exactly-reserved SpanWriter seam: allocates
+/// wire_size() bytes once, encodes in place, verifies the exact fill. Every
+/// wire type's owning encode() delegates here, so the encode()/wire_size()
+/// contract is asserted on all paths, arena and owning alike.
+template <typename T>
+[[nodiscard]] Bytes encode_exact(const T& v) {
+  Bytes out(v.wire_size());
+  SpanWriter w(std::span<std::uint8_t>(out.data(), out.size()));
+  v.encode_into(w);
+  w.expect_full();
+  return out;
+}
 
 /// Lowercase hex encoding of a byte span.
 [[nodiscard]] std::string to_hex(BytesView b);

@@ -1,0 +1,93 @@
+// Counting replacements for the global operator new/delete family.
+//
+// Strong definitions here override the (weak) toolchain ones for any binary
+// that links g2g_alloc_probe; heap_alloc_count() lives in the same translation
+// unit precisely so that referencing it pulls this object — and with it the
+// replacement operators — out of the static archive.
+#include "g2g/util/alloc_probe.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+thread_local std::size_t g_allocs = 0;
+
+void* counted_malloc(std::size_t n) noexcept {
+  ++g_allocs;
+  return std::malloc(n != 0 ? n : 1);
+}
+
+void* counted_aligned(std::size_t n, std::size_t align) noexcept {
+  ++g_allocs;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+namespace g2g {
+
+std::size_t heap_alloc_count() { return g_allocs; }
+
+}  // namespace g2g
+
+void* operator new(std::size_t n) {
+  void* p = counted_malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = counted_malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_malloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_malloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_aligned(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

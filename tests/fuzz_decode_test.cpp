@@ -278,6 +278,193 @@ TEST(FuzzDecode, RelayDataFrameTruncationsAndMutationsNeverCrash) {
   EXPECT_EQ(proto::relay::RelayDataFrame::decode(valid).encode(), valid);
 }
 
+TEST(FuzzDecode, QualityDeclarationTruncationsNeverCrash) {
+  Rng rng(116);
+  proto::QualityDeclaration decl;
+  decl.declarer = NodeId(3);
+  decl.dst = NodeId(4);
+  decl.value = 7.0;
+  decl.frame = 2;
+  decl.at = TimePoint::from_seconds(10.0);
+  decl.signature = random_bytes(rng, 32);
+  const Bytes valid = decl.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::QualityDeclaration::decode(truncated), DecodeError) << cut;
+  }
+  EXPECT_EQ(proto::QualityDeclaration::decode(valid).encode(), valid);
+}
+
+TEST(FuzzDecode, SealedMessageTruncationsNeverCrash) {
+  Rng rng(117);
+  const crypto::SuitePtr suite = crypto::make_fast_suite(0xF117);
+  crypto::Authority authority(suite, rng);
+  proto::Roster roster;
+  std::vector<crypto::NodeIdentity> ids;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ids.emplace_back(suite, NodeId(i), authority, rng);
+    roster.add(ids.back().certificate());
+  }
+  const proto::SealedMessage msg = proto::make_message(
+      ids[0], roster.get(NodeId(1)), MessageId(3), random_bytes(rng, 40), rng);
+  const Bytes valid = msg.encode();
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::SealedMessage::decode(truncated), DecodeError) << cut;
+  }
+  EXPECT_EQ(proto::SealedMessage::decode(valid).encode(), valid);
+}
+
+TEST(FuzzDecode, StrictDecodersRejectTrailingBytes) {
+  // A whole-buffer decode must consume the buffer exactly: one stray byte
+  // after a valid encoding is a framing error, not padding to ignore.
+  Rng rng(118);
+  proto::ProofOfRelay por;
+  por.h.fill(0x5a);
+  por.giver = NodeId(1);
+  por.taker = NodeId(2);
+  por.delegation = true;
+  por.taker_signature = random_bytes(rng, 48);
+  proto::QualityDeclaration decl;
+  decl.declarer = NodeId(3);
+  decl.signature = random_bytes(rng, 32);
+  const crypto::SuitePtr suite = crypto::make_fast_suite(0xF118);
+  crypto::Authority authority(suite, rng);
+  proto::Roster roster;
+  std::vector<crypto::NodeIdentity> ids;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ids.emplace_back(suite, NodeId(i), authority, rng);
+    roster.add(ids.back().certificate());
+  }
+  const proto::SealedMessage msg = proto::make_message(
+      ids[0], roster.get(NodeId(1)), MessageId(5), random_bytes(rng, 16), rng);
+  proto::ProofOfMisbehavior pom;
+  pom.kind = proto::ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(2);
+  pom.accuser = NodeId(1);
+  pom.evidence_accepted = por;
+
+  const auto reject_padded = [](const Bytes& valid, auto&& decode) {
+    Bytes padded = valid;
+    padded.push_back(0x00);
+    EXPECT_THROW(decode(padded), DecodeError);
+  };
+  reject_padded(por.encode(), [](const Bytes& b) { (void)proto::ProofOfRelay::decode(b); });
+  por.delegation = false;
+  reject_padded(por.encode(), [](const Bytes& b) { (void)proto::ProofOfRelay::decode(b); });
+  reject_padded(por.encode(),
+                [](const Bytes& b) { (void)proto::ProofOfRelayView::decode(b); });
+  reject_padded(decl.encode(),
+                [](const Bytes& b) { (void)proto::QualityDeclaration::decode(b); });
+  reject_padded(msg.encode(), [](const Bytes& b) { (void)proto::SealedMessage::decode(b); });
+  reject_padded(msg.encode(),
+                [](const Bytes& b) { (void)proto::SealedMessageView::decode(b); });
+  reject_padded(pom.encode(),
+                [](const Bytes& b) { (void)proto::ProofOfMisbehavior::decode(b); });
+}
+
+TEST(FuzzDecode, PomRejectsTrailingJunkInsideEvidence) {
+  // An evidence blob whose length prefix covers more than the artefact's
+  // canonical encoding smuggles unauthenticated bytes into a gossiped PoM;
+  // the strict sub-decode must reject it.
+  Rng rng(119);
+  proto::ProofOfMisbehavior pom;
+  pom.kind = proto::ProofOfMisbehavior::Kind::RelayFailure;
+  pom.culprit = NodeId(2);
+  pom.accuser = NodeId(1);
+  proto::ProofOfRelay por;
+  por.h.fill(0x66);
+  por.giver = NodeId(1);
+  por.taker = NodeId(2);
+  por.delegation = false;
+  por.taker_signature = random_bytes(rng, 32);
+  pom.evidence_accepted = por;
+  const Bytes valid = pom.encode();
+  ASSERT_NO_THROW((void)proto::ProofOfMisbehavior::decode(valid));
+
+  // Header: kind(1) + culprit(4) + accuser(4) + at(8) + presence flag(1),
+  // then the u32 length prefix of the accepted-evidence blob.
+  const std::size_t len_off = 1 + 4 + 4 + 8 + 1;
+  const std::size_t blob_len = por.wire_size();
+  Bytes tampered = valid;
+  tampered.insert(tampered.begin() +
+                      static_cast<std::ptrdiff_t>(len_off + 4 + blob_len),
+                  std::uint8_t{0xAA});
+  tampered[len_off] = static_cast<std::uint8_t>(blob_len + 1);  // small, no carry
+  EXPECT_THROW((void)proto::ProofOfMisbehavior::decode(tampered), DecodeError);
+}
+
+TEST(FuzzDecode, DecodeViewsSurviveJunk) {
+  // The non-owning view decoders walk the same grammar as the owning ones;
+  // they must be exactly as robust against malformed input.
+  Rng rng(120);
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::ProofOfRelayView::decode(b); });
+  expect_no_crash(rng, [](const Bytes& b) { (void)proto::SealedMessageView::decode(b); });
+  expect_no_crash(rng,
+                  [](const Bytes& b) { (void)proto::relay::RelayDataFrameView::decode(b); });
+}
+
+TEST(FuzzDecode, DecodeViewsMatchOwningDecoders) {
+  Rng rng(121);
+  const crypto::SuitePtr suite = crypto::make_fast_suite(0xF121);
+  crypto::Authority authority(suite, rng);
+  proto::Roster roster;
+  std::vector<crypto::NodeIdentity> ids;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ids.emplace_back(suite, NodeId(i), authority, rng);
+    roster.add(ids.back().certificate());
+  }
+  proto::relay::RelayDataFrame frame;
+  frame.msg = proto::make_message(ids[0], roster.get(NodeId(1)), MessageId(7),
+                                  random_bytes(rng, 24), rng);
+  frame.h = frame.msg.hash();
+  proto::QualityDeclaration decl;
+  decl.declarer = NodeId(1);
+  decl.dst = NodeId(0);
+  decl.value = 2.5;
+  decl.signature = random_bytes(rng, 32);
+  frame.attachments.push_back(decl);
+  const Bytes valid = frame.encode();
+
+  const proto::relay::RelayDataFrameView view = proto::relay::RelayDataFrameView::decode(valid);
+  EXPECT_EQ(view.h, frame.h);
+  EXPECT_EQ(view.msg.hash(), frame.msg.hash());
+  EXPECT_EQ(view.msg.to_owned().encode(), frame.msg.encode());
+  EXPECT_EQ(view.msg.wire_size(), frame.msg.wire_size());
+  const std::vector<proto::QualityDeclaration> attachments = view.decode_attachments();
+  ASSERT_EQ(attachments.size(), 1u);
+  EXPECT_EQ(attachments[0].encode(), decl.encode());
+  // Every truncation of the frame must be rejected by the view decoder too.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    const Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::relay::RelayDataFrameView::decode(truncated), DecodeError)
+        << cut;
+  }
+
+  proto::ProofOfRelay por;
+  por.h.fill(0x3d);
+  por.giver = NodeId(0);
+  por.taker = NodeId(1);
+  por.delegation = true;
+  por.taker_signature = random_bytes(rng, 40);
+  const Bytes por_wire = por.encode();
+  const proto::ProofOfRelayView por_view = proto::ProofOfRelayView::decode(por_wire);
+  EXPECT_EQ(por_view.to_owned().encode(), por_wire);
+  EXPECT_EQ(por_view.wire_size(), por_wire.size());
+  // The signed payload built through the view matches the owning one.
+  EXPECT_EQ(por_view.signed_payload_size(), por.signed_payload_size());
+  Bytes view_payload(por_view.signed_payload_size());
+  SpanWriter w(view_payload);
+  por_view.signed_payload_into(w);
+  w.expect_full();
+  EXPECT_EQ(view_payload, por.signed_payload());
+  for (std::size_t cut = 0; cut < por_wire.size(); ++cut) {
+    const Bytes truncated(por_wire.begin(),
+                          por_wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)proto::ProofOfRelayView::decode(truncated), DecodeError) << cut;
+  }
+}
+
 TEST(FuzzDecode, U256FromHexSurvivesJunkStrings) {
   Rng rng(109);
   const char alphabet[] = "0123456789abcdefXYZ -";

@@ -16,6 +16,7 @@ std::string fmt_ratio(double r) {
 struct CellView {
   double wall_s = 0.0;
   double events_per_s = 0.0;
+  double allocs_per_op = -1.0;  ///< -1: cell carries no allocation telemetry
 };
 
 std::map<std::string, CellView> cells_of(const tools::Value& report) {
@@ -28,6 +29,7 @@ std::map<std::string, CellView> cells_of(const tools::Value& report) {
     CellView v;
     if (const tools::Value* w = cell.find("wall_s")) v.wall_s = w->num_or(0.0);
     if (const tools::Value* e = cell.find("events_per_s")) v.events_per_s = e->num_or(0.0);
+    if (const tools::Value* a = cell.find("allocs_per_op")) v.allocs_per_op = a->num_or(-1.0);
     out.emplace(name->string, v);
   }
   return out;
@@ -73,6 +75,17 @@ Comparison compare(const tools::Value& base, const tools::Value& next,
     }
     if (b.events_per_s > 0.0 && n.events_per_s > 0.0) {
       grade(c, options, name, "throughput", b.events_per_s / n.events_per_s);
+    }
+    // Allocation telemetry is deterministic, so it gets a hard edge: a cell
+    // pinned allocation-free in the baseline must stay that way.
+    if (b.allocs_per_op >= 0.0 && n.allocs_per_op >= 0.0) {
+      if (b.allocs_per_op < 0.5 && n.allocs_per_op >= 0.5) {
+        c.diffs.push_back({Severity::Failure,
+                           name + ": allocations appeared on an allocation-free cell (" +
+                               std::to_string(n.allocs_per_op) + " allocs/op)"});
+      } else if (b.allocs_per_op >= 0.5) {
+        grade(c, options, name, "allocs/op", n.allocs_per_op / b.allocs_per_op);
+      }
     }
   }
   for (const auto& [name, n] : next_cells) {

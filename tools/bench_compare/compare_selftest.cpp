@@ -85,6 +85,37 @@ TEST(BenchCompare, SubMillisecondCellsAreNotGradedOnWallTime) {
   EXPECT_EQ(c.count(Severity::Warning), 0u);
 }
 
+std::string alloc_report(const std::string& allocs_field) {
+  return "{\"cells\":[{\"name\":\"codec\",\"wall_s\":1.0,\"events_per_s\":100.0" +
+         allocs_field + "}]}";
+}
+
+TEST(BenchCompare, AllocationsAppearingOnAllocationFreeCellFail) {
+  const Comparison c = compare(parse(alloc_report(",\"allocs_per_op\":0.0")),
+                               parse(alloc_report(",\"allocs_per_op\":3.0")), Options{});
+  ASSERT_EQ(c.count(Severity::Failure), 1u);
+  EXPECT_NE(c.diffs[0].message.find("allocations appeared"), std::string::npos);
+}
+
+TEST(BenchCompare, AllocRatioIsGradedWhenBaselineAllocates) {
+  const Comparison grew =
+      compare(parse(alloc_report(",\"allocs_per_op\":10.0")),
+              parse(alloc_report(",\"allocs_per_op\":25.0")), Options{});
+  EXPECT_EQ(grew.count(Severity::Failure), 1u);
+  const Comparison steady =
+      compare(parse(alloc_report(",\"allocs_per_op\":10.0")),
+              parse(alloc_report(",\"allocs_per_op\":11.0")), Options{});
+  EXPECT_EQ(steady.count(Severity::Failure), 0u);
+  EXPECT_EQ(steady.count(Severity::Warning), 0u);
+}
+
+TEST(BenchCompare, AbsentAllocTelemetryIsNotGraded) {
+  const Comparison c = compare(parse(alloc_report(",\"allocs_per_op\":0.0")),
+                               parse(alloc_report("")), Options{});
+  EXPECT_EQ(c.count(Severity::Failure), 0u);
+  EXPECT_EQ(c.count(Severity::Warning), 0u);
+}
+
 TEST(BenchCompare, CounterDeltasAreInformational) {
   const tools::Value base = parse(report(1.0, 100.0,
       ",\"obs\":{\"counters\":{\"hs.completed\":10}}"));

@@ -1,0 +1,25 @@
+// Deliberately owning-buffer-infested relay hot path: every construction
+// below must trip no-owning-buffer-hot-path except the justified one.
+#include <vector>
+
+namespace g2g::proto::relay {
+
+using Bytes = std::vector<unsigned char>;
+struct Writer {};
+
+inline unsigned rogue_encode() {
+  Bytes frame;                        // owning declaration
+  frame.push_back(1);
+  const Bytes copy = Bytes(frame);    // owning copy + temporary (one line, one finding)
+  std::vector<std::uint8_t> scratch;  // raw byte vector
+  Writer w;                           // owning writer
+  (void)copy;
+  (void)scratch;
+  (void)w;
+  // g2g-lint: allow(no-owning-buffer-hot-path) -- deferred batch owns its inputs
+  Bytes justified;
+  justified.push_back(2);
+  return static_cast<unsigned>(justified.size());
+}
+
+}  // namespace g2g::proto::relay

@@ -400,6 +400,36 @@ void scan_adhoc_atomics(const std::string& rel, const std::vector<SplitLine>& li
   }
 }
 
+// Owning buffers on the relay hot path: the zero-copy message path encodes
+// into the session arena (g2g/util/arena.hpp) and decodes through non-owning
+// views, so constructing Bytes / std::vector<uint8_t> / Writer inside
+// src/proto/src/relay/ reintroduces per-hop heap traffic. Genuinely cold
+// paths (PoM gossip dedup, the deferred heavy-HMAC hand-off, whose inputs
+// must outlive the arena generation) justify themselves with an allow pragma.
+bool in_relay_hot_path(const std::string& rel) {
+  return rel.rfind("src/proto/src/relay/", 0) == 0 && !is_header(rel);
+}
+
+void scan_owning_buffer_hot_path(const std::string& rel,
+                                 const std::vector<SplitLine>& lines,
+                                 const PragmaTable& pragmas, std::vector<Finding>& out) {
+  if (!in_relay_hot_path(rel)) return;
+  // Owning-buffer constructions only: `Bytes name …`, a `Bytes(...)`
+  // temporary, a raw byte vector, or an owning Writer. Return types
+  // (`Bytes X::encode()`), references (`const Bytes&`), and the non-owning
+  // BytesView/SpanWriter types do not match.
+  static const std::regex kOwning(
+      R"(\bBytes\s+\w+\s*[({=;]|\bBytes\s*\(|std::vector<\s*(?:std::)?uint8_t\s*>|\bWriter\s+\w+)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!std::regex_search(lines[i].code_blanked, kOwning)) continue;
+    if (is_allowed(pragmas, i + 1, "no-owning-buffer-hot-path")) continue;
+    out.push_back({rel, i + 1, "no-owning-buffer-hot-path",
+                   "owning buffer construction on the relay hot path; encode into "
+                   "the session arena and decode through views (DESIGN.md \"Buffer "
+                   "ownership\"), or justify a cold path with an allow pragma"});
+  }
+}
+
 // Frame catalogue completeness: every struct *Frame in relay/frames.hpp must
 // be exercised by the decoder fuzz suite.
 void scan_frame_fuzz_coverage(const fs::path& root, std::vector<Finding>& out) {
@@ -514,7 +544,8 @@ const std::vector<std::string>& rule_ids() {
       "no-unordered-iter", "wire-encode-triple",
       "frame-fuzz-coverage", "mod-param-diff-coverage",
       "counter-name-prefix", "span-name-registry",
-      "no-adhoc-atomic",     "allow-without-justification",
+      "no-adhoc-atomic",     "no-owning-buffer-hot-path",
+      "allow-without-justification",
   };
   return ids;
 }
@@ -538,6 +569,7 @@ std::vector<Finding> run_lint(const Options& options) {
     scan_counters(rel, lines, pragmas, findings);
     scan_span_names(rel, lines, pragmas, findings);
     scan_adhoc_atomics(rel, lines, pragmas, findings);
+    scan_owning_buffer_hot_path(rel, lines, pragmas, findings);
   }
   scan_frame_fuzz_coverage(root, findings);
   scan_mod_param_diff_coverage(root, findings);

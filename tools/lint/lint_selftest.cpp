@@ -84,6 +84,14 @@ TEST_F(BadFixture, SpanNameRegistryFires) {
   EXPECT_EQ(count_rule(findings(), "span-name-registry"), 3u);
 }
 
+TEST_F(BadFixture, OwningBufferHotPathFires) {
+  EXPECT_TRUE(has(findings(), "no-owning-buffer-hot-path",
+                  "src/proto/src/relay/owning_hot_path.cpp"));
+  // Declaration, copy+temporary line, raw byte vector, Writer; the justified
+  // construction stays clean.
+  EXPECT_EQ(count_rule(findings(), "no-owning-buffer-hot-path"), 4u);
+}
+
 TEST_F(BadFixture, EveryRuleFiresSomewhere) {
   for (const std::string& rule : rule_ids()) {
     EXPECT_GT(count_rule(findings(), rule), 0u) << rule;
