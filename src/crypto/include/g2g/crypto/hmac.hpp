@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "g2g/crypto/sha256.hpp"
+#include "g2g/util/arena.hpp"
 #include "g2g/util/bytes.hpp"
 
 namespace g2g::crypto {
@@ -52,7 +53,9 @@ class HmacKey {
 /// One heavy-HMAC chain for heavy_hmac_batch. The views must stay valid for
 /// the duration of the call.
 struct HeavyHmacJob {
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one heavy_hmac_batch call
   BytesView message;
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one heavy_hmac_batch call
   BytesView seed;
   std::uint32_t iterations;
 };
@@ -68,22 +71,20 @@ struct HeavyHmacJob {
 
 /// Owning collector for deferring heavy-HMAC chains discovered one at a time
 /// (the G2G audit loops queue every storage proof in a contact, then compute
-/// them all in parallel lanes). add() copies its inputs; run() returns
-/// digests in add() order and clears the queue.
+/// them all in parallel lanes). add() copies its inputs into a batch-owned
+/// arena whose chunks are recycled across run() cycles, so a warmed-up batch
+/// performs no per-challenge heap allocation; run() returns digests in add()
+/// order, then clears the queue and resets the arena.
 class HeavyHmacBatch {
  public:
-  std::size_t add(Bytes message, Bytes seed, std::uint32_t iterations);
+  std::size_t add(BytesView message, BytesView seed, std::uint32_t iterations);
   [[nodiscard]] std::vector<Digest> run();
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
   [[nodiscard]] bool empty() const { return jobs_.empty(); }
 
  private:
-  struct OwnedJob {
-    Bytes message;
-    Bytes seed;
-    std::uint32_t iterations;
-  };
-  std::vector<OwnedJob> jobs_;
+  Arena arena_;  ///< owns every queued message/seed until the next run()
+  std::vector<HeavyHmacJob> jobs_;
 };
 
 /// Constant-time digest comparison.

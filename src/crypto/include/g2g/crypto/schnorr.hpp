@@ -131,6 +131,7 @@ struct MultiExpTerm {
 /// valid for the duration of the call.
 struct SchnorrRSVerifyItem {
   U256 public_key;
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one verify_batch_rs call
   BytesView message;
   SchnorrSignatureRS sig;
 };

@@ -32,8 +32,11 @@ struct KeyPair {
 /// One verification job for Suite::verify_batch. The views must stay valid for
 /// the duration of the call.
 struct VerifyRequest {
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one verify_batch call
   BytesView public_key;
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one verify_batch call
   BytesView message;
+  // g2g-lint: allow(view-escape) -- borrowed for the duration of one verify_batch call
   BytesView signature;
 };
 

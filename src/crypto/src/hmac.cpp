@@ -203,20 +203,22 @@ std::vector<Digest> heavy_hmac_batch(std::span<const HeavyHmacJob> jobs) {
   return out;
 }
 
-std::size_t HeavyHmacBatch::add(Bytes message, Bytes seed, std::uint32_t iterations) {
-  jobs_.push_back(OwnedJob{std::move(message), std::move(seed), iterations});
+std::size_t HeavyHmacBatch::add(BytesView message, BytesView seed, std::uint32_t iterations) {
+  const auto own = [this](BytesView v) {
+    const std::span<std::uint8_t> dst = arena_.alloc(v.size());
+    std::copy(v.begin(), v.end(), dst.begin());
+    return BytesView(dst.data(), dst.size());
+  };
+  jobs_.push_back(HeavyHmacJob{own(message), own(seed), iterations});
   return jobs_.size() - 1;
 }
 
 std::vector<Digest> HeavyHmacBatch::run() {
-  std::vector<HeavyHmacJob> views;
-  views.reserve(jobs_.size());
-  for (const OwnedJob& j : jobs_) {
-    views.push_back(HeavyHmacJob{BytesView(j.message.data(), j.message.size()),
-                                 BytesView(j.seed.data(), j.seed.size()), j.iterations});
-  }
-  std::vector<Digest> out = heavy_hmac_batch(views);
+  std::vector<Digest> out = heavy_hmac_batch(jobs_);
+  // The queue drains before the arena resets: the job views point into the
+  // arena, and must not survive it.
   jobs_.clear();
+  arena_.reset();
   return out;
 }
 

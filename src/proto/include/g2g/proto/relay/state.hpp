@@ -60,6 +60,7 @@ struct HandshakeOutcome {
   /// The encoded RelayDataFrame, already accounted. A view into the session
   /// arena: valid for the current handshake attempt only (the engine resets
   /// the arena before the next attempt begins).
+  // g2g-lint: allow(view-escape) -- documented engine seam: consumed within the same handshake attempt, before the reset
   BytesView data_frame;
   /// Delegation relabels f_m with the taker's declared quality on a true
   /// delegation step; Epidemic never does.

@@ -136,11 +136,10 @@ void AuditEngine::run(Session& s, RelayNode& peer) {
       if (it != holds.end() && it->second.has_msg) {
         host_.count_heavy_hmac();
         if (resp.stored_job.has_value()) {
-          // The batch outlives the challenge's arena generation, so it owns
-          // its message and seed copies.
-          // g2g-lint: allow(no-owning-buffer-hot-path) -- HeavyHmacBatch inputs must outlive the challenge scope
+          // The batch copies both inputs into its own arena, so the encode can
+          // live in the session arena's current generation.
           const std::size_t expect_job =
-              batch.add(it->second.msg.encode(), Bytes(seed.begin(), seed.end()),
+              batch.add(arena_encode(s.arena(), it->second.msg), seed,
                         host_.config().heavy_hmac_iterations);
           pending.push_back(PendingStorageCheck{*resp.stored_job, expect_job, peer.id(), ref,
                                                 t.por, t.relayed_at, span});
@@ -238,11 +237,10 @@ void AuditEngine::storage_proof(Session& s, const Hold& hold, const MessageHash&
   host_.trace_event(obs::EventKind::StorageChallenge, s.peer_of(host_).id(),
                     host_.env_.msg_ref(h), host_.config().heavy_hmac_iterations);
   if (defer != nullptr) {
-    // The batch outlives the challenge's arena generation, so it owns its
-    // message and seed copies.
-    // g2g-lint: allow(no-owning-buffer-hot-path) -- HeavyHmacBatch inputs must outlive the challenge scope
-    resp.stored_job = defer->add(hold.msg.encode(), Bytes(seed.begin(), seed.end()),
-                                 host_.config().heavy_hmac_iterations);
+    // The batch copies both inputs into its own arena, so the encode can live
+    // in the session arena's current generation.
+    resp.stored_job = defer->add(arena_encode(s.arena(), hold.msg),
+                                 seed, host_.config().heavy_hmac_iterations);
     // The digest is not known yet; the STORED_RESP frame is accounted at its
     // canonical size either way (the challenger resolves it from the batch).
     host_.counters().frames_encoded->add();

@@ -187,6 +187,7 @@ class Reader {
     pos_ += n;
     return out;
   }
+  // g2g-lint: allow(view-escape) -- transient decode cursor; a Reader never outlives the caller-owned bytes it walks
   BytesView in_;
   std::size_t pos_ = 0;
 };

@@ -31,7 +31,13 @@ run_lint() {
   echo "== lint: g2g-lint =="
   cmake -B build -S . >/dev/null
   cmake --build build --target g2g-lint -j "$jobs"
-  ./build/tools/lint/g2g-lint --root .
+  # Per-rule counts + wall time on stdout; the machine-readable report
+  # (findings, pragma-suppressed findings with justifications) lands in
+  # build/lint-report.json for CI to upload. G2G_LINT_FLAGS adds e.g.
+  # --github in workflows.
+  # shellcheck disable=SC2086
+  ./build/tools/lint/g2g-lint --root . --stats --json build/lint-report.json \
+    ${G2G_LINT_FLAGS:-}
 
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "== lint: clang-tidy =="

@@ -1,0 +1,7 @@
+// Fixture: an allow() pragma naming a rule that is not in the catalogue.
+namespace g2g::core {
+
+// g2g-lint: allow(no-flux-capacitor) -- the rule this suppressed was retired
+int stale_pragma() { return 1; }
+
+}  // namespace g2g::core

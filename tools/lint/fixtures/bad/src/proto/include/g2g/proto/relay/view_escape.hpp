@@ -1,0 +1,26 @@
+// Fixture: non-owning views escaping into storage that outlives them.
+#pragma once
+
+namespace g2g::proto::relay {
+
+// Exempt: a *View class is the view layer; its members are the borrowed
+// pointers by definition.
+struct SealedRecordView {
+  BytesView header;
+  BytesView body;
+};
+
+struct LeakyCache {
+  BytesView last_frame;               // finding: view member
+  std::vector<BytesView> history;     // finding: container of views
+  std::uint64_t hits = 0;
+};
+
+static BytesView g_last_seen;         // finding: view at static scope
+
+// Legal: a function returning a view hands it to the caller to consume.
+[[nodiscard]] BytesView peek_last();
+// Legal: an optional view as a return type is consumed, not stored.
+[[nodiscard]] std::optional<BytesView> maybe_peek();
+
+}  // namespace g2g::proto::relay

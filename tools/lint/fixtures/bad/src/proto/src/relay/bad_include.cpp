@@ -1,0 +1,11 @@
+// Fixture: the relay core reaching into forwarding policy and the bench
+// harness.
+#include "g2g/proto/g2g_epidemic.hpp"      // finding: policy header in relay core
+#include "bench/fig_common.hpp"            // finding: src/ may not include bench/
+#include "g2g/proto/relay/frames.hpp"      // legal: relay includes relay
+
+namespace g2g::proto::relay {
+
+int bad_include() { return 1; }
+
+}  // namespace g2g::proto::relay

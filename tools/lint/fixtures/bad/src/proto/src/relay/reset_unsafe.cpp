@@ -1,0 +1,31 @@
+// Fixture: arena-backed views read after the arena reset recycled their
+// bytes. Only view locals appear here — the owning-buffer rule has its own
+// fixture (owning_hot_path.cpp) with pinned counts.
+#include "g2g/proto/relay/state.hpp"
+
+namespace g2g::proto::relay {
+
+std::size_t use_after_reset(Session& s, const SealedMessage& msg) {
+  BytesView frame = arena_encode(s.arena(), msg);
+  s.arena().reset();
+  return frame.size();  // finding: the bytes were recycled
+}
+
+BytesView return_after_reset(Session& s, const SealedMessage& msg) {
+  BytesView por = arena_encode(s.arena(), msg);
+  s.wire_arena().reset();
+  return por;  // finding: returned past the reset
+}
+
+std::size_t conditional_reset(Session& s, const SealedMessage& msg, bool flush) {
+  BytesView view = arena_encode(s.arena(), msg);
+  if (flush) {
+    s.arena().reset();
+    return view.size();  // finding: still inside the reset's scope
+  }
+  // Clean: the conditional reset's scope closed, so the straight-line path
+  // down here is not poisoned.
+  return view.size();
+}
+
+}  // namespace g2g::proto::relay

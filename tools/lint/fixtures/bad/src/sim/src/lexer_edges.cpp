@@ -1,0 +1,21 @@
+// Fixture: lexical edge cases. Tokens hidden inside raw strings, ordinary
+// strings, and continued comments must not fire; the real tokens around
+// them must.
+namespace g2g::sim {
+
+// A raw string full of code-like text is data, not code.
+static const char* kDoc = R"doc(
+  call rand() or srand(7) here freely; mention random_device too —
+  none of it is code
+)doc";
+
+// A trailing backslash continues this comment onto the next line, so: \
+int hidden = rand();
+
+static const char* kUrl = "//not-a-comment"; int after_str = rand();  // finding: no-rand
+
+/* outer /* block comments do not nest */ int after_block = rand();  // finding: no-rand
+
+int after_raw() { return consume(random_device{}); }  // finding: no-random-device
+
+}  // namespace g2g::sim

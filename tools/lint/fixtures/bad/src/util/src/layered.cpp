@@ -1,0 +1,10 @@
+// Fixture: src/util reaching up the layer DAG and into the harness.
+#include "g2g/proto/wire.hpp"   // finding: util may not include proto
+#include "tests/helpers.hpp"    // finding: src/ may not include tests/
+#include "g2g/util/bytes.hpp"   // legal: in-module
+
+namespace g2g {
+
+int layered() { return 1; }
+
+}  // namespace g2g

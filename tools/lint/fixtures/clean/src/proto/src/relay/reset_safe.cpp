@@ -1,0 +1,30 @@
+// Fixture: view locals around arena resets, used correctly.
+#include "g2g/proto/relay/state.hpp"
+
+namespace g2g::proto::relay {
+
+std::size_t reassign_after_reset(Session& s, const SealedMessage& a, const SealedMessage& b) {
+  BytesView v = arena_encode(s.arena(), a);
+  const std::size_t first = v.size();
+  s.arena().reset();
+  v = arena_encode(s.arena(), b);  // re-encoded: points at live memory again
+  return first + v.size();
+}
+
+std::size_t consumed_before_reset(Session& s, const SealedMessage& msg) {
+  BytesView frame = arena_encode(s.arena(), msg);
+  const std::size_t n = frame.size();
+  s.arena().reset();
+  return n;
+}
+
+std::size_t scoped_reset(Session& s, const SealedMessage& msg, bool flush) {
+  BytesView view = arena_encode(s.arena(), msg);
+  if (flush) {
+    s.arena().reset();
+  }
+  // The conditional reset's scope closed; the straight-line path continues.
+  return view.size();
+}
+
+}  // namespace g2g::proto::relay

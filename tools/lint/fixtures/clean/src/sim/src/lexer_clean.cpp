@@ -1,0 +1,21 @@
+// Fixture: code-like text in every lexical hiding place; none of it is code
+// and none of it may fire.
+namespace g2g::sim {
+
+// Raw string with a custom delimiter; the inner )" does not end it.
+static const char* kShell = R"sh(
+  rand(); srand(42); random_device rd; system_clock::now(); getenv("HOME");
+  a close paren-quote: )" — still inside
+)sh";
+
+// A continued line comment swallows everything through the next line: \
+auto bad = std::random_device{}; system_clock::now(); rand();
+
+static const char* kProto = "// rand() in a string is data";
+static const char* kEsc = "quote \" then rand() still inside";
+
+/* a block comment
+   mentioning rand() and system_clock across lines */
+int lexer_clean() { return 1; }
+
+}  // namespace g2g::sim

@@ -1,0 +1,35 @@
+// Fixture: every legal way to hold a view.
+#pragma once
+
+namespace g2g {
+
+// A *View class is the view layer itself: members are exempt.
+struct FrameRecordView {
+  BytesView header;
+  BytesView payload;
+  std::vector<BytesView> chunks;
+};
+
+// A justified escape is recorded, not flagged.
+struct DecodeCursor {
+  // g2g-lint: allow(view-escape) -- transient cursor over caller-owned bytes
+  BytesView in_;
+  std::size_t pos_ = 0;
+};
+
+// Return types hand the view to the caller to consume.
+[[nodiscard]] BytesView peek();
+[[nodiscard]] std::optional<BytesView> maybe_peek();
+
+// Owning containers are what the rule asks for.
+struct OwnedLog {
+  std::vector<Bytes> frames;
+};
+
+// A local view inside a function is the intended idiom.
+inline std::size_t measure(const Wire& w, Arena& arena) {
+  BytesView v = arena_encode(arena, w);
+  return v.size();
+}
+
+}  // namespace g2g

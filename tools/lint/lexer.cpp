@@ -1,0 +1,303 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace g2g::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+/// Raw-string prefixes: the pending identifier at the opening quote.
+bool raw_prefix(const std::string& tok) {
+  return tok == "R" || tok == "u8R" || tok == "uR" || tok == "LR";
+}
+
+/// Two-character punctuators kept as single tokens. `>>` is deliberately
+/// absent: emitting two `>` tokens makes template-angle matching work the
+/// same way the C++ grammar resolves nested closes.
+bool two_char_punct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    case '+': return b == '+' || b == '=';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    default: return false;
+  }
+}
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  enum class State { Code, Directive, LineComment, BlockComment, Str, Char, RawStr };
+  LexedFile out;
+  State state = State::Code;
+  SplitLine cur;
+  std::string tok;                 // pending identifier/number spelling
+  TokKind tok_kind = TokKind::Ident;
+  std::size_t tok_line = 1;
+  std::size_t line = 1;
+  std::string raw_close;           // ")delim\"" terminating the active raw string
+  bool line_has_code = false;      // any non-ws code emitted on this physical line
+
+  const auto flush_tok = [&] {
+    if (!tok.empty()) {
+      out.tokens.push_back({tok_kind, tok, tok_line});
+      tok.clear();
+    }
+  };
+  const auto flush_line = [&] {
+    out.lines.push_back(std::move(cur));
+    cur = SplitLine{};
+    ++line;
+    line_has_code = false;
+  };
+  const auto emit_code = [&](char c) {
+    cur.code_blanked += c;
+    cur.code += c;
+    if (!std::isspace(static_cast<unsigned char>(c))) line_has_code = true;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '\\' && n == '\n') {
+          // Line splice: the logical line (and any pending token) continues.
+          ++i;
+          flush_line();
+          continue;
+        }
+        if (c == '\n') {
+          flush_tok();
+          flush_line();
+          continue;
+        }
+        if (c == '/' && n == '/') {
+          flush_tok();
+          state = State::LineComment;
+          ++i;
+          continue;
+        }
+        if (c == '/' && n == '*') {
+          flush_tok();
+          state = State::BlockComment;
+          ++i;
+          continue;
+        }
+        if (c == '#' && !line_has_code && tok.empty()) {
+          emit_code(c);
+          state = State::Directive;
+          continue;
+        }
+        if (c == '"') {
+          if (raw_prefix(tok)) {
+            // R"delim( ... )delim" — no escapes, no splices inside.
+            tok.clear();
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '"' &&
+                   text[j] != '\n' && text[j] != '\\' && delim.size() < 16) {
+              delim += text[j];
+              ++j;
+            }
+            if (j < text.size() && text[j] == '(') {
+              cur.code_blanked += '"';
+              cur.code += '"';
+              cur.code += delim;
+              cur.code += '(';
+              line_has_code = true;
+              raw_close = ")" + delim + "\"";
+              out.tokens.push_back({TokKind::Str, "R\"" + delim + "(", line});
+              i = j;  // consume the delimiter and '('
+              state = State::RawStr;
+              continue;
+            }
+            // Malformed raw prefix: fall through as an ordinary string.
+          }
+          flush_tok();
+          out.tokens.push_back({TokKind::Str, "\"", line});
+          cur.code_blanked += '"';
+          cur.code += '"';
+          line_has_code = true;
+          state = State::Str;
+          continue;
+        }
+        if (c == '\'') {
+          if (!tok.empty() && tok_kind == TokKind::Number) {
+            tok += c;  // digit separator: 1'000'000
+            emit_code(c);
+            continue;
+          }
+          flush_tok();
+          out.tokens.push_back({TokKind::CharLit, "'", line});
+          cur.code_blanked += '\'';
+          cur.code += '\'';
+          line_has_code = true;
+          state = State::Char;
+          continue;
+        }
+        if (ident_start(c) || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+          if (tok.empty()) {
+            tok_kind = std::isdigit(static_cast<unsigned char>(c)) != 0 ? TokKind::Number
+                                                                        : TokKind::Ident;
+            tok_line = line;
+          }
+          tok += c;
+          emit_code(c);
+          continue;
+        }
+        flush_tok();
+        if (two_char_punct(c, n)) {
+          out.tokens.push_back({TokKind::Punct, std::string{c, n}, line});
+          emit_code(c);
+          emit_code(n);
+          ++i;
+          continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+          out.tokens.push_back({TokKind::Punct, std::string(1, c), line});
+        }
+        emit_code(c);
+        continue;
+
+      case State::Directive:
+        // The whole logical line is swallowed; no tokens are emitted, so a
+        // macro body or include path never looks like a declaration.
+        if (c == '\\' && n == '\n') {
+          ++i;
+          flush_line();
+          continue;
+        }
+        if (c == '\n') {
+          state = State::Code;
+          flush_line();
+          continue;
+        }
+        if (c == '/' && n == '/') {
+          state = State::LineComment;
+          ++i;
+          continue;
+        }
+        if (c == '/' && n == '*') {
+          state = State::BlockComment;  // returns to Code; good enough for directives
+          ++i;
+          continue;
+        }
+        if (c == '"' || c == '\'') {
+          // Blank quoted contents exactly like ordinary code so token rules
+          // never see a path or macro string.
+          const char quote = c;
+          cur.code_blanked += quote;
+          cur.code += quote;
+          ++i;
+          for (; i < text.size(); ++i) {
+            const char d = text[i];
+            if (d == '\n' || d == quote) break;
+            cur.code += d;
+            cur.code_blanked += ' ';
+          }
+          if (i < text.size() && text[i] == quote) {
+            cur.code_blanked += quote;
+            cur.code += quote;
+          } else {
+            state = State::Code;
+            flush_line();
+          }
+          continue;
+        }
+        emit_code(c);
+        continue;
+
+      case State::LineComment:
+        if (c == '\\' && n == '\n') {
+          // A trailing backslash continues the comment onto the next line.
+          ++i;
+          flush_line();
+          continue;
+        }
+        if (c == '\n') {
+          state = State::Code;
+          flush_line();
+          continue;
+        }
+        cur.comment += c;
+        continue;
+
+      case State::BlockComment:
+        if (c == '*' && n == '/') {
+          state = State::Code;
+          ++i;
+          continue;
+        }
+        if (c == '\n') {
+          flush_line();
+          continue;
+        }
+        cur.comment += c;
+        continue;
+
+      case State::Str:
+      case State::Char: {
+        const char quote = state == State::Str ? '"' : '\'';
+        if (c == '\\' && n == '\n') {
+          ++i;  // splice inside a literal: the literal continues
+          flush_line();
+          continue;
+        }
+        if (c == '\\' && n != '\0') {
+          cur.code += c;
+          cur.code += n;
+          cur.code_blanked += "  ";
+          ++i;
+          continue;
+        }
+        if (c == '\n') {
+          // Unterminated literal: bail back to code (the compiler would
+          // reject it; the lint must not derail on one bad line).
+          state = State::Code;
+          flush_line();
+          continue;
+        }
+        cur.code += c;
+        if (c == quote) {
+          cur.code_blanked += quote;
+          state = State::Code;
+        } else {
+          cur.code_blanked += ' ';
+        }
+        continue;
+      }
+
+      case State::RawStr:
+        if (text.compare(i, raw_close.size(), raw_close) == 0) {
+          cur.code += raw_close;
+          cur.code_blanked += '"';
+          line_has_code = true;
+          i += raw_close.size() - 1;
+          state = State::Code;
+          continue;
+        }
+        if (c == '\n') {
+          flush_line();
+          continue;
+        }
+        cur.code += c;
+        cur.code_blanked += ' ';
+        continue;
+    }
+  }
+  flush_tok();
+  out.lines.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace g2g::lint

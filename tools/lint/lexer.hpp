@@ -1,0 +1,42 @@
+// g2g-lint lexical layer: one pass over a source file produces both the
+// token stream (scope tracking, semantic rules) and the per-physical-line
+// split strings (ported line rules, pragma collection).
+//
+// The scanner understands the lexical constructs a line-oriented pass
+// cannot: raw string literals with custom delimiters (R"x(...)x"), line
+// continuations in code, string literals, *and* line comments (a trailing
+// backslash extends the comment), escape sequences, and block comments
+// (which do not nest — standard C++). Preprocessor directives are kept out
+// of the token stream entirely so an #include path or a macro body can
+// never be mistaken for declarations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace g2g::lint {
+
+enum class TokKind { Ident, Number, Str, CharLit, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;   ///< spelling; literals keep their raw quoted text
+  std::size_t line;   ///< 1-based physical line the token starts on
+};
+
+/// Per physical line, the three projections the line rules consume.
+struct SplitLine {
+  std::string code_blanked;  ///< comments removed, string/char contents blanked
+  std::string code;          ///< comments removed, literal contents kept
+  std::string comment;       ///< comment text only
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<SplitLine> lines;
+};
+
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+}  // namespace g2g::lint

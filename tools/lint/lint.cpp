@@ -1,520 +1,23 @@
+// g2g-lint v2 driver: one lexical pass per file (lexer.cpp) feeds the scope
+// tracker (scope.cpp), the pragma table (pragma.cpp), and every per-file
+// rule (rules_text.cpp, rules_semantic.cpp, rules_include.cpp); the
+// whole-repo coverage rules (rules_repo.cpp) run once at the end.
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
-#include <map>
-#include <regex>
-#include <set>
 #include <sstream>
+
+#include "lint_internal.hpp"
 
 namespace g2g::lint {
 
 namespace {
 
 namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Lexical split: per line, the code with string contents blanked (token
-// rules), the code with string contents kept (counter-name rule), and the
-// comment text (pragmas). Block comments and literals are tracked across
-// lines; raw strings are treated as ordinary strings, which is safe for the
-// rules here (worst case a token inside a raw string is blanked).
-// ---------------------------------------------------------------------------
-
-struct SplitLine {
-  std::string code_blanked;  ///< comments removed, string/char contents blanked
-  std::string code;          ///< comments removed, literals kept
-  std::string comment;       ///< comment text only
-};
-
-std::vector<SplitLine> split_lines(const std::string& text) {
-  enum class State { Code, String, Char, LineComment, BlockComment };
-  State state = State::Code;
-  std::vector<SplitLine> lines;
-  SplitLine cur;
-  const auto flush = [&] {
-    lines.push_back(std::move(cur));
-    cur = SplitLine{};
-  };
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char n = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::LineComment) state = State::Code;
-      // Unterminated string at end of line: bail back to code (the compiler
-      // would reject it anyway; the lint must not derail on one bad line).
-      if (state == State::String || state == State::Char) state = State::Code;
-      flush();
-      continue;
-    }
-    switch (state) {
-      case State::Code:
-        if (c == '/' && n == '/') {
-          state = State::LineComment;
-          ++i;
-        } else if (c == '/' && n == '*') {
-          state = State::BlockComment;
-          ++i;
-        } else if (c == '"') {
-          state = State::String;
-          cur.code_blanked += '"';
-          cur.code += '"';
-        } else if (c == '\'') {
-          state = State::Char;
-          cur.code_blanked += '\'';
-          cur.code += '\'';
-        } else {
-          cur.code_blanked += c;
-          cur.code += c;
-        }
-        break;
-      case State::String:
-      case State::Char: {
-        cur.code += c;
-        const char quote = state == State::String ? '"' : '\'';
-        if (c == '\\' && n != '\0' && n != '\n') {
-          cur.code_blanked += ' ';
-          cur.code += n;
-          cur.code_blanked += ' ';
-          ++i;
-        } else if (c == quote) {
-          cur.code_blanked += quote;
-          state = State::Code;
-        } else {
-          cur.code_blanked += ' ';
-        }
-        break;
-      }
-      case State::LineComment:
-        cur.comment += c;
-        break;
-      case State::BlockComment:
-        if (c == '*' && n == '/') {
-          state = State::Code;
-          ++i;
-        } else {
-          cur.comment += c;
-        }
-        break;
-    }
-  }
-  flush();
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Pragmas: "g2g-lint: allow(rule-a, rule-b) -- justification". The allow
-// covers its own line and the next one (the idiom is a comment line directly
-// above the flagged statement). A missing justification is itself a finding.
-// ---------------------------------------------------------------------------
-
-struct PragmaTable {
-  // line (1-based) -> rules allowed on that line
-  std::map<std::size_t, std::set<std::string>> allowed;
-  std::vector<Finding> malformed;
-};
-
-PragmaTable collect_pragmas(const std::string& rel_path,
-                            const std::vector<SplitLine>& lines) {
-  static const std::regex kPragma(
-      R"(g2g-lint\s*:\s*allow\s*\(([^)]*)\)\s*(?:--\s*(\S.*))?)");
-  PragmaTable table;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(lines[i].comment, m, kPragma)) continue;
-    const std::size_t line_no = i + 1;
-    if (!m[2].matched) {
-      table.malformed.push_back(
-          {rel_path, line_no, "allow-without-justification",
-           "allow(...) pragma needs a reason: \"// g2g-lint: allow(rule) -- why\""});
-      continue;
-    }
-    std::set<std::string> rules;
-    std::stringstream list(m[1].str());
-    std::string rule;
-    while (std::getline(list, rule, ',')) {
-      const auto b = rule.find_first_not_of(" \t");
-      const auto e = rule.find_last_not_of(" \t");
-      if (b != std::string::npos) rules.insert(rule.substr(b, e - b + 1));
-    }
-    // The allow covers the pragma's own line, and — when the pragma is a
-    // standalone comment (possibly with the justification wrapping onto
-    // further comment lines) — the next line that carries code.
-    const auto has_code = [&](std::size_t idx) {
-      return lines[idx].code_blanked.find_first_not_of(" \t") != std::string::npos;
-    };
-    std::size_t target = line_no;
-    if (!has_code(i)) {
-      for (std::size_t j = i + 1; j < lines.size(); ++j) {
-        if (has_code(j)) {
-          target = j + 1;
-          break;
-        }
-      }
-    }
-    table.allowed[line_no].insert(rules.begin(), rules.end());
-    table.allowed[target].insert(rules.begin(), rules.end());
-  }
-  return table;
-}
-
-bool is_allowed(const PragmaTable& table, std::size_t line, const std::string& rule) {
-  const auto it = table.allowed.find(line);
-  return it != table.allowed.end() && it->second.count(rule) > 0;
-}
-
-// ---------------------------------------------------------------------------
-// Rule scopes. Paths are relative to the scanned root with '/' separators.
-// ---------------------------------------------------------------------------
-
-bool in_src(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
-bool in_tests(const std::string& rel) { return rel.rfind("tests/", 0) == 0; }
-bool in_obs(const std::string& rel) { return rel.rfind("src/obs/", 0) == 0; }
-bool in_proto_headers(const std::string& rel) {
-  return rel.rfind("src/proto/include/", 0) == 0;
-}
-
-bool is_header(const std::string& rel) {
-  return rel.size() > 4 && (rel.ends_with(".hpp") || rel.ends_with(".h"));
-}
-
-struct TokenRule {
-  const char* rule;
-  std::regex pattern;
-  const char* message;
-  bool applies_to_tests;
-};
-
-const std::vector<TokenRule>& token_rules() {
-  static const std::vector<TokenRule> rules = [] {
-    std::vector<TokenRule> r;
-    r.push_back({"no-rand", std::regex(R"(\b(?:srand|rand)\s*\()"),
-                 "libc rand()/srand() is nondeterministic across platforms; use g2g::Rng",
-                 true});
-    r.push_back({"no-random-device",
-                 std::regex(R"(\brandom_device\b)"),
-                 "std::random_device breaks seed reproducibility; use g2g::Rng",
-                 true});
-    r.push_back({"no-wall-clock",
-                 std::regex(R"(\bsystem_clock\b|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstd\s*::\s*time\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))"),
-                 "wall-clock reads make runs non-replayable; use sim TimePoint "
-                 "(steady_clock is fine for profiling)",
-                 false});
-    r.push_back({"no-getenv", std::regex(R"(\bgetenv\b)"),
-                 "environment reads hide run configuration; thread it through "
-                 "ExperimentConfig",
-                 false});
-    return r;
-  }();
-  return rules;
-}
-
-const std::set<std::string>& registered_counter_prefixes() {
-  // The counter namespace of docs/OBSERVABILITY.md. New areas are added here
-  // deliberately, in the same commit that documents them.
-  static const std::set<std::string> prefixes = {
-      "buffer.", "detect.", "fastpath.", "g2g.", "hs.",
-      "msg.",    "pom.",    "session.",  "wire.",
-  };
-  return prefixes;
-}
-
-const std::set<std::string>& registered_span_names() {
-  // The span/stage name set of docs/OBSERVABILITY.md ("Spans & causal
-  // tracing") and src/obs/include/g2g/obs/span.hpp; the three lists are kept
-  // in sync deliberately, in the same commit.
-  static const std::set<std::string> names = {
-      // spans
-      "msg", "relay_session", "audit_round", "pom_gossip",
-      // stages
-      "trace_gen", "communities", "warm_up", "simulation",
-      "pom_batch_verify", "extraction",
-  };
-  return names;
-}
-
-// ---------------------------------------------------------------------------
-// Per-file scanning.
-// ---------------------------------------------------------------------------
-
-void scan_tokens(const std::string& rel, const std::vector<SplitLine>& lines,
-                 const PragmaTable& pragmas, std::vector<Finding>& out) {
-  const bool src = in_src(rel);
-  const bool tests = in_tests(rel);
-  if (!src && !tests) return;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (const TokenRule& rule : token_rules()) {
-      if (tests && !rule.applies_to_tests) continue;
-      if (!std::regex_search(lines[i].code_blanked, rule.pattern)) continue;
-      if (is_allowed(pragmas, i + 1, rule.rule)) continue;
-      out.push_back({rel, i + 1, rule.rule, rule.message});
-    }
-  }
-}
-
-void scan_unordered_iteration(const std::string& rel,
-                              const std::vector<SplitLine>& lines,
-                              const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_src(rel)) return;
-  // Pass 1: names declared (in this file) with an unordered container type.
-  static const std::regex kDecl(R"(unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*[;{=(])");
-  std::set<std::string> unordered_names;
-  for (const SplitLine& line : lines) {
-    auto begin = std::sregex_iterator(line.code_blanked.begin(),
-                                      line.code_blanked.end(), kDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      unordered_names.insert((*it)[1].str());
-    }
-  }
-  if (unordered_names.empty()) return;
-  // Pass 2: range-for over, or begin() iteration of, one of those names.
-  static const std::regex kRangeFor(R"(for\s*\([^)]*:\s*(\w+)\s*\))");
-  static const std::regex kBegin(R"((\w+)\s*\.\s*c?begin\s*\()");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (const auto* pattern : {&kRangeFor, &kBegin}) {
-      auto begin = std::sregex_iterator(lines[i].code_blanked.begin(),
-                                        lines[i].code_blanked.end(), *pattern);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const std::string name = (*it)[1].str();
-        if (unordered_names.count(name) == 0) continue;
-        if (is_allowed(pragmas, i + 1, "no-unordered-iter")) continue;
-        out.push_back({rel, i + 1, "no-unordered-iter",
-                       "iteration over unordered container '" + name +
-                           "' has unspecified order; use std::map or sort first"});
-      }
-    }
-  }
-}
-
-void scan_wire_triple(const std::string& rel, const std::vector<SplitLine>& lines,
-                      const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_proto_headers(rel) || !is_header(rel)) return;
-  // Whole-file scan over blanked code: find each struct/class body and check
-  // that encode() is accompanied by decode() and wire_size().
-  std::string text;
-  std::vector<std::size_t> line_of_offset(1, 1);
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    text += lines[i].code_blanked;
-    text += '\n';
-    line_of_offset.push_back(i + 2);
-  }
-  static const std::regex kStruct(R"((?:struct|class)\s+(\w+)[^;{]*\{)");
-  for (auto it = std::sregex_iterator(text.begin(), text.end(), kStruct);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t open = static_cast<std::size_t>(it->position()) +
-                             static_cast<std::size_t>(it->length()) - 1;
-    // Matching close brace.
-    std::size_t depth = 0;
-    std::size_t close = text.size();
-    for (std::size_t p = open; p < text.size(); ++p) {
-      if (text[p] == '{') ++depth;
-      if (text[p] == '}' && --depth == 0) {
-        close = p;
-        break;
-      }
-    }
-    const std::string body = text.substr(open, close - open);
-    static const std::regex kEncode(R"(\bencode\s*\(\s*\)\s*const)");
-    static const std::regex kDecode(R"(\bdecode\s*\()");
-    static const std::regex kWireSize(R"(\bwire_size\s*\(\s*\)\s*const)");
-    if (!std::regex_search(body, kEncode)) continue;
-    std::string missing;
-    if (!std::regex_search(body, kDecode)) missing = "decode()";
-    if (!std::regex_search(body, kWireSize)) {
-      if (!missing.empty()) missing += " and ";
-      missing += "wire_size()";
-    }
-    if (missing.empty()) continue;
-    const std::size_t line =
-        line_of_offset[static_cast<std::size_t>(
-            std::count(text.begin(), text.begin() + it->position(), '\n'))];
-    if (is_allowed(pragmas, line, "wire-encode-triple")) continue;
-    out.push_back({rel, line, "wire-encode-triple",
-                   "'" + (*it)[1].str() + "' declares encode() but not " + missing +
-                       "; every wire type carries the full codec triple"});
-  }
-}
-
-void scan_counters(const std::string& rel, const std::vector<SplitLine>& lines,
-                   const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_src(rel)) return;
-  static const std::regex kCall(R"(\b(?:counter|histogram)\s*\(\s*"([^"]*)\")");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    auto begin = std::sregex_iterator(lines[i].code.begin(), lines[i].code.end(), kCall);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1].str();
-      const auto& prefixes = registered_counter_prefixes();
-      const bool ok = std::any_of(prefixes.begin(), prefixes.end(),
-                                  [&](const std::string& p) {
-                                    return name.rfind(p, 0) == 0;
-                                  });
-      if (ok) continue;
-      if (is_allowed(pragmas, i + 1, "counter-name-prefix")) continue;
-      out.push_back({rel, i + 1, "counter-name-prefix",
-                     "counter/histogram name '" + name +
-                         "' lacks a registered area prefix (see "
-                         "docs/STATIC_ANALYSIS.md)"});
-    }
-  }
-}
-
-void scan_span_names(const std::string& rel, const std::vector<SplitLine>& lines,
-                     const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_src(rel)) return;
-  // Three emission sites carry span/stage names as string literals:
-  // Tracer::open_span("..."), obs::StageTimer t(stages, "..."), and
-  // StageRegistry::add("..."). Call sites must keep the name literal (no
-  // constants) precisely so this rule can see it.
-  static const std::regex kOpenSpan(R"(\bopen_span\s*\([^"]*"([^"]*)\")");
-  static const std::regex kStageTimer(R"(\bStageTimer\s+\w+\s*\([^"]*"([^"]*)\")");
-  static const std::regex kStagesAdd(R"(\bstages\s*\.\s*add\s*\(\s*"([^"]*)\")");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    for (const auto* pattern : {&kOpenSpan, &kStageTimer, &kStagesAdd}) {
-      auto begin =
-          std::sregex_iterator(lines[i].code.begin(), lines[i].code.end(), *pattern);
-      for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const std::string name = (*it)[1].str();
-        if (registered_span_names().count(name) > 0) continue;
-        if (is_allowed(pragmas, i + 1, "span-name-registry")) continue;
-        out.push_back({rel, i + 1, "span-name-registry",
-                       "span/stage name '" + name +
-                           "' is not in the registered set (see "
-                           "docs/OBSERVABILITY.md and g2g/obs/span.hpp)"});
-      }
-    }
-  }
-}
-
-void scan_adhoc_atomics(const std::string& rel, const std::vector<SplitLine>& lines,
-                        const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_src(rel) || in_obs(rel)) return;
-  static const std::regex kAtomic(R"(\bstd\s*::\s*atomic\b)");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (!std::regex_search(lines[i].code_blanked, kAtomic)) continue;
-    if (is_allowed(pragmas, i + 1, "no-adhoc-atomic")) continue;
-    out.push_back({rel, i + 1, "no-adhoc-atomic",
-                   "std::atomic outside src/obs — protocol counters go through "
-                   "obs::Registry; justify infrastructure atomics with an allow "
-                   "pragma"});
-  }
-}
-
-// Owning buffers on the relay hot path: the zero-copy message path encodes
-// into the session arena (g2g/util/arena.hpp) and decodes through non-owning
-// views, so constructing Bytes / std::vector<uint8_t> / Writer inside
-// src/proto/src/relay/ reintroduces per-hop heap traffic. Genuinely cold
-// paths (PoM gossip dedup, the deferred heavy-HMAC hand-off, whose inputs
-// must outlive the arena generation) justify themselves with an allow pragma.
-bool in_relay_hot_path(const std::string& rel) {
-  return rel.rfind("src/proto/src/relay/", 0) == 0 && !is_header(rel);
-}
-
-void scan_owning_buffer_hot_path(const std::string& rel,
-                                 const std::vector<SplitLine>& lines,
-                                 const PragmaTable& pragmas, std::vector<Finding>& out) {
-  if (!in_relay_hot_path(rel)) return;
-  // Owning-buffer constructions only: `Bytes name …`, a `Bytes(...)`
-  // temporary, a raw byte vector, or an owning Writer. Return types
-  // (`Bytes X::encode()`), references (`const Bytes&`), and the non-owning
-  // BytesView/SpanWriter types do not match.
-  static const std::regex kOwning(
-      R"(\bBytes\s+\w+\s*[({=;]|\bBytes\s*\(|std::vector<\s*(?:std::)?uint8_t\s*>|\bWriter\s+\w+)");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (!std::regex_search(lines[i].code_blanked, kOwning)) continue;
-    if (is_allowed(pragmas, i + 1, "no-owning-buffer-hot-path")) continue;
-    out.push_back({rel, i + 1, "no-owning-buffer-hot-path",
-                   "owning buffer construction on the relay hot path; encode into "
-                   "the session arena and decode through views (DESIGN.md \"Buffer "
-                   "ownership\"), or justify a cold path with an allow pragma"});
-  }
-}
-
-// Frame catalogue completeness: every struct *Frame in relay/frames.hpp must
-// be exercised by the decoder fuzz suite.
-void scan_frame_fuzz_coverage(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path frames = root / "src/proto/include/g2g/proto/relay/frames.hpp";
-  if (!fs::exists(frames)) return;  // repo layout without a relay layer
-  std::ifstream in(frames);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  std::string fuzz_text;
-  const fs::path fuzz = root / "tests/fuzz_decode_test.cpp";
-  if (fs::exists(fuzz)) {
-    std::ifstream fin(fuzz);
-    std::stringstream fbuf;
-    fbuf << fin.rdbuf();
-    fuzz_text = fbuf.str();
-  }
-
-  static const std::regex kFrame(R"(struct\s+(\w+Frame)\b)");
-  for (auto it = std::sregex_iterator(text.begin(), text.end(), kFrame);
-       it != std::sregex_iterator(); ++it) {
-    const std::string name = (*it)[1].str();
-    if (fuzz_text.find(name) != std::string::npos) continue;
-    const auto line = static_cast<std::size_t>(
-                          std::count(text.begin(), text.begin() + it->position(), '\n')) +
-                      1;
-    out.push_back({"src/proto/include/g2g/proto/relay/frames.hpp", line,
-                   "frame-fuzz-coverage",
-                   "frame '" + name +
-                       "' is not exercised by tests/fuzz_decode_test.cpp; every "
-                       "decoder must survive the fuzz corpus"});
-  }
-}
-
-// Differential-oracle completeness: every function declared in a src/crypto
-// header that takes a modulus parameter (`const U256& m`/`modulus` or
-// `const MontgomeryParams& params`) must be named in the Montgomery-vs-classic
-// corpus in tests/crypto_fastpath_diff_test.cpp, so a future fast-path kernel
-// cannot land without a pinned comparison against the schoolbook oracle.
-void scan_mod_param_diff_coverage(const fs::path& root, std::vector<Finding>& out) {
-  const fs::path include = root / "src/crypto/include";
-  if (!fs::exists(include)) return;  // repo layout without the crypto layer
-
-  std::string corpus_text;
-  const fs::path corpus = root / "tests/crypto_fastpath_diff_test.cpp";
-  if (fs::exists(corpus)) {
-    std::ifstream in(corpus);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    corpus_text = buf.str();
-  }
-
-  static const std::regex kModFn(
-      R"((\w+)\s*\([^)]*const\s+(?:U256|MontgomeryParams)\s*&\s*(?:modulus|params|m)\s*[,)])");
-  std::vector<fs::path> headers;
-  for (const auto& entry : fs::recursive_directory_iterator(include)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
-      headers.push_back(entry.path());
-    }
-  }
-  std::sort(headers.begin(), headers.end());
-  for (const fs::path& header : headers) {
-    std::ifstream in(header);
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
-    const std::string rel = fs::relative(header, root).generic_string();
-    std::set<std::string> reported;
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), kModFn);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1].str();
-      if (corpus_text.find(name) != std::string::npos) continue;
-      if (!reported.insert(name).second) continue;
-      const auto line = static_cast<std::size_t>(
-                            std::count(text.begin(), text.begin() + it->position(), '\n')) +
-                        1;
-      out.push_back({rel, line, "mod-param-diff-coverage",
-                     "'" + name +
-                         "' takes a modulus parameter but is not named in the "
-                         "differential corpus (tests/crypto_fastpath_diff_test.cpp); "
-                         "modular kernels must be pinned to the classic oracle"});
-    }
-  }
-}
+namespace li = internal;
 
 std::vector<fs::path> collect_files(const fs::path& root) {
   std::vector<fs::path> files;
@@ -535,55 +38,156 @@ std::vector<fs::path> collect_files(const fs::path& root) {
   return files;
 }
 
+template <typename Record>
+void sort_records(std::vector<Record>& records) {
+  std::sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_record(std::string& out, const std::string& file, std::size_t line,
+                 const std::string& rule, const std::string& message,
+                 const std::string& justification) {
+  out += "    {\"file\": \"";
+  json_escape(out, file);
+  out += "\", \"line\": " + std::to_string(line) + ", \"rule\": \"";
+  json_escape(out, rule);
+  out += "\", \"message\": \"";
+  json_escape(out, message);
+  out += "\", \"justification\": \"";
+  json_escape(out, justification);
+  out += "\"}";
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "no-rand",           "no-random-device",
-      "no-wall-clock",     "no-getenv",
-      "no-unordered-iter", "wire-encode-triple",
-      "frame-fuzz-coverage", "mod-param-diff-coverage",
-      "counter-name-prefix", "span-name-registry",
-      "no-adhoc-atomic",     "no-owning-buffer-hot-path",
-      "allow-without-justification",
+      // determinism
+      "no-rand", "no-random-device", "no-wall-clock", "no-getenv",
+      "no-unordered-iter",
+      // wire
+      "wire-encode-triple", "frame-fuzz-coverage", "mod-param-diff-coverage",
+      "no-owning-buffer-hot-path",
+      // lifetime
+      "view-escape", "arena-reset-safety",
+      // layering
+      "include-layering",
+      // counters & tracing
+      "counter-name-prefix", "span-name-registry", "no-adhoc-atomic",
+      // pragma hygiene
+      "allow-without-justification", "allow-unknown-rule",
   };
   return ids;
 }
 
-std::vector<Finding> run_lint(const Options& options) {
-  std::vector<Finding> findings;
+Report run_report(const Options& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Report report;
   const fs::path root = fs::absolute(options.root);
   for (const fs::path& path : collect_files(root)) {
     std::ifstream in(path);
     std::stringstream buf;
     buf << in.rdbuf();
-    const std::vector<SplitLine> lines = split_lines(buf.str());
+    const LexedFile lexed = lex(buf.str());
+    const ScopeMap scopes = build_scopes(lexed.tokens);
     const std::string rel = fs::relative(path, root).generic_string();
+    ++report.files_scanned;
 
-    const PragmaTable pragmas = collect_pragmas(rel, lines);
-    findings.insert(findings.end(), pragmas.malformed.begin(), pragmas.malformed.end());
+    const PragmaTable pragmas = collect_pragmas(rel, lexed.lines);
+    // Pragma hygiene findings are never themselves suppressible.
+    report.findings.insert(report.findings.end(), pragmas.parse_findings.begin(),
+                           pragmas.parse_findings.end());
 
-    scan_tokens(rel, lines, pragmas, findings);
-    scan_unordered_iteration(rel, lines, pragmas, findings);
-    scan_wire_triple(rel, lines, pragmas, findings);
-    scan_counters(rel, lines, pragmas, findings);
-    scan_span_names(rel, lines, pragmas, findings);
-    scan_adhoc_atomics(rel, lines, pragmas, findings);
-    scan_owning_buffer_hot_path(rel, lines, pragmas, findings);
+    const li::FileContext ctx{rel, lexed, scopes};
+    li::Sink sink(rel, pragmas, report.findings, report.suppressed);
+    li::scan_tokens(ctx, sink);
+    li::scan_unordered_iteration(ctx, sink);
+    li::scan_wire_triple(ctx, sink);
+    li::scan_counters(ctx, sink);
+    li::scan_span_names(ctx, sink);
+    li::scan_adhoc_atomics(ctx, sink);
+    li::scan_owning_buffer_hot_path(ctx, sink);
+    li::scan_view_escape(ctx, sink);
+    li::scan_arena_reset_safety(ctx, sink);
+    li::scan_include_layering(ctx, sink);
   }
-  scan_frame_fuzz_coverage(root, findings);
-  scan_mod_param_diff_coverage(root, findings);
+  li::scan_frame_fuzz_coverage(root, report.findings);
+  li::scan_mod_param_diff_coverage(root, report.findings);
 
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return findings;
+  sort_records(report.findings);
+  sort_records(report.suppressed);
+  for (const std::string& rule : rule_ids()) report.rule_counts[rule] = 0;
+  for (const Finding& f : report.findings) ++report.rule_counts[f.rule];
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+std::vector<Finding> run_lint(const Options& options) {
+  return run_report(options).findings;
 }
 
 std::string format(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+std::string to_json(const Report& report) {
+  std::string out = "{\n  \"schema\": \"g2g-lint/v2\",\n  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    json_record(out, f.file, f.line, f.rule, f.message, "");
+  }
+  out += report.findings.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"suppressed\": [";
+  for (std::size_t i = 0; i < report.suppressed.size(); ++i) {
+    const Suppression& s = report.suppressed[i];
+    out += i == 0 ? "\n" : ",\n";
+    json_record(out, s.file, s.line, s.rule, s.message, s.justification);
+  }
+  out += report.suppressed.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"summary\": {\"files_scanned\": " + std::to_string(report.files_scanned) +
+         ", \"findings\": " + std::to_string(report.findings.size()) +
+         ", \"suppressed\": " + std::to_string(report.suppressed.size()) +
+         ", \"wall_ms\": ";
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.1f", report.wall_ms);
+  out += wall;
+  out += ", \"rules\": {";
+  bool first = true;
+  for (const auto& [rule, count] : report.rule_counts) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    json_escape(out, rule);
+    out += "\": " + std::to_string(count);
+  }
+  out += "}}\n}\n";
+  return out;
 }
 
 }  // namespace g2g::lint

@@ -1,14 +1,17 @@
 // g2g-lint: repo-specific static analysis for the Give2Get reproduction.
 //
-// The checker enforces the invariants the test suite can only pin
-// dynamically — deterministic simulation output and a complete wire-frame
-// catalogue — at analysis time, before a 25-second bit-identity diff gets a
-// chance to fail. Three rule families (docs/STATIC_ANALYSIS.md is the
-// user-facing catalogue):
+// v2 engine: one lexical pass per file produces a token stream plus
+// per-line comment/code/blanked projections (lexer.hpp); a brace/paren
+// scope tracker classifies every scope (scope.hpp); rules run over
+// whichever representation fits. Four rule families
+// (docs/STATIC_ANALYSIS.md is the user-facing catalogue):
 //
 //   determinism   no-rand, no-random-device, no-wall-clock, no-getenv,
 //                 no-unordered-iter
-//   wire          wire-encode-triple, frame-fuzz-coverage
+//   wire          wire-encode-triple, frame-fuzz-coverage,
+//                 no-owning-buffer-hot-path, mod-param-diff-coverage
+//   lifetime      view-escape, arena-reset-safety
+//   layering      include-layering
 //   counters      counter-name-prefix, span-name-registry, no-adhoc-atomic
 //
 // A finding is suppressed by a justified pragma on the same line or the
@@ -16,14 +19,15 @@
 //
 //   // g2g-lint: allow(no-getenv) -- process-level toggle, never per-run
 //
-// The justification after `--` is mandatory; an allow() without one is
-// itself a finding (allow-without-justification). The scanner is
-// line-oriented (comments and string literals are tracked, tokens are
-// matched with word boundaries); it trades full C++ parsing for zero
-// dependencies and a runtime of milliseconds over the whole tree.
+// The justification after `--` is mandatory (allow-without-justification)
+// and every named rule must exist in the catalogue (allow-unknown-rule).
+// Suppressions are recorded, not discarded: the JSON report carries every
+// allowed finding with its justification, so pragma debt stays auditable.
 #pragma once
 
+#include <cstddef>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,18 +40,44 @@ struct Finding {
   std::string message;
 };
 
+/// A finding that a justified allow() pragma suppressed.
+struct Suppression {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string justification;
+};
+
 struct Options {
   /// Repository root; `<root>/src` and `<root>/tests` are scanned.
   std::filesystem::path root;
 };
 
-/// All rule identifiers, for --list-rules and the self-test.
+struct Report {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressed;
+  /// Every catalogue rule -> finding count (zeros included, keys sorted).
+  std::map<std::string, std::size_t> rule_counts;
+  std::size_t files_scanned = 0;
+  double wall_ms = 0.0;
+};
+
+/// All rule identifiers, for --list-rules, pragma validation, and the
+/// self-test.
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
-/// Scan the tree and return every finding, ordered by (file, line).
+/// Scan the tree: findings, suppressions, per-rule counts, wall time.
+[[nodiscard]] Report run_report(const Options& options);
+
+/// Findings only, ordered by (file, line, rule) — the v1 entry point.
 [[nodiscard]] std::vector<Finding> run_lint(const Options& options);
 
 /// "file:line: [rule] message" — the single line format CI greps.
 [[nodiscard]] std::string format(const Finding& f);
+
+/// Machine-readable report: stable key order (file, line, rule, message,
+/// justification per record), suitable for CI artifacts and annotations.
+[[nodiscard]] std::string to_json(const Report& report);
 
 }  // namespace g2g::lint

@@ -1,21 +1,62 @@
 // g2g-lint CLI. Exit 0 on a clean tree, 1 when findings exist, 2 on usage
-// errors. CI and tools/check.sh both run `g2g-lint --root .`.
+// errors, 3 when the engine itself fails (unreadable root, I/O error) — CI
+// distinguishes "the code is dirty" from "the linter broke".
 #include <cstring>
+#include <exception>
+#include <fstream>
 #include <iostream>
 
 #include "lint.hpp"
 
+namespace {
+
+void print_github_annotations(const std::vector<g2g::lint::Finding>& findings) {
+  // GitHub workflow commands: one ::error per finding, attached to the file
+  // and line in the PR diff view.
+  for (const auto& f : findings) {
+    std::cout << "::error file=" << f.file << ",line=" << f.line
+              << ",title=g2g-lint " << f.rule << "::" << f.message << "\n";
+  }
+}
+
+void print_stats(const g2g::lint::Report& report) {
+  std::cout << "g2g-lint: " << report.files_scanned << " files in "
+            << static_cast<long>(report.wall_ms) << " ms\n";
+  for (const auto& [rule, count] : report.rule_counts) {
+    std::cout << "  " << rule << ": " << count << "\n";
+  }
+  std::cout << "  (suppressed by pragma: " << report.suppressed.size() << ")\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::filesystem::path root = ".";
+  std::filesystem::path json_path;
+  bool github = false;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--github") == 0) {
+      github = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const auto& id : g2g::lint::rule_ids()) std::cout << id << "\n";
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: g2g-lint [--root <repo-root>] [--list-rules]\n"
-                   "Scans <root>/src and <root>/tests; see docs/STATIC_ANALYSIS.md\n";
+      std::cout
+          << "usage: g2g-lint [--root <repo-root>] [--json <path>] [--github]\n"
+             "                [--stats] [--list-rules]\n"
+             "Scans <root>/src and <root>/tests; see docs/STATIC_ANALYSIS.md.\n"
+             "  --json <path>  write the machine-readable report (findings,\n"
+             "                 pragma-suppressed findings, per-rule counts)\n"
+             "  --github       emit ::error workflow annotations for CI\n"
+             "  --stats        print per-rule counts and wall time\n"
+             "exit: 0 clean, 1 findings, 2 usage error, 3 engine error\n";
       return 0;
     } else {
       std::cerr << "g2g-lint: unknown argument '" << argv[i] << "'\n";
@@ -27,12 +68,27 @@ int main(int argc, char** argv) {
               << "' (pass --root <repo-root>)\n";
     return 2;
   }
-  const auto findings = g2g::lint::run_lint({root});
-  for (const auto& f : findings) std::cout << g2g::lint::format(f) << "\n";
-  if (findings.empty()) {
-    std::cout << "g2g-lint: clean\n";
-    return 0;
+  try {
+    const g2g::lint::Report report = g2g::lint::run_report({root});
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "g2g-lint: cannot write '" << json_path.string() << "'\n";
+        return 3;
+      }
+      out << g2g::lint::to_json(report);
+    }
+    for (const auto& f : report.findings) std::cout << g2g::lint::format(f) << "\n";
+    if (github) print_github_annotations(report.findings);
+    if (stats) print_stats(report);
+    if (report.findings.empty()) {
+      std::cout << "g2g-lint: clean\n";
+      return 0;
+    }
+    std::cout << "g2g-lint: " << report.findings.size() << " finding(s)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "g2g-lint: engine error: " << e.what() << "\n";
+    return 3;
   }
-  std::cout << "g2g-lint: " << findings.size() << " finding(s)\n";
-  return 1;
 }

@@ -1,0 +1,80 @@
+#include "pragma.hpp"
+
+#include <algorithm>
+#include <regex>
+#include <sstream>
+
+namespace g2g::lint {
+
+PragmaTable collect_pragmas(const std::string& rel_path,
+                            const std::vector<SplitLine>& lines) {
+  static const std::regex kPragma(
+      R"(g2g-lint\s*:\s*allow\s*\(([^)]*)\)\s*(?:--\s*(\S.*))?)");
+  PragmaTable table;
+  const auto& catalogue = rule_ids();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i].comment, m, kPragma)) continue;
+    const std::size_t line_no = i + 1;
+    if (!m[2].matched) {
+      table.parse_findings.push_back(
+          {rel_path, line_no, "allow-without-justification",
+           "allow(...) pragma needs a reason: \"// g2g-lint: allow(rule) -- why\""});
+      continue;
+    }
+    Pragma pragma;
+    pragma.line = line_no;
+    pragma.justification = m[2].str();
+    std::stringstream list(m[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      const std::string id = rule.substr(b, e - b + 1);
+      if (std::find(catalogue.begin(), catalogue.end(), id) == catalogue.end()) {
+        table.parse_findings.push_back(
+            {rel_path, line_no, "allow-unknown-rule",
+             "allow(...) names '" + id +
+                 "', which is not in the rule catalogue (g2g-lint --list-rules); "
+                 "stale pragmas must be pruned, not kept"});
+        continue;
+      }
+      pragma.rules.insert(id);
+    }
+    if (pragma.rules.empty()) continue;
+    // The allow covers the pragma's own line, and — when the pragma is a
+    // standalone comment (possibly with the justification wrapping onto
+    // further comment lines) — the next line that carries code.
+    const auto has_code = [&](std::size_t idx) {
+      return lines[idx].code_blanked.find_first_not_of(" \t") != std::string::npos;
+    };
+    std::size_t target = line_no;
+    if (!has_code(i)) {
+      for (std::size_t j = i + 1; j < lines.size(); ++j) {
+        if (has_code(j)) {
+          target = j + 1;
+          break;
+        }
+      }
+    }
+    const std::size_t index = table.pragmas.size();
+    table.pragmas.push_back(std::move(pragma));
+    table.by_line[line_no].push_back(index);
+    if (target != line_no) table.by_line[target].push_back(index);
+  }
+  return table;
+}
+
+const Pragma* find_allow(const PragmaTable& table, std::size_t line,
+                         const std::string& rule) {
+  const auto it = table.by_line.find(line);
+  if (it == table.by_line.end()) return nullptr;
+  for (const std::size_t index : it->second) {
+    const Pragma& p = table.pragmas[index];
+    if (p.rules.count(rule) > 0) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace g2g::lint

@@ -1,0 +1,41 @@
+// Allow-pragma collection: "// g2g-lint: allow(rule-a, rule-b) -- why".
+// A pragma covers its own line and — when it stands alone on a comment line
+// (the justification may wrap across further comment lines) — the next line
+// carrying code. Parsing emits two finding classes of its own:
+// allow-without-justification (the `-- why` is mandatory) and
+// allow-unknown-rule (every named rule must exist in the catalogue, so
+// retired pragmas cannot rot silently). Neither is itself suppressible.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace g2g::lint {
+
+struct Pragma {
+  std::size_t line = 0;            ///< line the pragma comment sits on
+  std::set<std::string> rules;     ///< rule ids it allows
+  std::string justification;       ///< text after `--`
+};
+
+struct PragmaTable {
+  std::vector<Pragma> pragmas;
+  /// line (1-based) -> indices into `pragmas` covering that line
+  std::map<std::size_t, std::vector<std::size_t>> by_line;
+  std::vector<Finding> parse_findings;
+};
+
+[[nodiscard]] PragmaTable collect_pragmas(const std::string& rel_path,
+                                          const std::vector<SplitLine>& lines);
+
+/// The pragma allowing `rule` on `line`, or nullptr.
+[[nodiscard]] const Pragma* find_allow(const PragmaTable& table, std::size_t line,
+                                       const std::string& rule);
+
+}  // namespace g2g::lint

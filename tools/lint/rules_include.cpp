@@ -1,0 +1,114 @@
+// Include-layering: the module DAG of DESIGN.md §4b, enforced over every
+// quoted #include in src/. Three checks:
+//
+//   1. src/ never includes bench/ or tests/ — production code cannot depend
+//      on harness code.
+//   2. The relay core (src/proto/*/relay/) never includes a forwarding-policy
+//      header; policies plug into the relay seam, not the other way round.
+//   3. Cross-module g2g/... includes must follow the layer DAG below.
+//
+// System includes (<...>) and relative in-module includes are exempt.
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "lint_internal.hpp"
+
+namespace g2g::lint::internal {
+
+namespace {
+
+/// module -> modules it may include (itself always included). Keep in sync
+/// with the DAG diagram in DESIGN.md §4b.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"util", {"util"}},
+      {"crypto", {"crypto", "util"}},
+      {"trace", {"trace", "util"}},
+      {"obs", {"obs", "util"}},
+      {"sim", {"sim", "trace", "util"}},
+      {"community", {"community", "trace", "util"}},
+      {"metrics", {"metrics", "obs", "util"}},
+      {"proto",
+       {"proto", "crypto", "metrics", "obs", "sim", "trace", "community", "util"}},
+      {"core",
+       {"core", "proto", "crypto", "metrics", "obs", "sim", "community", "trace",
+        "util"}},
+  };
+  return dag;
+}
+
+/// Forwarding-policy headers the relay core must stay ignorant of.
+const std::set<std::string>& policy_headers() {
+  static const std::set<std::string> names = {
+      "epidemic.hpp", "delegation.hpp", "g2g_epidemic.hpp", "g2g_delegation.hpp",
+      "quality.hpp",
+  };
+  return names;
+}
+
+std::string module_of_file(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const auto slash = rel.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return rel.substr(4, slash - 4);
+}
+
+std::string module_of_include(const std::string& path) {
+  if (path.rfind("g2g/", 0) != 0) return {};
+  const auto slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+std::string basename_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void scan_include_layering(const FileContext& ctx, Sink& sink) {
+  if (!in_src(ctx.rel)) return;
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
+  const std::string from_module = module_of_file(ctx.rel);
+  const auto& lines = ctx.lexed.lines;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(lines[i].code, m, kInclude)) continue;
+    const std::string path = m[1].str();
+
+    if (path.rfind("bench/", 0) == 0 || path.rfind("tests/", 0) == 0 ||
+        path.find("../bench/") != std::string::npos ||
+        path.find("../tests/") != std::string::npos) {
+      sink.report(i + 1, "include-layering",
+                  "src/ must not include harness code (\"" + path +
+                      "\"); production layers cannot depend on bench/ or tests/");
+      continue;
+    }
+
+    if (in_relay_core(ctx.rel) && path.rfind("g2g/proto/", 0) == 0 &&
+        policy_headers().count(basename_of(path)) > 0) {
+      sink.report(i + 1, "include-layering",
+                  "relay core must not include the forwarding-policy header \"" +
+                      path +
+                      "\"; policies depend on the relay seam, never the reverse "
+                      "(DESIGN.md §4b)");
+      continue;
+    }
+
+    const std::string to_module = module_of_include(path);
+    if (from_module.empty() || to_module.empty()) continue;
+    const auto from = layer_dag().find(from_module);
+    if (from == layer_dag().end()) continue;           // unmapped future layer
+    if (layer_dag().count(to_module) == 0) continue;   // not a module header
+    if (from->second.count(to_module) > 0) continue;
+    sink.report(i + 1, "include-layering",
+                "src/" + from_module + " may not include \"" + path +
+                    "\"; the layer DAG (DESIGN.md §4b) places " + to_module +
+                    " outside " + from_module + "'s allowed dependencies");
+  }
+}
+
+}  // namespace g2g::lint::internal

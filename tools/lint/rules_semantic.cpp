@@ -1,0 +1,279 @@
+// Token/scope rules for the arena-view lifetime discipline (DESIGN.md §4c):
+//
+//   view-escape          a non-owning view (BytesView, any *View) stored in a
+//                        class member, static, or container outlives the
+//                        encode it borrowed from; the next arena reset turns
+//                        it into a dangling span.
+//   arena-reset-safety   straight-line reaching analysis inside each function
+//                        body: a view-typed local read after arena().reset()
+//                        (or any *arena*.reset()) in the same scope refers to
+//                        recycled memory. Reassignment un-stales; staleness
+//                        from a reset inside a nested scope ends when that
+//                        scope closes (a conditional reset must not poison
+//                        the straight-line path after it).
+//
+// Both are heuristic by design — no symbol table, no templates — but they are
+// tuned to the repo's idiom: views come from arena_encode()/decode views, and
+// resets are spelled arena().reset() / wire_arena().reset() / arena_.reset().
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint_internal.hpp"
+
+namespace g2g::lint::internal {
+
+namespace {
+
+bool is_collection(const std::string& t) {
+  return t == "vector" || t == "map" || t == "unordered_map" || t == "set" ||
+         t == "unordered_set" || t == "multimap" || t == "multiset" || t == "deque" ||
+         t == "list" || t == "forward_list" || t == "array" || t == "stack" ||
+         t == "queue" || t == "priority_queue";
+}
+
+bool is_aggregate(const std::string& t) {
+  return t == "optional" || t == "pair" || t == "tuple" || t == "variant" ||
+         t == "span";
+}
+
+bool at_member_scope(const ScopeMap& scopes, int scope_id) {
+  const ScopeKind k = scopes.scopes[static_cast<std::size_t>(scope_id)].kind;
+  return k == ScopeKind::Class || k == ScopeKind::Top || k == ScopeKind::Namespace;
+}
+
+/// Classes named *View are themselves the view layer; their members are the
+/// borrowed pointers by definition.
+bool owner_is_view_class(const ScopeMap& scopes, int scope_id) {
+  const int cls = scopes.nearest(scope_id, ScopeKind::Class);
+  return cls >= 0 && is_view_type(scopes.scopes[static_cast<std::size_t>(cls)].name);
+}
+
+}  // namespace
+
+void scan_view_escape(const FileContext& ctx, Sink& sink) {
+  if (!in_src(ctx.rel)) return;
+  const auto& toks = ctx.lexed.tokens;
+  const auto& scopes = ctx.scopes;
+
+  int paren_depth = 0;
+  int angle_depth = 0;
+  bool stmt_alias = false;   // statement is using/typedef/friend: a type name,
+                             // not storage
+  bool stmt_static = false;  // statement head carries `static`
+
+  const auto at = [&](std::size_t i) -> const Token& { return toks[i]; };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = at(i);
+    if (t.kind == TokKind::Punct) {
+      if (t.text == "(") ++paren_depth;
+      else if (t.text == ")") paren_depth = paren_depth > 0 ? paren_depth - 1 : 0;
+      else if (t.text == "<" && i > 0 && at(i - 1).kind == TokKind::Ident) ++angle_depth;
+      else if (t.text == ">") angle_depth = angle_depth > 0 ? angle_depth - 1 : 0;
+      else if (t.text == ";" || t.text == "{" || t.text == "}") {
+        angle_depth = 0;
+        stmt_alias = false;
+        stmt_static = false;
+      }
+      continue;
+    }
+    if (t.kind != TokKind::Ident) continue;
+    if (t.text == "using" || t.text == "typedef" || t.text == "friend") {
+      stmt_alias = true;
+      continue;
+    }
+    if (t.text == "static") {
+      stmt_static = true;
+      continue;
+    }
+    if (stmt_alias) continue;
+
+    const int scope_id = scopes.scope_of_token[i];
+
+    // Pattern B: container of views — std::vector<BytesView> etc. Collections
+    // are a finding in any scope (even a local vector of views outlives the
+    // spans it copied in as soon as the arena resets); single-value wrappers
+    // (optional/pair/...) only when stored at member/static scope.
+    if ((is_collection(t.text) || is_aggregate(t.text)) && i + 1 < toks.size() &&
+        at(i + 1).kind == TokKind::Punct && at(i + 1).text == "<" && paren_depth == 0) {
+      const bool member_like = at_member_scope(scopes, scope_id) || stmt_static;
+      const bool applies = is_collection(t.text) ? true : member_like;
+      if (applies && !owner_is_view_class(scopes, scope_id)) {
+        int depth = 0;
+        std::string view_arg;
+        std::size_t close = toks.size();
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          const Token& u = at(j);
+          if (u.kind == TokKind::Punct) {
+            if (u.text == "<") ++depth;
+            else if (u.text == ">" && --depth == 0) {
+              close = j;
+              break;
+            } else if (u.text == ";" || u.text == "{") {
+              break;  // malformed; bail
+            }
+          } else if (u.kind == TokKind::Ident && is_view_type(u.text)) {
+            view_arg = u.text;
+          }
+        }
+        // `std::optional<BytesView> answer(...)` is a return type the caller
+        // consumes, not storage: skip declarations whose declarator is a
+        // function. The declarator name may be namespace-qualified.
+        bool is_function_decl = false;
+        if (close < toks.size()) {
+          std::size_t j = close + 1;
+          while (j < toks.size() &&
+                 (at(j).text == "const" || at(j).text == "&" || at(j).text == "*" ||
+                  at(j).text == "&&")) {
+            ++j;
+          }
+          while (j + 1 < toks.size() && at(j).kind == TokKind::Ident &&
+                 at(j + 1).text == "::") {
+            j += 2;
+          }
+          if (j + 1 < toks.size() && at(j).kind == TokKind::Ident &&
+              at(j + 1).text == "(") {
+            is_function_decl = true;
+          }
+        }
+        if (!view_arg.empty() && !(is_function_decl && !is_collection(t.text))) {
+          sink.report(t.line, "view-escape",
+                      t.text + "<" + view_arg +
+                          "> stores non-owning views; the elements dangle at the "
+                          "next arena reset — own the bytes (Bytes) or justify "
+                          "with \"g2g-lint: allow(view-escape) -- why\"");
+        }
+      }
+    }
+
+    // Pattern A: a view-typed member / static / global. Locals are legal (the
+    // arena-reset-safety rule polices their lifetime); function declarators
+    // returning a view are legal (the value is consumed by the caller).
+    if (!is_view_type(t.text) || paren_depth != 0 || angle_depth != 0) continue;
+    const bool member_like = at_member_scope(scopes, scope_id) || stmt_static;
+    if (!member_like || owner_is_view_class(scopes, scope_id)) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (at(j).text == "const" || at(j).text == "&" || at(j).text == "*" ||
+            at(j).text == "&&")) {
+      ++j;
+    }
+    if (j + 1 >= toks.size() || at(j).kind != TokKind::Ident || at(j).text == "operator") {
+      continue;
+    }
+    const std::string& after = at(j + 1).text;
+    if (after == ";" || after == "=" || after == "{" || after == "," || after == "[") {
+      sink.report(t.line, "view-escape",
+                  "non-owning " + t.text + " '" + at(j).text +
+                      "' stored at member/static scope; it borrows arena or "
+                      "caller memory and dangles past the next reset — own the "
+                      "bytes (Bytes) or justify with \"g2g-lint: "
+                      "allow(view-escape) -- why\"");
+    }
+  }
+}
+
+void scan_arena_reset_safety(const FileContext& ctx, Sink& sink) {
+  if (!in_src(ctx.rel)) return;
+  const auto& toks = ctx.lexed.tokens;
+  const auto& scopes = ctx.scopes;
+
+  struct ViewLocal {
+    std::string name;
+    int decl_scope = -1;
+    int stale_scope = -1;       ///< scope of the reset that staled it; -1 = live
+    std::size_t reset_line = 0;
+  };
+
+  for (std::size_t s = 0; s < scopes.scopes.size(); ++s) {
+    const Scope& fn = scopes.scopes[s];
+    if (fn.kind != ScopeKind::Function) continue;
+    // Only outermost function bodies: a nested Function (local class method)
+    // gets its own walk.
+    if (fn.parent >= 0 && scopes.within(fn.parent, ScopeKind::Function)) continue;
+
+    std::vector<ViewLocal> locals;
+    for (std::size_t i = fn.open_token + 1; i < fn.close_token && i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "}") {
+          const int closed = scopes.scope_of_token[i];
+          std::erase_if(locals,
+                        [&](const ViewLocal& v) { return v.decl_scope == closed; });
+          for (ViewLocal& v : locals) {
+            if (v.stale_scope == closed) v.stale_scope = -1;
+          }
+        }
+        continue;
+      }
+      if (t.kind != TokKind::Ident) continue;
+
+      // arena().reset() / wire_arena().reset() / arena_.reset(): every view
+      // handed out by this arena generation is now recycled memory.
+      if (t.text == "reset" && i >= 2 && i + 1 < toks.size() &&
+          toks[i + 1].text == "(" && toks[i - 1].text == ".") {
+        std::size_t r = i - 2;
+        if (toks[r].text == ")") {
+          int depth = 0;
+          while (r > 0) {
+            if (toks[r].text == ")") ++depth;
+            if (toks[r].text == "(" && --depth == 0) break;
+            --r;
+          }
+          if (r > 0) --r;  // the callee identifier before '('
+        }
+        if (toks[r].kind == TokKind::Ident &&
+            toks[r].text.find("arena") != std::string::npos) {
+          const int reset_scope = scopes.scope_of_token[i];
+          for (ViewLocal& v : locals) {
+            v.stale_scope = reset_scope;
+            v.reset_line = t.line;
+          }
+        }
+        continue;
+      }
+
+      // New view-typed local: BytesView v = ..., for (BytesView v : ...), etc.
+      if (is_view_type(t.text)) {
+        std::size_t j = i + 1;
+        while (j < toks.size() &&
+               (toks[j].text == "const" || toks[j].text == "&" ||
+                toks[j].text == "*" || toks[j].text == "&&")) {
+          ++j;
+        }
+        if (j + 1 < toks.size() && toks[j].kind == TokKind::Ident) {
+          const std::string& after = toks[j + 1].text;
+          if (after == ";" || after == "=" || after == "{" || after == "(" ||
+              after == ":") {
+            std::erase_if(locals,
+                          [&](const ViewLocal& v) { return v.name == toks[j].text; });
+            locals.push_back({toks[j].text, scopes.scope_of_token[j], -1, 0});
+            i = j;  // the declarator name is not a use
+            continue;
+          }
+        }
+        continue;
+      }
+
+      for (ViewLocal& v : locals) {
+        if (v.name != t.text) continue;
+        if (i + 1 < toks.size() && toks[i + 1].text == "=") {
+          v.stale_scope = -1;  // reassigned: points at live memory again
+          break;
+        }
+        if (v.stale_scope != -1) {
+          sink.report(t.line, "arena-reset-safety",
+                      "view local '" + v.name + "' read after the arena reset on "
+                          "line " + std::to_string(v.reset_line) +
+                          "; the bytes it referenced were recycled — copy or "
+                          "re-encode before the reset, or justify with "
+                          "\"g2g-lint: allow(arena-reset-safety) -- why\"");
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace g2g::lint::internal

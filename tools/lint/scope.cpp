@@ -1,0 +1,127 @@
+#include "scope.hpp"
+
+#include <algorithm>
+
+namespace g2g::lint {
+
+namespace {
+
+bool head_contains(const std::vector<const Token*>& head, const char* text) {
+  return std::any_of(head.begin(), head.end(),
+                     [&](const Token* t) { return t->text == text; });
+}
+
+/// Name of a class/struct/namespace: the first plausible identifier after
+/// the introducing keyword (attributes and contextual keywords skipped).
+std::string name_after(const std::vector<const Token*>& head, const char* keyword) {
+  bool seen = false;
+  for (const Token* t : head) {
+    if (!seen) {
+      if (t->text == keyword) seen = true;
+      continue;
+    }
+    if (t->kind != TokKind::Ident) {
+      if (t->text == ":") break;  // base clause: the name came before it
+      continue;
+    }
+    if (t->text == "final" || t->text == "alignas" || t->text == "nodiscard" ||
+        t->text == "maybe_unused" || t->text == "deprecated" || t->text == "class" ||
+        t->text == "struct") {
+      continue;
+    }
+    return t->text;
+  }
+  return {};
+}
+
+ScopeKind classify(const std::vector<const Token*>& head, ScopeKind enclosing,
+                   std::string& name_out) {
+  const bool in_code = enclosing == ScopeKind::Function || enclosing == ScopeKind::Block ||
+                       enclosing == ScopeKind::Init;
+  if (head_contains(head, "namespace")) {
+    name_out = name_after(head, "namespace");
+    return ScopeKind::Namespace;
+  }
+  if (head_contains(head, "enum")) return ScopeKind::Enum;
+  const bool has_eq = head_contains(head, "=");
+  if (head_contains(head, "extern") && !has_eq) return ScopeKind::Namespace;  // extern "C"
+  const bool has_return = head_contains(head, "return");
+  if (!has_eq && !has_return &&
+      (head_contains(head, "class") || head_contains(head, "struct") ||
+       head_contains(head, "union"))) {
+    name_out = name_after(head, head_contains(head, "class")   ? "class"
+                                : head_contains(head, "struct") ? "struct"
+                                                                : "union");
+    return ScopeKind::Class;
+  }
+  if (has_eq) return ScopeKind::Init;
+  if (has_return) return in_code ? ScopeKind::Block : ScopeKind::Init;
+  if (head.empty()) {
+    // A bare '{' directly in a class is a constructor body whose member-init
+    // braces consumed the head; in code it's a plain block.
+    if (enclosing == ScopeKind::Class) return ScopeKind::Function;
+    return in_code ? ScopeKind::Block : ScopeKind::Init;
+  }
+  // Member-initializer braced init: `Ctor() : a_(1), b_{2} {` — the brace
+  // follows an identifier while a ':' sits after the parameter list.
+  if (head.back()->kind == TokKind::Ident && head_contains(head, ":") &&
+      head_contains(head, ")")) {
+    return ScopeKind::Init;
+  }
+  if (head_contains(head, ")")) {
+    if (enclosing == ScopeKind::Top || enclosing == ScopeKind::Namespace ||
+        enclosing == ScopeKind::Class) {
+      return ScopeKind::Function;
+    }
+    return ScopeKind::Block;
+  }
+  return in_code ? ScopeKind::Block : ScopeKind::Init;
+}
+
+}  // namespace
+
+ScopeMap build_scopes(const std::vector<Token>& tokens) {
+  ScopeMap map;
+  map.scopes.push_back(Scope{ScopeKind::Top, "", -1, 0, tokens.size()});
+  map.scope_of_token.resize(tokens.size(), 0);
+  int current = 0;
+  std::vector<const Token*> head;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    map.scope_of_token[i] = current;
+    if (t.kind == TokKind::Punct) {
+      if (t.text == "{") {
+        std::string name;
+        const ScopeKind kind =
+            classify(head, map.scopes[static_cast<std::size_t>(current)].kind, name);
+        map.scopes.push_back(Scope{kind, name, current, i, tokens.size()});
+        current = static_cast<int>(map.scopes.size()) - 1;
+        map.scope_of_token[i] = current;
+        head.clear();
+        continue;
+      }
+      if (t.text == "}") {
+        if (current != 0) {
+          map.scopes[static_cast<std::size_t>(current)].close_token = i;
+          current = map.scopes[static_cast<std::size_t>(current)].parent;
+        }
+        head.clear();
+        continue;
+      }
+      if (t.text == ";") {
+        head.clear();
+        continue;
+      }
+      if (t.text == ":" && !head.empty() &&
+          (head.back()->text == "public" || head.back()->text == "private" ||
+           head.back()->text == "protected")) {
+        head.clear();  // access-specifier label
+        continue;
+      }
+    }
+    head.push_back(&t);
+  }
+  return map;
+}
+
+}  // namespace g2g::lint

@@ -1,0 +1,51 @@
+// Brace-scope tracking over the token stream: every token is annotated with
+// its innermost scope, and every scope is classified (namespace / class /
+// enum / function body / block / braced initializer) from the statement
+// head preceding its opening brace. The classification is heuristic — no
+// template instantiation, no symbol table — but it is exactly the
+// resolution the semantic rules need: "is this statement a class member?",
+// "which tokens form this function body?".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace g2g::lint {
+
+enum class ScopeKind { Top, Namespace, Class, Enum, Function, Block, Init };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::Top;
+  std::string name;           ///< class/namespace name when one was parsed
+  int parent = -1;            ///< index into ScopeMap::scopes; -1 for Top
+  std::size_t open_token = 0;   ///< index of the '{' token (0 for Top)
+  std::size_t close_token = 0;  ///< index of the matching '}' (or tokens.size())
+};
+
+struct ScopeMap {
+  std::vector<Scope> scopes;          ///< scopes[0] is the translation unit
+  std::vector<int> scope_of_token;    ///< per token: innermost scope id
+
+  /// Walks parents from `scope_id`; true if any enclosing scope (inclusive)
+  /// has the given kind.
+  [[nodiscard]] bool within(int scope_id, ScopeKind kind) const {
+    for (int s = scope_id; s >= 0; s = scopes[static_cast<std::size_t>(s)].parent) {
+      if (scopes[static_cast<std::size_t>(s)].kind == kind) return true;
+    }
+    return false;
+  }
+  /// Nearest enclosing scope (inclusive) of the given kind, or -1.
+  [[nodiscard]] int nearest(int scope_id, ScopeKind kind) const {
+    for (int s = scope_id; s >= 0; s = scopes[static_cast<std::size_t>(s)].parent) {
+      if (scopes[static_cast<std::size_t>(s)].kind == kind) return s;
+    }
+    return -1;
+  }
+};
+
+[[nodiscard]] ScopeMap build_scopes(const std::vector<Token>& tokens);
+
+}  // namespace g2g::lint
